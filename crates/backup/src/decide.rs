@@ -1,0 +1,162 @@
+//! The Iw/oF decision rules.
+//!
+//! When the cache manager is about to flush object `X` (a write-graph node
+//! with no predecessors), it must decide whether installing the node's
+//! operations into the *backup* additionally requires logging `X` (a
+//! cache-manager identity write — "installing without flushing", §3.2).
+//!
+//! * **General logical operations (§3.5):** successors of `X` can emerge at
+//!   any time and land anywhere, so the only safe case is `Pend(X)` — the
+//!   flush itself will be captured by the sweep. `Done` and `Doubt` both
+//!   log.
+//!
+//! * **Tree operations (§4.2):** the successor set `S(X)` is known (and for
+//!   pure tree ops, fixed at `X`'s first update), so three no-log cases
+//!   open up: `Pend(X)`; `Done(S(X))` (no successor's later flush can reach
+//!   `B`, so no ordering can be violated); and the † case — every
+//!   (transitive) successor `y` has `#y < #X`, so if any `y`'s later flush
+//!   is captured by the monotonic sweep, `X`'s earlier flush was captured
+//!   too. The `violation` flag records exactly the failure of †, and
+//!   `foreign` (incomparable positions) is treated as a violation.
+//!
+//! The region-based case analysis in the paper's Figure 4 is equivalent:
+//! e.g. `Done(X) & ¬Done(S(X))` implies some successor has
+//! `#y ≥ D > #X`, which is precisely a † violation.
+
+use crate::meta::SuccMeta;
+use crate::tracker::Region;
+
+/// §3.5: for general operations, extra logging is needed whenever we are
+/// not sure the flushed value will be included in the active backup.
+pub fn needs_iwof_general(region_x: Region) -> bool {
+    matches!(region_x, Region::Done | Region::Doubt)
+}
+
+/// §4.2: for tree operations, extra logging is needed only when the flush
+/// might be missed (`¬Pend(X)`), some successor's later flush might be
+/// captured (`¬Done(S(X))`), and the † ordering property does not save us.
+///
+/// `classify_succ_max` classifies `MAX(X)` (same domain as `X`; callers
+/// must hold the backup latch so the classification is stable).
+pub fn needs_iwof_tree(
+    region_x: Region,
+    meta: Option<&SuccMeta>,
+    classify_succ_max: impl Fn(u64) -> Region,
+) -> bool {
+    match region_x {
+        Region::Inactive | Region::Pend => return false,
+        Region::Done | Region::Doubt => {}
+    }
+    let Some(m) = meta else {
+        return false; // S(X) = ∅: Done(S(X)) vacuously
+    };
+    if m.links == 0 {
+        return false;
+    }
+    if m.foreign {
+        return true; // incomparable successor positions: conservative
+    }
+    if classify_succ_max(m.max) == Region::Done {
+        return false; // Done(S(X))
+    }
+    m.violation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(min: u64, max: u64, violation: bool, foreign: bool) -> SuccMeta {
+        SuccMeta {
+            min,
+            max,
+            violation,
+            foreign,
+            links: 1,
+        }
+    }
+
+    #[test]
+    fn general_logs_unless_pending_or_inactive() {
+        assert!(!needs_iwof_general(Region::Inactive));
+        assert!(!needs_iwof_general(Region::Pend));
+        assert!(needs_iwof_general(Region::Done));
+        assert!(needs_iwof_general(Region::Doubt));
+    }
+
+    #[test]
+    fn tree_pend_x_never_logs() {
+        let m = meta(0, 100, true, false);
+        assert!(!needs_iwof_tree(Region::Pend, Some(&m), |_| Region::Doubt));
+        assert!(!needs_iwof_tree(Region::Inactive, Some(&m), |_| Region::Doubt));
+    }
+
+    #[test]
+    fn tree_no_successors_never_logs() {
+        assert!(!needs_iwof_tree(Region::Done, None, |_| Region::Pend));
+        assert!(!needs_iwof_tree(Region::Doubt, None, |_| Region::Pend));
+    }
+
+    #[test]
+    fn tree_done_successors_never_log() {
+        let m = meta(1, 5, true, false);
+        assert!(!needs_iwof_tree(Region::Doubt, Some(&m), |_| Region::Done));
+    }
+
+    #[test]
+    fn tree_dagger_saves_doubt_doubt() {
+        // #y < #X everywhere → no violation → safe even in Doubt/Doubt.
+        let m = meta(3, 7, false, false);
+        assert!(!needs_iwof_tree(Region::Doubt, Some(&m), |_| Region::Doubt));
+    }
+
+    #[test]
+    fn tree_violation_logs() {
+        let m = meta(3, 7, true, false);
+        assert!(needs_iwof_tree(Region::Doubt, Some(&m), |_| Region::Doubt));
+        assert!(needs_iwof_tree(Region::Done, Some(&m), |_| Region::Pend));
+    }
+
+    #[test]
+    fn tree_foreign_logs_conservatively() {
+        let m = meta(u64::MAX, 0, false, true);
+        assert!(needs_iwof_tree(Region::Doubt, Some(&m), |_| Region::Done));
+    }
+
+    #[test]
+    fn figure4_regions_single_successor() {
+        // Reproduce the paper's Figure 4 for one successor at position sy
+        // and X at position sx, with D=10, P=20 (Done < 10, Doubt 10..20,
+        // Pend ≥ 20).
+        let classify = |p: u64| {
+            if p < 10 {
+                Region::Done
+            } else if p >= 20 {
+                Region::Pend
+            } else {
+                Region::Doubt
+            }
+        };
+        let case = |sx: u64, sy: u64| {
+            let m = SuccMeta {
+                min: sy,
+                max: sy,
+                violation: sx < sy,
+                foreign: false,
+                links: 1,
+            };
+            needs_iwof_tree(classify(sx), Some(&m), classify)
+        };
+        // Pend(X): never.
+        assert!(!case(25, 5) && !case(25, 15) && !case(25, 30));
+        // Done(S): never.
+        assert!(!case(5, 3) && !case(15, 3));
+        // Done(X), Doubt/Pend(S): log (the left shaded column).
+        assert!(case(5, 15) && case(5, 25));
+        // Doubt(X), Pend(S): log (top shaded row).
+        assert!(case(15, 25));
+        // Doubt & Doubt: † decides.
+        assert!(!case(17, 12), "#y < #X: † holds, no log");
+        assert!(case(12, 17), "#y > #X: log");
+    }
+}

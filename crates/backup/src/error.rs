@@ -1,0 +1,48 @@
+//! Backup errors.
+
+use lob_pagestore::{PageId, PartitionId, StoreError};
+use std::fmt;
+
+/// Errors from the backup machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackupError {
+    /// Underlying store failure while copying.
+    Store(StoreError),
+    /// A page outside every order domain was involved.
+    UnknownPage(PageId),
+    /// A partition is not covered by the coordinator.
+    UnknownPartition(PartitionId),
+    /// Invalid run configuration (zero steps, empty domain, …).
+    BadConfig(String),
+    /// A run method was called out of sequence (e.g. `step` after
+    /// completion).
+    BadState(String),
+    /// Restore was asked to use an incomplete backup image.
+    IncompleteImage {
+        /// The offending backup's id.
+        backup_id: u64,
+    },
+}
+
+impl fmt::Display for BackupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackupError::Store(e) => write!(f, "store error during backup: {e}"),
+            BackupError::UnknownPage(p) => write!(f, "page {p} not in any backup order domain"),
+            BackupError::UnknownPartition(p) => write!(f, "partition {p} not covered"),
+            BackupError::BadConfig(m) => write!(f, "bad backup configuration: {m}"),
+            BackupError::BadState(m) => write!(f, "backup run misused: {m}"),
+            BackupError::IncompleteImage { backup_id } => {
+                write!(f, "backup {backup_id} is incomplete and cannot restore")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackupError {}
+
+impl From<StoreError> for BackupError {
+    fn from(e: StoreError) -> Self {
+        BackupError::Store(e)
+    }
+}

@@ -1,0 +1,301 @@
+//! Successor tracking for tree operations (paper §4.2).
+//!
+//! For each cached object `X`, `S(X)` is the set of successors and potential
+//! successors: objects an operation *read* while writing `X` (the `old` of a
+//! `W_L(old, new)`), together with their transitive successors. The cache
+//! manager never needs the set itself — only:
+//!
+//! * `MAX(X) = max{#y | y ∈ S(X)}` and its dual `MIN(X)`, maintained
+//!   incrementally: on `W_L(Y, X)`, `MAX(X) = max(#Y, MAX(Y))`;
+//! * `violation(X)`: set when some immediate successor `y` has `#X < #y`
+//!   (the † ordering property fails for that pair) **or** when
+//!   `violation(y)` is set — a violated successor will be installed in `B`
+//!   by Iw/oF, so `B`'s captured state for it is untrustworthy and `X` must
+//!   be Iw/oF'd as well (the paper's propagation rule);
+//! * `foreign(X)`: a successor lives in a different backup-order domain, so
+//!   its position is incomparable — treated conservatively like a
+//!   violation. (With the sequential all-partition domain of §6.2 this
+//!   never fires.)
+//!
+//! The table also serves the application-read extension (§6.2): `R(X, A)`
+//! repeatedly *grows* `S(A)` — unlike pure tree operations where `S(X)` is
+//! fixed at first update — but the incremental min/max/violation updates
+//! are unaffected by growth.
+
+use lob_ops::{OpBody, TreeForm};
+use lob_pagestore::PageId;
+use std::collections::HashMap;
+
+/// Successor summary for one cached object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccMeta {
+    /// Smallest position among (transitive) successors.
+    pub min: u64,
+    /// Largest position among (transitive) successors — the paper's
+    /// `MAX(X)`.
+    pub max: u64,
+    /// The † property fails somewhere below `X` in the successor forest.
+    pub violation: bool,
+    /// Some successor's position is incomparable (different domain).
+    pub foreign: bool,
+    /// Number of immediate successor-recording operations folded in
+    /// (diagnostics).
+    pub links: u32,
+}
+
+impl SuccMeta {
+    fn absorb(&mut self, succ_pos: Option<u64>, succ_meta: Option<SuccMeta>, self_pos: Option<u64>) {
+        self.links += 1;
+        match (succ_pos, self_pos) {
+            (Some(sp), Some(xp)) => {
+                self.min = self.min.min(sp);
+                self.max = self.max.max(sp);
+                // † requires #y < #X for the pair (X flushed first, so if
+                // the sweep captures y post-flush it has already captured
+                // the earlier-flushed X). Equal positions cannot happen for
+                // distinct pages in one domain.
+                if xp < sp {
+                    self.violation = true;
+                }
+            }
+            _ => {
+                self.foreign = true;
+            }
+        }
+        if let Some(m) = succ_meta {
+            self.min = self.min.min(m.min);
+            self.max = self.max.max(m.max);
+            self.violation |= m.violation;
+            self.foreign |= m.foreign;
+        }
+    }
+}
+
+/// Per-object successor summaries for all dirty objects.
+#[derive(Debug, Default)]
+pub struct SuccessorTable {
+    meta: HashMap<PageId, SuccMeta>,
+}
+
+impl SuccessorTable {
+    /// An empty table.
+    pub fn new() -> SuccessorTable {
+        SuccessorTable::default()
+    }
+
+    /// Record a logged operation. `pos` maps a page to its
+    /// `(domain, position)` in the backup order (`None` = page outside
+    /// every domain). Positions are comparable only within one domain;
+    /// cross-domain successors are marked `foreign` (conservative).
+    ///
+    /// Only operations with a successor-inducing shape change the table:
+    /// `WriteNew { old, new }` gives `new` the successor `old`;
+    /// `ReadExtra { target, extra }` (application read) grows `target`'s
+    /// successors by `extra`. Page-oriented shapes change nothing, and
+    /// irreducibly general operations are not usable in tree mode anyway
+    /// (the engine enforces the discipline).
+    pub fn note_op(&mut self, body: &OpBody, pos: impl Fn(PageId) -> Option<(u32, u64)>) {
+        match body.tree_form() {
+            Some(TreeForm::WriteNew { old, new }) => {
+                self.link(new, old, &pos);
+            }
+            Some(TreeForm::ReadExtra { target, extra }) => {
+                for x in extra {
+                    self.link(target, x, &pos);
+                }
+            }
+            Some(TreeForm::PageOriented { .. }) | None => {}
+        }
+    }
+
+    fn link(
+        &mut self,
+        writer: PageId,
+        read: PageId,
+        pos: &impl Fn(PageId) -> Option<(u32, u64)>,
+    ) {
+        if writer == read {
+            return;
+        }
+        let succ = pos(read);
+        let succ_meta = self.meta.get(&read).copied();
+        let this = pos(writer);
+        let entry = self.meta.entry(writer).or_insert(SuccMeta {
+            min: u64::MAX,
+            max: 0,
+            violation: false,
+            foreign: false,
+            links: 0,
+        });
+        match (succ, this) {
+            (Some((sd, sp)), Some((xd, xp))) if sd == xd => {
+                entry.absorb(Some(sp), succ_meta, Some(xp));
+            }
+            _ => {
+                entry.links += 1;
+                entry.foreign = true;
+                if let Some(m) = succ_meta {
+                    entry.violation |= m.violation;
+                    entry.foreign |= m.foreign;
+                }
+            }
+        }
+    }
+
+    /// Successor summary for a page (`None` ⇒ `S(X)` is empty, so
+    /// `Done(S(X))` holds vacuously).
+    pub fn get(&self, page: PageId) -> Option<&SuccMeta> {
+        self.meta.get(&page)
+    }
+
+    /// Forget a page's summary. Called when the page is flushed and its
+    /// node installed — after that the page is clean, and if it is updated
+    /// again it is no longer a "new" object (its next summary starts
+    /// empty).
+    pub fn clear(&mut self, page: PageId) {
+        self.meta.remove(&page);
+    }
+
+    /// Drop everything (crash).
+    pub fn clear_all(&mut self) {
+        self.meta.clear();
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lob_ops::LogicalOp;
+
+    fn pid(i: u32) -> PageId {
+        PageId::new(0, i)
+    }
+
+    fn movrec(old: u32, new: u32) -> OpBody {
+        OpBody::Logical(LogicalOp::MovRec {
+            old: pid(old),
+            sep: Bytes::from_static(b"k"),
+            new: pid(new),
+        })
+    }
+
+    fn simple_pos(p: PageId) -> Option<(u32, u64)> {
+        Some((0, p.index as u64))
+    }
+
+    #[test]
+    fn write_new_records_successor() {
+        let mut t = SuccessorTable::new();
+        // MovRec(old=5, new=2): #X=2 < #y=5 → violation.
+        t.note_op(&movrec(5, 2), simple_pos);
+        let m = t.get(pid(2)).unwrap();
+        assert_eq!((m.min, m.max), (5, 5));
+        assert!(m.violation, "#X=2 < #y=5 violates †");
+        assert!(t.get(pid(5)).is_none(), "old gains no successors");
+    }
+
+    #[test]
+    fn good_ordering_has_no_violation() {
+        let mut t = SuccessorTable::new();
+        // new at 9, old at 3: #y=3 < #X=9 → † holds.
+        t.note_op(&movrec(3, 9), simple_pos);
+        let m = t.get(pid(9)).unwrap();
+        assert!(!m.violation);
+        assert_eq!((m.min, m.max), (3, 3));
+    }
+
+    #[test]
+    fn max_propagates_transitively() {
+        let mut t = SuccessorTable::new();
+        // X=9 reads Y=3 (MAX(9)={3}); then Z=20 reads X=9:
+        // MAX(Z) = max(#X, MAX(X)) = max(9, 3) = 9; MIN = 3.
+        t.note_op(&movrec(3, 9), simple_pos);
+        t.note_op(&movrec(9, 20), simple_pos);
+        let m = t.get(pid(20)).unwrap();
+        assert_eq!((m.min, m.max), (3, 9));
+        assert!(!m.violation);
+    }
+
+    #[test]
+    fn violation_propagates_to_later_predecessors() {
+        let mut t = SuccessorTable::new();
+        // X=2 reads Y=5 → violation(2).
+        t.note_op(&movrec(5, 2), simple_pos);
+        // Z=1 reads X=2: #Z=1 < #X=2 → own violation too, but even with a
+        // good own pair the inherited violation must stick:
+        t.note_op(&movrec(2, 100), simple_pos); // #100 > #2: own pair fine
+        let m = t.get(pid(100)).unwrap();
+        assert!(m.violation, "violation inherited from successor 2");
+    }
+
+    #[test]
+    fn multiple_successors_widen_the_span() {
+        let mut t = SuccessorTable::new();
+        t.note_op(&movrec(3, 50), simple_pos);
+        t.note_op(&movrec(7, 50), simple_pos);
+        let m = t.get(pid(50)).unwrap();
+        assert_eq!((m.min, m.max), (3, 7));
+        assert_eq!(m.links, 2);
+        assert!(!m.violation);
+    }
+
+    #[test]
+    fn app_read_grows_target_successors() {
+        let mut t = SuccessorTable::new();
+        let r1 = OpBody::Logical(LogicalOp::AppRead {
+            src: pid(4),
+            app: pid(90),
+        });
+        let r2 = OpBody::Logical(LogicalOp::AppRead {
+            src: pid(8),
+            app: pid(90),
+        });
+        t.note_op(&r1, simple_pos);
+        t.note_op(&r2, simple_pos);
+        let m = t.get(pid(90)).unwrap();
+        assert_eq!((m.min, m.max), (4, 8));
+        assert!(!m.violation, "app at position 90, after all inputs");
+    }
+
+    #[test]
+    fn unmapped_page_is_foreign() {
+        let mut t = SuccessorTable::new();
+        let only_low = |p: PageId| (p.index < 10).then_some((0u32, p.index as u64));
+        t.note_op(&movrec(50, 2), only_low); // old=50 unmapped
+        let m = t.get(pid(2)).unwrap();
+        assert!(m.foreign, "incomparable successor positions are foreign");
+    }
+
+    #[test]
+    fn clear_forgets() {
+        let mut t = SuccessorTable::new();
+        t.note_op(&movrec(3, 9), simple_pos);
+        assert_eq!(t.len(), 1);
+        t.clear(pid(9));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn page_oriented_ops_change_nothing() {
+        let mut t = SuccessorTable::new();
+        t.note_op(
+            &OpBody::Physio(lob_ops::PhysioOp::RmvRec {
+                target: pid(1),
+                sep: Bytes::from_static(b"k"),
+            }),
+            simple_pos,
+        );
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! The backup order.
+//!
+//! "With each object X, we associate a value #X in the backup \[partial\]
+//! order such that for any other object #Y, if #X < #Y, then X is guaranteed
+//! to be copied to B before Y. ... these values ... can be derived from the
+//! physical locations of data on disk." (§3.4)
+//!
+//! A [`BackupOrder`] covers one *domain*: a sequence of partitions swept one
+//! after another (a single partition in the per-partition-parallel scheme;
+//! all partitions, in a chosen rank order, in the sequential scheme — the
+//! paper's "one large partition"). Within a domain positions are total;
+//! across domains they are incomparable (the backup order is partial).
+
+use lob_pagestore::{PageId, PartitionId};
+use std::collections::HashMap;
+
+/// A total backup order over the pages of one domain.
+#[derive(Debug, Clone)]
+pub struct BackupOrder {
+    /// Partitions in sweep order, with their page counts.
+    sweep: Vec<(PartitionId, u32)>,
+    /// partition → (sweep rank, base position).
+    base: HashMap<PartitionId, u64>,
+    total: u64,
+}
+
+impl BackupOrder {
+    /// Build an order sweeping `partitions` in the given sequence.
+    pub fn new(partitions: Vec<(PartitionId, u32)>) -> BackupOrder {
+        let mut base = HashMap::new();
+        let mut acc = 0u64;
+        for &(pid, pages) in &partitions {
+            base.insert(pid, acc);
+            acc += pages as u64;
+        }
+        BackupOrder {
+            sweep: partitions,
+            base,
+            total: acc,
+        }
+    }
+
+    /// The position `#X` of a page, or `None` if its partition is outside
+    /// this domain.
+    pub fn pos(&self, page: PageId) -> Option<u64> {
+        self.base
+            .get(&page.partition)
+            .map(|b| b + page.index as u64)
+    }
+
+    /// Number of pages in the domain (`Max` is this value: every real
+    /// position is strictly below it).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the domain covers a partition.
+    pub fn covers(&self, partition: PartitionId) -> bool {
+        self.base.contains_key(&partition)
+    }
+
+    /// The partitions in sweep order.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        self.sweep.iter().map(|&(p, _)| p)
+    }
+
+    /// The page at a position (inverse of [`pos`](Self::pos)).
+    pub fn page_at(&self, mut pos: u64) -> Option<PageId> {
+        for &(pid, pages) in &self.sweep {
+            if pos < pages as u64 {
+                return Some(PageId {
+                    partition: pid,
+                    index: pos as u32,
+                });
+            }
+            pos -= pages as u64;
+        }
+        None
+    }
+
+    /// Iterate the pages with positions in `lo..hi` in sweep order.
+    pub fn pages_in(&self, lo: u64, hi: u64) -> impl Iterator<Item = PageId> + '_ {
+        (lo..hi.min(self.total)).filter_map(move |p| self.page_at(p))
+    }
+
+    /// Evenly spaced step boundaries for an `n`-step sweep: the `P` values
+    /// `P_1 < P_2 < … < P_n = total` (the last boundary is `Max`: once `P`
+    /// reaches it, nothing is pending — §3.4).
+    pub fn step_boundaries(&self, n: u32) -> Vec<u64> {
+        let n = n.max(1) as u64;
+        let mut out = Vec::with_capacity(n as usize);
+        for m in 1..=n {
+            out.push((self.total * m) / n);
+        }
+        // Guarantee the final boundary covers everything even for tiny
+        // domains, and strictly increasing boundaries elsewhere.
+        if let Some(last) = out.last_mut() {
+            *last = self.total;
+        }
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order() -> BackupOrder {
+        BackupOrder::new(vec![
+            (PartitionId(0), 10),
+            (PartitionId(2), 5),
+            (PartitionId(1), 3),
+        ])
+    }
+
+    #[test]
+    fn positions_follow_sweep_sequence() {
+        let o = order();
+        assert_eq!(o.pos(PageId::new(0, 0)), Some(0));
+        assert_eq!(o.pos(PageId::new(0, 9)), Some(9));
+        assert_eq!(o.pos(PageId::new(2, 0)), Some(10), "partition 2 swept second");
+        assert_eq!(o.pos(PageId::new(1, 2)), Some(17));
+        assert_eq!(o.pos(PageId::new(7, 0)), None);
+        assert_eq!(o.total(), 18);
+    }
+
+    #[test]
+    fn page_at_inverts_pos() {
+        let o = order();
+        for p in 0..o.total() {
+            let page = o.page_at(p).unwrap();
+            assert_eq!(o.pos(page), Some(p));
+        }
+        assert_eq!(o.page_at(18), None);
+    }
+
+    #[test]
+    fn pages_in_range() {
+        let o = order();
+        let pages: Vec<PageId> = o.pages_in(8, 12).collect();
+        assert_eq!(
+            pages,
+            vec![
+                PageId::new(0, 8),
+                PageId::new(0, 9),
+                PageId::new(2, 0),
+                PageId::new(2, 1)
+            ]
+        );
+        assert!(o.pages_in(17, 99).count() == 1, "hi clamped to total");
+    }
+
+    #[test]
+    fn step_boundaries_partition_the_domain() {
+        let o = order();
+        for n in [1u32, 2, 3, 8, 18, 100] {
+            let b = o.step_boundaries(n);
+            assert_eq!(*b.last().unwrap(), o.total());
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly increasing");
+            assert!(b.len() as u32 <= n.max(1));
+        }
+        assert_eq!(o.step_boundaries(1), vec![18]);
+        assert_eq!(o.step_boundaries(2), vec![9, 18]);
+    }
+
+    #[test]
+    fn covers() {
+        let o = order();
+        assert!(o.covers(PartitionId(1)));
+        assert!(!o.covers(PartitionId(3)));
+        let swept: Vec<PartitionId> = o.partitions().collect();
+        assert_eq!(swept, vec![PartitionId(0), PartitionId(2), PartitionId(1)]);
+    }
+}

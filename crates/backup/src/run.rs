@@ -1,0 +1,377 @@
+//! The backup sweep driver.
+//!
+//! A [`BackupRun`] copies one backup-order domain from `S` into an image in
+//! `N` steps, advancing the domain's [`crate::ProgressTracker`] between
+//! steps exactly as §3.4 prescribes:
+//!
+//! 1. `begin`: `D = Min`, `P = P₁` — the first step's range is immediately
+//!    in doubt, the rest pending;
+//! 2. each `step` copies the pages below the current `P` that are not yet
+//!    copied, then (under the exclusive backup latch) sets `D = P` and `P`
+//!    to the next boundary;
+//! 3. after the last step (`P = Max`, nothing pending), the tracker resets
+//!    to inactive (`D = P = Min`).
+//!
+//! The driver reads pages **directly from `S`** — never through the cache —
+//! which is the whole point of a high-speed fuzzy backup (§1.2). Atomicity
+//! with concurrent flushes is provided by the store's per-partition page
+//! lock ("coordination ... occurs at the disk arm").
+//!
+//! Stepping is pull-based so simulations can interleave workload operations
+//! between steps deterministically; for a live threaded backup, call
+//! [`BackupRun::run_to_completion`] from a spawned thread.
+
+use crate::coordinator::{BackupCoordinator, DomainId};
+use crate::error::BackupError;
+use crate::image::BackupImage;
+use lob_pagestore::{Lsn, PageId, PageImage, StableStore};
+use std::collections::HashSet;
+
+/// Configuration of one sweep.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Domain to sweep.
+    pub domain: DomainId,
+    /// Number of progress steps (`N`). One step degenerates to "backup in
+    /// progress" as the only information.
+    pub steps: u32,
+    /// For incremental backups: copy only these pages (cursors still sweep
+    /// the full order). `None` = full backup.
+    pub filter: Option<HashSet<PageId>>,
+    /// For incremental backups: the base image's id.
+    pub base: Option<u64>,
+}
+
+impl RunConfig {
+    /// A full backup of `domain` in `steps` steps.
+    pub fn full(domain: DomainId, steps: u32) -> RunConfig {
+        RunConfig {
+            domain,
+            steps,
+            filter: None,
+            base: None,
+        }
+    }
+
+    /// An incremental backup copying only `changed`, on top of `base`.
+    pub fn incremental(
+        domain: DomainId,
+        steps: u32,
+        changed: HashSet<PageId>,
+        base: u64,
+    ) -> RunConfig {
+        RunConfig {
+            domain,
+            steps,
+            filter: Some(changed),
+            base: Some(base),
+        }
+    }
+}
+
+/// An in-progress backup sweep of one domain.
+pub struct BackupRun {
+    backup_id: u64,
+    start_lsn: Lsn,
+    domain: DomainId,
+    boundaries: Vec<u64>,
+    cursor: u64,
+    next_step: usize,
+    image: PageImage,
+    filter: Option<HashSet<PageId>>,
+    base: Option<u64>,
+    finished: bool,
+    pages_copied: u64,
+}
+
+impl BackupRun {
+    /// Begin a sweep: activates the domain's tracker. `backup_id` and
+    /// `start_lsn` come from the engine (which logs the `BackupBegin`
+    /// record and pins the media barrier).
+    pub fn begin(
+        coordinator: &BackupCoordinator,
+        config: RunConfig,
+        backup_id: u64,
+        start_lsn: Lsn,
+    ) -> Result<BackupRun, BackupError> {
+        if config.steps == 0 {
+            return Err(BackupError::BadConfig("steps must be >= 1".into()));
+        }
+        let order = coordinator.order(config.domain)?;
+        if order.total() == 0 {
+            return Err(BackupError::BadConfig("empty domain".into()));
+        }
+        let boundaries = order.step_boundaries(config.steps);
+        let tracker = coordinator.tracker(config.domain)?;
+        if tracker.is_active() {
+            return Err(BackupError::BadState(
+                "a backup is already active in this domain".into(),
+            ));
+        }
+        tracker.begin(backup_id, boundaries[0]);
+        Ok(BackupRun {
+            backup_id,
+            start_lsn,
+            domain: config.domain,
+            boundaries,
+            cursor: 0,
+            next_step: 0,
+            image: PageImage::new(),
+            filter: config.filter,
+            base: config.base,
+            finished: false,
+            pages_copied: 0,
+        })
+    }
+
+    /// The run's backup id.
+    pub fn backup_id(&self) -> u64 {
+        self.backup_id
+    }
+
+    /// Steps remaining (including the one `step` would perform next).
+    pub fn steps_remaining(&self) -> usize {
+        self.boundaries.len() - self.next_step
+    }
+
+    /// Pages copied so far.
+    pub fn pages_copied(&self) -> u64 {
+        self.pages_copied
+    }
+
+    /// Whether the sweep has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Perform the next step: copy every (filtered) page in
+    /// `[cursor, next boundary)` from `S`, then advance the tracker.
+    /// Returns `true` when the sweep has completed.
+    pub fn step(
+        &mut self,
+        coordinator: &BackupCoordinator,
+        store: &StableStore,
+    ) -> Result<bool, BackupError> {
+        if self.finished {
+            return Err(BackupError::BadState("step after completion".into()));
+        }
+        let order = coordinator.order(self.domain)?;
+        let hi = self.boundaries[self.next_step];
+        for page_id in order.pages_in(self.cursor, hi) {
+            if let Some(f) = &self.filter {
+                if !f.contains(&page_id) {
+                    continue;
+                }
+            }
+            let page = store.read_page(page_id)?;
+            self.image.put(page_id, page);
+            self.pages_copied += 1;
+        }
+        self.cursor = hi;
+        self.next_step += 1;
+        let tracker = coordinator.tracker(self.domain)?;
+        if self.next_step == self.boundaries.len() {
+            tracker.finish();
+            self.finished = true;
+        } else {
+            tracker.advance(self.boundaries[self.next_step]);
+        }
+        Ok(self.finished)
+    }
+
+    /// Run every remaining step back to back (live threaded backup).
+    pub fn run_to_completion(
+        &mut self,
+        coordinator: &BackupCoordinator,
+        store: &StableStore,
+    ) -> Result<(), BackupError> {
+        while !self.step(coordinator, store)? {}
+        Ok(())
+    }
+
+    /// Abort the sweep: deactivate the tracker and discard the image.
+    pub fn abort(self, coordinator: &BackupCoordinator) {
+        if let Ok(t) = coordinator.tracker(self.domain) {
+            if !self.finished {
+                t.finish();
+            }
+        }
+    }
+
+    /// Consume a finished run into its [`BackupImage`].
+    pub fn into_image(self) -> Result<BackupImage, BackupError> {
+        if !self.finished {
+            return Err(BackupError::BadState(
+                "into_image before the sweep completed".into(),
+            ));
+        }
+        Ok(BackupImage {
+            backup_id: self.backup_id,
+            start_lsn: self.start_lsn,
+            // The engine stamps the completion frontier when it logs the
+            // BackupEnd record; the run itself does not see the log.
+            end_lsn: Lsn::NULL,
+            pages: self.image,
+            complete: true,
+            incremental: self.filter.is_some(),
+            base: self.base,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::Region;
+    use bytes::Bytes;
+    use lob_pagestore::{Page, PartitionId, StoreConfig};
+
+    fn setup(pages: u32) -> (StableStore, BackupCoordinator) {
+        let store = StableStore::single(StoreConfig { page_size: 8 }, pages);
+        for i in 0..pages {
+            store
+                .write_page(
+                    PageId::new(0, i),
+                    Page::new(Lsn(i as u64 + 1), Bytes::from(vec![i as u8; 8])),
+                )
+                .unwrap();
+        }
+        let coord = BackupCoordinator::sequential(vec![(PartitionId(0), pages)]);
+        (store, coord)
+    }
+
+    #[test]
+    fn full_sweep_copies_everything() {
+        let (store, coord) = setup(16);
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        assert!(coord.tracker(DomainId(0)).unwrap().is_active());
+        let mut steps = 0;
+        while !run.step(&coord, &store).unwrap() {
+            steps += 1;
+        }
+        assert_eq!(steps + 1, 4);
+        assert!(!coord.tracker(DomainId(0)).unwrap().is_active());
+        let img = run.into_image().unwrap();
+        assert!(img.complete);
+        assert_eq!(img.page_count(), 16);
+        assert_eq!(
+            img.pages.get(PageId::new(0, 7)).unwrap().data()[0],
+            7,
+            "page contents captured"
+        );
+    }
+
+    #[test]
+    fn tracker_progresses_with_steps() {
+        let (store, coord) = setup(16);
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        {
+            let latch = coord.latch_for(&[PageId::new(0, 0)]);
+            assert_eq!(latch.classify(PageId::new(0, 0)), Region::Doubt);
+            assert_eq!(latch.classify(PageId::new(0, 8)), Region::Pend);
+        }
+        run.step(&coord, &store).unwrap(); // copied [0,4), now D=4 P=8
+        {
+            let latch = coord.latch_for(&[PageId::new(0, 0)]);
+            assert_eq!(latch.classify(PageId::new(0, 0)), Region::Done);
+            assert_eq!(latch.classify(PageId::new(0, 5)), Region::Doubt);
+            assert_eq!(latch.classify(PageId::new(0, 8)), Region::Pend);
+        }
+        run.run_to_completion(&coord, &store).unwrap();
+        assert!(run.is_finished());
+    }
+
+    #[test]
+    fn one_step_run_works() {
+        let (store, coord) = setup(8);
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
+        assert!(run.step(&coord, &store).unwrap());
+        assert_eq!(run.pages_copied(), 8);
+    }
+
+    #[test]
+    fn concurrent_run_in_same_domain_rejected() {
+        let (_store, coord) = setup(8);
+        let _run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
+        assert!(matches!(
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 2, Lsn(1)),
+            Err(BackupError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn abort_releases_tracker() {
+        let (store, coord) = setup(8);
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        run.step(&coord, &store).unwrap();
+        run.abort(&coord);
+        assert!(!coord.tracker(DomainId(0)).unwrap().is_active());
+        // A new run can start.
+        BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 2, Lsn(1)).unwrap();
+    }
+
+    #[test]
+    fn incremental_filter_restricts_copying() {
+        let (store, coord) = setup(16);
+        let changed: HashSet<PageId> =
+            [PageId::new(0, 3), PageId::new(0, 12)].into_iter().collect();
+        let mut run = BackupRun::begin(
+            &coord,
+            RunConfig::incremental(DomainId(0), 4, changed, 1),
+            2,
+            Lsn(5),
+        )
+        .unwrap();
+        run.run_to_completion(&coord, &store).unwrap();
+        let img = run.into_image().unwrap();
+        assert!(img.incremental);
+        assert_eq!(img.base, Some(1));
+        assert_eq!(img.page_count(), 2);
+        assert!(img.pages.contains(PageId::new(0, 3)));
+        assert!(img.pages.contains(PageId::new(0, 12)));
+    }
+
+    #[test]
+    fn misuse_is_rejected() {
+        let (store, coord) = setup(8);
+        assert!(matches!(
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 0), 1, Lsn(1)),
+            Err(BackupError::BadConfig(_))
+        ));
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
+        run.step(&coord, &store).unwrap();
+        assert!(matches!(
+            run.step(&coord, &store),
+            Err(BackupError::BadState(_))
+        ));
+    }
+
+    #[test]
+    fn media_failure_mid_sweep_surfaces() {
+        let (store, coord) = setup(8);
+        store.fail_range(PartitionId(0), 4, 5).unwrap();
+        let mut run =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
+        run.step(&coord, &store).unwrap(); // [0,4) fine
+        assert!(matches!(
+            run.step(&coord, &store),
+            Err(BackupError::Store(_))
+        ));
+    }
+
+    #[test]
+    fn into_image_requires_completion() {
+        let (_store, coord) = setup(8);
+        let run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
+        assert!(matches!(
+            run.into_image(),
+            Err(BackupError::BadState(_))
+        ));
+    }
+}

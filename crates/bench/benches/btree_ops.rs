@@ -1,0 +1,68 @@
+//! Criterion bench: B-tree insert throughput under the two split-logging
+//! modes, with and without an active on-line backup.
+//!
+//! The interesting comparison: logical splits write far less log, and the
+//! active-backup overhead (latch + decision per flush) is small.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lob_btree::{BTree, SplitLogging};
+use lob_core::{Discipline, Engine, EngineConfig, PartitionId};
+
+const PAGE_SIZE: usize = 512;
+const PAGES: u32 = 4096;
+const INSERTS: u32 = 1500;
+
+fn bulk_load(mode: SplitLogging, with_backup: bool) {
+    let mut engine = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        ..EngineConfig::single(PAGES, PAGE_SIZE)
+    })
+    .expect("engine");
+    let tree = BTree::create(&mut engine, PartitionId(0), mode).expect("create");
+    let mut run = if with_backup {
+        Some(engine.begin_backup(8).expect("begin"))
+    } else {
+        None
+    };
+    for i in 0..INSERTS {
+        let key = format!("k{i:06}");
+        let val = format!("value-{i:06}");
+        tree.insert(&mut engine, key.as_bytes(), val.as_bytes())
+            .expect("insert");
+        if i % 64 == 0 {
+            engine.flush_page(tree.meta_page()).expect("flush");
+        }
+        if i % 200 == 199 {
+            if let Some(r) = run.as_mut() {
+                if engine.backup_step(r).expect("step") {
+                    let r = run.take().unwrap();
+                    engine.complete_backup(r).expect("complete");
+                }
+            }
+        }
+    }
+    if let Some(mut r) = run.take() {
+        while !engine.backup_step(&mut r).expect("step") {}
+        engine.complete_backup(r).expect("complete");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree_bulk_load");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("logical_splits", SplitLogging::Logical),
+        ("page_oriented_splits", SplitLogging::PageOriented),
+    ] {
+        g.bench_function(BenchmarkId::new(name, "no_backup"), |b| {
+            b.iter(|| bulk_load(mode, false))
+        });
+        g.bench_function(BenchmarkId::new(name, "online_backup"), |b| {
+            b.iter(|| bulk_load(mode, true))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

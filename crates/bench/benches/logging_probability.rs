@@ -1,0 +1,34 @@
+//! Criterion bench: cost of the Figure 5 measurement loop itself —
+//! operation execution + flush with an active backup, i.e. the per-flush
+//! overhead of the backup-latch / decision / Iw/oF path for both
+//! disciplines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lob_harness::{run_fig5, Fig5Config, SimDiscipline};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_measurement");
+    g.sample_size(10);
+    for n in [1u32, 8] {
+        g.bench_function(BenchmarkId::new("general", n), |b| {
+            b.iter(|| {
+                let mut cfg = Fig5Config::new(n, SimDiscipline::General);
+                cfg.pages = 512;
+                cfg.flushes_per_step = 512 / n;
+                run_fig5(&cfg).expect("run")
+            })
+        });
+        g.bench_function(BenchmarkId::new("tree", n), |b| {
+            b.iter(|| {
+                let mut cfg = Fig5Config::new(n, SimDiscipline::Tree);
+                cfg.pages = 2048;
+                cfg.flushes_per_step = 512 / n;
+                run_fig5(&cfg).expect("run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench: write-graph maintenance cost, `W` vs `rW`.
+//!
+//! Measures `add_op` + frontier-install throughput for a random logical
+//! workload under both constructions. The refined graph does more work per
+//! insertion (steals, inverse edges) but keeps nodes small; the
+//! intersecting graph degenerates into few huge nodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lob_core::{GraphMode, Lsn, PageId};
+use lob_harness::WorkloadGen;
+use lob_recovery::WriteGraph;
+
+fn churn(mode: GraphMode, ops: u64, pages: u32) {
+    let mut graph = WriteGraph::new(mode);
+    let mut gen = WorkloadGen::new(5, 64);
+    let ids: Vec<PageId> = (0..pages).map(|i| PageId::new(0, i)).collect();
+    for i in 0..ops {
+        let body = if gen.chance(0.3) {
+            let p = ids[gen.below(ids.len())];
+            gen.physical(p)
+        } else if gen.chance(0.5) {
+            gen.mix(&ids, 2, 2)
+        } else {
+            let p = ids[gen.below(ids.len())];
+            gen.physio(p)
+        };
+        graph.add_op(Lsn(i + 1), &body);
+        // Keep the graph bounded the way a cache manager would: install the
+        // frontier every few operations.
+        if i % 8 == 0 {
+            for node in graph.frontier() {
+                let _ = graph.install_node(node);
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("write_graph_churn");
+    for pages in [64u32, 512] {
+        g.bench_function(BenchmarkId::new("intersecting_W", pages), |b| {
+            b.iter(|| churn(GraphMode::Intersecting, 2000, pages))
+        });
+        g.bench_function(BenchmarkId::new("refined_rW", pages), |b| {
+            b.iter(|| churn(GraphMode::Refined, 2000, pages))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **Figure 1** — why fuzzy dumps break under logical logging.
+//!
+//! Part 1 runs the paper's exact counterexample: a logically-logged B-tree
+//! split (`MovRec` + `RmvRec`) races a two-step backup so that the backup
+//! captures `new` before the split and `old` after it. The conventional
+//! fuzzy dump loses the moved records — they are in neither the backup nor
+//! the log. The paper's protocol logs an identity write and recovers
+//! exactly.
+//!
+//! Part 2 generalizes: many randomized sessions with logical operations and
+//! interleaved backups, media-recovering each and checking against the
+//! shadow oracle. The naive dump fails a substantial fraction of the time;
+//! the protocol never fails.
+
+use lob_core::{BackupPolicy, Discipline};
+use lob_harness::{fig1_split_scenario, random_session, SessionConfig, Table};
+
+fn main() {
+    println!("Part 1 — the paper's Figure 1 scenario, executed");
+    println!();
+    let mut t = Table::new(vec![
+        "backup policy",
+        "records before",
+        "records after recovery",
+        "Iw/oF records",
+        "data intact",
+    ]);
+    for (name, policy) in [
+        ("naive fuzzy dump", BackupPolicy::NaiveFuzzy),
+        ("paper protocol", BackupPolicy::Protocol),
+    ] {
+        let out = fig1_split_scenario(policy).expect("scenario");
+        t.row(vec![
+            name.to_string(),
+            out.records_expected.to_string(),
+            out.records_found.to_string(),
+            out.iwof_records.to_string(),
+            if out.data_intact { "yes".into() } else { "NO — unrecoverable".to_string() },
+        ]);
+    }
+    println!("{t}");
+
+    println!("Part 2 — randomized sessions (media recovery vs shadow oracle)");
+    println!();
+    let sessions = 60u64;
+    let mut t2 = Table::new(vec!["policy", "discipline", "sessions", "recovery failures"]);
+    for (pname, policy) in [
+        ("naive fuzzy dump", BackupPolicy::NaiveFuzzy),
+        ("paper protocol", BackupPolicy::Protocol),
+    ] {
+        for (dname, discipline) in [
+            ("tree ops", Discipline::Tree),
+            ("general ops", Discipline::General),
+        ] {
+            let mut failures = 0;
+            for seed in 0..sessions {
+                let mut cfg = SessionConfig::protocol(seed, discipline);
+                cfg.policy = policy;
+                let rep = random_session(&cfg).expect("session");
+                if !rep.verified {
+                    failures += 1;
+                }
+            }
+            t2.row(vec![
+                pname.to_string(),
+                dname.to_string(),
+                sessions.to_string(),
+                failures.to_string(),
+            ]);
+        }
+    }
+    println!("{t2}");
+    println!(
+        "(page-oriented operations make the naive dump correct — that is §1.2's \
+conventional case; the failures above are exactly the logical-operation gap \
+the paper closes.)"
+    );
+}

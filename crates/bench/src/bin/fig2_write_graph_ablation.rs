@@ -1,0 +1,81 @@
+//! **Figure 2 / §2.4–2.5** — why the refined write graph exists.
+//!
+//! Under the intersecting-writes graph `W`, objects can never leave an
+//! atomic flush set: "`|vars(n)|` increases monotonically, resulting in
+//! ever larger atomic flushes ... This is highly unsatisfactory." The
+//! refined graph `rW` lets blind writes (and cache-manager identity
+//! writes) shrink flush sets.
+//!
+//! This experiment feeds the same random logical workload (overlapping
+//! write sets, a mix of blind physical writes and multi-page `Mix` ops)
+//! through both constructions and reports the atomic-flush-set sizes the
+//! cache manager would have to honour.
+
+use lob_core::{GraphMode, Lsn, OpBody, PageId};
+use lob_harness::{Table, WorkloadGen};
+use lob_recovery::WriteGraph;
+
+fn run(mode: GraphMode, ops: u32, pages: u32, seed: u64) -> (usize, f64, usize) {
+    let mut graph = WriteGraph::new(mode);
+    let mut gen = WorkloadGen::new(seed, 64);
+    let ids: Vec<PageId> = (0..pages).map(|i| PageId::new(0, i)).collect();
+    for i in 0..ops {
+        let body: OpBody = if gen.chance(0.3) {
+            let p = ids[gen.below(ids.len())];
+            gen.physical(p) // blind write
+        } else if gen.chance(0.5) {
+            gen.mix(&ids, 2, 2)
+        } else {
+            let p = ids[gen.below(ids.len())];
+            gen.physio(p)
+        };
+        graph.add_op(Lsn(i as u64 + 1), &body);
+        graph.check_invariants().expect("graph invariants");
+    }
+    let sizes: Vec<usize> = graph
+        .node_ids()
+        .map(|n| graph.vars(n).unwrap().len())
+        .collect();
+    let mean = if sizes.is_empty() {
+        0.0
+    } else {
+        sizes.iter().sum::<usize>() as f64 / sizes.len() as f64
+    };
+    (graph.max_vars_seen(), mean, graph.node_count())
+}
+
+fn main() {
+    println!("Figure 2 ablation — atomic flush set sizes: W vs rW");
+    println!("(same workload, no flushing: worst-case accumulation)");
+    println!();
+    let mut t = Table::new(vec![
+        "ops",
+        "pages",
+        "W max |vars|",
+        "W mean |vars|",
+        "W nodes",
+        "rW max |vars|",
+        "rW mean |vars|",
+        "rW nodes",
+    ]);
+    for (ops, pages) in [(64u32, 64u32), (256, 64), (1024, 64), (1024, 256)] {
+        let (wmax, wmean, wnodes) = run(GraphMode::Intersecting, ops, pages, 42);
+        let (rmax, rmean, rnodes) = run(GraphMode::Refined, ops, pages, 42);
+        t.row(vec![
+            ops.to_string(),
+            pages.to_string(),
+            wmax.to_string(),
+            format!("{wmean:.1}"),
+            wnodes.to_string(),
+            rmax.to_string(),
+            format!("{rmean:.1}"),
+            rnodes.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "W's flush sets grow toward the whole touched database (monotone \
+merging); rW keeps them near the per-operation write-set size, which is \
+what makes Iw/oF — and therefore the backup protocol — possible."
+    );
+}

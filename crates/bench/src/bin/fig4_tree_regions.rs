@@ -1,0 +1,87 @@
+//! **Figure 4 / §4.2** — the tree-operation decision regions.
+//!
+//! The paper plots the ⟨#X, #S(X)⟩ plane and shades where flushing `X`
+//! requires Iw/oF logging. This experiment reproduces the plot from the
+//! *implemented* decision rule: for fixed cursors `D` and `P` it evaluates
+//! [`lob_backup::needs_iwof_tree`] over a grid of X-positions and
+//! single-successor positions, rendering `#` where logging is required —
+//! then checks the shaded area against the region algebra
+//! (`¬Pend(X) & ¬Done(S) & ¬†`).
+
+use lob_backup::{needs_iwof_tree, Region, SuccMeta};
+
+fn classify(pos: u64, d: u64, p: u64) -> Region {
+    if pos < d {
+        Region::Done
+    } else if pos >= p {
+        Region::Pend
+    } else {
+        Region::Doubt
+    }
+}
+
+fn main() {
+    let (total, d, p) = (30u64, 10u64, 20u64);
+    println!("Figure 4 — where a tree-operation flush of X needs Iw/oF");
+    println!("(grid over #X (rows) and #S(X) (cols); D = {d}, P = {p}; '#' = log)");
+    println!();
+    print!("      ");
+    for sy in 0..total {
+        print!("{}", if sy == d { "D" } else if sy == p { "P" } else { " " });
+    }
+    println!();
+
+    let mut disagreements = 0;
+    for sx in 0..total {
+        let marker = if sx == d {
+            "D"
+        } else if sx == p {
+            "P"
+        } else {
+            " "
+        };
+        print!("{marker}{sx:>4} ");
+        for sy in 0..total {
+            if sy == sx {
+                print!("·"); // X is its own position; no self successor
+                continue;
+            }
+            let meta = SuccMeta {
+                min: sy,
+                max: sy,
+                violation: sx < sy,
+                foreign: false,
+                links: 1,
+            };
+            let rx = classify(sx, d, p);
+            let logged = needs_iwof_tree(rx, Some(&meta), |pos| classify(pos, d, p));
+
+            // Region algebra from the paper's figure.
+            let ry = classify(sy, d, p);
+            let expected = match (rx, ry) {
+                (Region::Pend, _) => false,
+                (_, Region::Done) => false,
+                (Region::Done, _) => true,
+                (Region::Doubt, Region::Pend) => true,
+                (Region::Doubt, Region::Doubt) => sx < sy, // † decides
+                _ => unreachable!(),
+            };
+            if logged != expected {
+                disagreements += 1;
+            }
+            print!("{}", if logged { '#' } else { '.' });
+        }
+        println!();
+    }
+    println!();
+    if disagreements == 0 {
+        println!(
+            "implemented decision rule agrees with the Figure 4 region algebra \
+on all {} grid points. ok",
+            total * (total - 1)
+        );
+    } else {
+        println!("DISAGREEMENTS: {disagreements}");
+        std::process::exit(1);
+    }
+}

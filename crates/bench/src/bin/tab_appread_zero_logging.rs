@@ -1,0 +1,112 @@
+//! **§6.2** — application reads with applications backed up last.
+//!
+//! "If applications are the last objects included in a backup, we guarantee
+//! that the † property holds ..., and no Iw/oF logging is incurred for
+//! backup." This experiment runs identical application-recovery workloads
+//! (`R(X, A)` / `Ex(A)` / `W_L(A, X)`) under three backup orderings and
+//! counts identity writes; each run media-recovers from its backup and
+//! checks the application states byte-for-byte.
+
+use bytes::Bytes;
+use lob_apprec::{apps_first_config, apps_last_config, Application, APP_PARTITION, DATA_PARTITION};
+use lob_core::{Engine, EngineConfig, OpBody, PageId};
+use lob_harness::Table;
+
+const DATA_PAGES: u32 = 256;
+const APPS: u32 = 8;
+const PAGE_SIZE: usize = 128;
+
+fn run(config: EngineConfig) -> (u64, u64, bool) {
+    let mut engine = Engine::new(config).expect("engine");
+    let apps: Vec<Application> = (0..APPS)
+        .map(|_| Application::launch(&mut engine, APP_PARTITION).expect("launch"))
+        .collect();
+    let inputs: Vec<PageId> = (0..DATA_PAGES / 2)
+        .map(|_| engine.alloc_page(DATA_PARTITION).unwrap())
+        .collect();
+    for (i, &p) in inputs.iter().enumerate() {
+        engine
+            .execute(OpBody::PhysicalWrite {
+                target: p,
+                value: Bytes::from(vec![(i % 251) as u8 + 1; PAGE_SIZE]),
+            })
+            .expect("input");
+    }
+    engine.flush_all().expect("quiesce");
+
+    // On-line backup with the application workload interleaved; flush
+    // applications mid-backup so the ordering question actually bites.
+    let mut run = engine.begin_backup(8).expect("begin");
+    let mut step = 0usize;
+    loop {
+        for (i, app) in apps.iter().enumerate() {
+            let input = inputs[(step * APPS as usize + i) % inputs.len()];
+            app.read(&mut engine, input).expect("R");
+            app.exec(&mut engine, (step * 31 + i) as u64).expect("Ex");
+            engine.flush_page(app.state_page()).expect("flush app");
+        }
+        step += 1;
+        if engine.backup_step(&mut run).expect("step") {
+            break;
+        }
+    }
+    let decisions = engine.coordinator().stats().snapshot().0;
+    let iwof = engine.stats().iwof_records;
+    let image = engine.complete_backup(run).expect("complete");
+
+    // Verify the backup actually recovers the application states.
+    let want: Vec<Bytes> = apps
+        .iter()
+        .map(|a| engine.read_page(a.state_page()).unwrap().data().clone())
+        .collect();
+    engine
+        .store()
+        .fail_partition(APP_PARTITION)
+        .expect("fail apps");
+    engine
+        .store()
+        .fail_partition(DATA_PARTITION)
+        .expect("fail data");
+    engine.media_recover(&image).expect("recover");
+    let ok = apps
+        .iter()
+        .zip(&want)
+        .all(|(a, w)| engine.store().read_page(a.state_page()).unwrap().data() == w);
+    (decisions, iwof, ok)
+}
+
+fn main() {
+    println!("§6.2 — Iw/oF logging for application reads under different backup orders");
+    println!();
+    let mut t = Table::new(vec![
+        "backup order",
+        "active flush decisions",
+        "Iw/oF records",
+        "recovery",
+    ]);
+    for (name, cfg) in [
+        (
+            "data first, applications last (paper §6.2)",
+            apps_last_config(DATA_PAGES, APPS + 2, PAGE_SIZE),
+        ),
+        (
+            "applications first (adversarial)",
+            apps_first_config(DATA_PAGES, APPS + 2, PAGE_SIZE),
+        ),
+    ] {
+        let (decisions, iwof, ok) = run(cfg);
+        t.row(vec![
+            name.to_string(),
+            decisions.to_string(),
+            iwof.to_string(),
+            if ok { "ok".into() } else { "FAILED".to_string() },
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "With applications last, every successor of an application state \
+precedes it in the backup order, so the dagger property always holds and \
+no identity writes are needed — 'yet another example of how constraining \
+operations can increase efficiency.'"
+    );
+}

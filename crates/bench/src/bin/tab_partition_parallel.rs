@@ -1,0 +1,190 @@
+//! **§3.4** — partition-parallel backup.
+//!
+//! "It is possible to divide the database into disjoint partitions, and to
+//! independently track backup progress in each partition. This permits us
+//! to back up partitions in parallel." With per-partition tracking (and
+//! operations confined to one partition, which the engine enforces — also
+//! making the partition the unit of media recovery, §6.3), each partition
+//! gets its own backup order, tracker, and latch; sweeps run on real
+//! threads against the shared stable store while the engine keeps
+//! executing and flushing.
+//!
+//! Reported: wall time of backing up all partitions sequentially vs with
+//! one thread per partition, plus a media-recovery check of the combined
+//! images against the shadow oracle.
+
+use lob_core::{
+    BackupImage, BackupPolicy, Discipline, DomainId, Engine, EngineConfig, Lsn, PageId,
+    PartitionId, PartitionSpec, Tracking,
+};
+use lob_harness::{ShadowOracle, Table, WorkloadGen};
+use std::time::Instant;
+
+const PARTITIONS: u32 = 8;
+const PAGES_PER_PARTITION: u32 = 4096;
+const PAGE_SIZE: usize = 1024;
+
+fn build() -> (Engine, ShadowOracle, WorkloadGen) {
+    let mut engine = Engine::new(EngineConfig {
+        page_size: PAGE_SIZE,
+        partitions: (0..PARTITIONS)
+            .map(|_| PartitionSpec {
+                pages: PAGES_PER_PARTITION,
+            })
+            .collect(),
+        discipline: Discipline::General,
+        graph_mode: lob_core::GraphMode::Refined,
+        tracking: Tracking::PerPartition,
+        cache_capacity: None,
+        policy: BackupPolicy::Protocol,
+        log: lob_core::LogBacking::Memory,
+    })
+    .expect("engine");
+    let mut oracle = ShadowOracle::new(PAGE_SIZE);
+    let mut gen = WorkloadGen::new(4242, PAGE_SIZE);
+    for p in 0..PARTITIONS {
+        for i in 0..PAGES_PER_PARTITION {
+            let op = gen.physical(PageId::new(p, i));
+            oracle.execute(&mut engine, op).expect("prefill");
+        }
+    }
+    engine.flush_all().expect("quiesce");
+    (engine, oracle, gen)
+}
+
+fn workload_ops(engine: &mut Engine, oracle: &mut ShadowOracle, gen: &mut WorkloadGen, n: u32) {
+    for _ in 0..n {
+        // Partition-confined ops, as per-partition tracking requires.
+        let p = gen.below(PARTITIONS as usize) as u32;
+        let pages: Vec<PageId> = (0..PAGES_PER_PARTITION)
+            .map(|i| PageId::new(p, i))
+            .collect();
+        let op = gen.mix(&pages, 2, 2);
+        oracle.execute(engine, op).expect("op");
+        if gen.chance(0.5) {
+            let dirty = engine.cache().dirty_pages();
+            if !dirty.is_empty() {
+                let victim = dirty[gen.below(dirty.len())];
+                engine.flush_page(victim).expect("flush");
+            }
+        }
+    }
+}
+
+fn main() {
+    println!(
+        "§3.4 — partition-parallel backup: {PARTITIONS} partitions x \
+{PAGES_PER_PARTITION} pages x {PAGE_SIZE} B"
+    );
+    println!();
+
+    // Sequential: sweep domains one after another on the engine thread
+    // (pure sweep time — the parallel case measures its sweep threads the
+    // same way).
+    let seq_wall;
+    {
+        let (mut engine, _oracle, _gen) = build();
+        let start = Instant::now();
+        for d in 0..PARTITIONS {
+            let mut run = engine
+                .begin_backup_of(DomainId(d), 8)
+                .expect("begin");
+            run.run_to_completion(engine.coordinator(), engine.store())
+                .expect("sweep");
+            let img = engine.complete_backup(run).expect("complete");
+            engine.release_backup(img.backup_id);
+        }
+        seq_wall = start.elapsed();
+    }
+
+    // Parallel: one thread per partition sweeps its domain concurrently
+    // with the engine's update workload.
+    let (mut engine, mut oracle, mut gen) = build();
+    let start = Instant::now();
+    let mut runs = Vec::new();
+    for d in 0..PARTITIONS {
+        runs.push(engine.begin_backup_of(DomainId(d), 8).expect("begin"));
+    }
+    let coordinator = engine.coordinator().clone();
+    let store = engine.store().clone();
+    let (finished, par_wall) = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .into_iter()
+            .map(|mut run| {
+                let coordinator = &coordinator;
+                let store = &store;
+                scope.spawn(move |_| {
+                    run.run_to_completion(coordinator, store).expect("sweep");
+                    (run, Instant::now())
+                })
+            })
+            .collect();
+        // The engine keeps working while the sweeps run — the "on-line" in
+        // on-line backup; its cost is not charged to the sweep.
+        workload_ops(&mut engine, &mut oracle, &mut gen, 64);
+        let mut finished = Vec::new();
+        let mut last = start;
+        for h in handles {
+            let (run, t) = h.join().expect("join");
+            finished.push(run);
+            last = last.max(t);
+        }
+        (finished, last - start)
+    })
+    .expect("scope");
+
+    let mut images: Vec<BackupImage> = Vec::new();
+    for run in finished {
+        images.push(engine.complete_backup(run).expect("complete"));
+    }
+
+    // Combine the per-partition images into one restore point and verify.
+    let mut combined = images[0].clone();
+    for img in &images[1..] {
+        combined.pages.overlay(&img.pages);
+        combined.start_lsn = combined.start_lsn.min(img.start_lsn);
+    }
+    for p in 0..PARTITIONS {
+        engine.store().fail_partition(PartitionId(p)).expect("fail");
+    }
+    engine.media_recover(&combined).expect("recover");
+    let ok = oracle.verify_store(&engine, Lsn::MAX).is_ok();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut t = Table::new(vec!["mode", "wall ms", "ratio", "recovery"]);
+    t.row(vec![
+        "sequential (1 sweep at a time)".to_string(),
+        format!("{:.1}", seq_wall.as_secs_f64() * 1e3),
+        "1.0x".to_string(),
+        "-".to_string(),
+    ]);
+    t.row(vec![
+        format!("parallel ({PARTITIONS} sweep threads)"),
+        format!("{:.1}", par_wall.as_secs_f64() * 1e3),
+        format!(
+            "{:.1}x",
+            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
+        ),
+        if ok { "ok".into() } else { "FAILED".to_string() },
+    ]);
+    println!("{t}");
+    println!("host parallelism: {cores} core(s)");
+    if cores == 1 {
+        println!(
+            "NOTE: on a single-core host the parallel sweep cannot beat the \
+sequential one; what this experiment establishes here is *correctness \
+under real concurrency* — eight sweep threads share the store with the \
+updating engine, per-partition trackers never contend on a shared cursor, \
+and the combined per-partition images media-recover exactly. On \
+multi-core hosts the sweeps scale with memory bandwidth."
+        );
+    } else {
+        println!(
+            "Per-partition D/P tracking means the sweeps never contend on \
+a shared cursor; the engine's flushes latch only the partition they touch."
+        );
+    }
+    assert!(ok, "combined partition images must media-recover exactly");
+}

@@ -1,0 +1,65 @@
+//! **§5.2's caveats, measured** — the paper's tree-operation analysis
+//! assumes every flushed object has exactly one successor and admits this
+//! "is not realistic. First, an object might have no successors and be
+//! flushed without extra logging. ... Second, an object may have more than
+//! one successor." This experiment measures both deviations:
+//!
+//! * a *no-successor mix* flushes blind-initialized fresh pages half the
+//!   time — the measured Iw/oF frequency falls **below** the closed form;
+//! * a *chain-heavy mix* copies from recently created pages, growing
+//!   transitive `MAX(X)` spans (and † violations) — the measured frequency
+//!   rises **above** the closed form.
+//!
+//! Every run still ends in an oracle-verified media recovery: the protocol
+//! is exact regardless of how loose the cost model is.
+
+use lob_harness::report::f4;
+use lob_harness::{run_fig5, Fig5Config, SimDiscipline, Table};
+
+fn run(n: u32, no_succ: f64, chain_len: u32) -> lob_harness::Fig5Result {
+    let mut cfg = Fig5Config::new(n, SimDiscipline::Tree);
+    cfg.pages = 16 * 1024;
+    cfg.flushes_per_step = (8192 / n).clamp(16, 512);
+    cfg.tree_no_successor_frac = no_succ;
+    cfg.tree_chain_len = chain_len;
+    cfg.verify_recovery = true;
+    run_fig5(&cfg).expect("run")
+}
+
+fn main() {
+    println!("§5.2 caveats — measured Iw/oF frequency when |S(X)| deviates from 1");
+    println!();
+    let mut t = Table::new(vec![
+        "N",
+        "model (|S|=1)",
+        "measured |S|=1",
+        "50% no-successor",
+        "chains (len 4)",
+        "recovery",
+    ]);
+    for n in [2u32, 4, 8, 16, 32] {
+        let base = run(n, 0.0, 0);
+        let nosucc = run(n, 0.5, 0);
+        let chains = run(n, 0.0, 4);
+        t.row(vec![
+            n.to_string(),
+            f4(base.predicted),
+            f4(base.measured),
+            f4(nosucc.measured),
+            f4(chains.measured),
+            if base.recovery_ok && nosucc.recovery_ok && chains.recovery_ok {
+                "ok".to_string()
+            } else {
+                "FAILED".to_string()
+            },
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "As §5.2 predicts: successor-free flushes need no extra logging \
+(the analysis \"surely overstates the logging cost\"), while transitive \
+successor chains widen MAX(X) spans and violate the dagger property more \
+often. Recovery is exact in every configuration — the cost model is \
+approximate, the protocol is not."
+    );
+}

@@ -1,0 +1,79 @@
+//! # lob-bench — experiments and benches
+//!
+//! One binary per paper artifact (see DESIGN.md §5 for the full index):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig1_split_counterexample` | Figure 1 — naive fuzzy dump loses a logical split |
+//! | `fig2_write_graph_ablation` | Figure 2 / §2.4 — `W` vs `rW` flush-set growth |
+//! | `fig3_progress_fractions`   | Figure 3 / §3.4 — Done/Doubt/Pend fractions |
+//! | `fig4_tree_regions`         | Figure 4 / §4.2 — tree-op Iw/oF decision regions |
+//! | `fig5_logging_probability`  | **Figure 5 / §5** — extra-logging probability vs `N` |
+//! | `tab_logging_economy`       | §1.1 — log bytes, logical vs page-oriented |
+//! | `tab_backup_throughput`     | §1.2/§1.4 — backup strategy costs |
+//! | `tab_amortized_overhead`    | §5.3 — overhead at realistic backup duty cycles |
+//! | `tab_steps_sweep`           | §5.3 — extra-log bytes vs `N` |
+//! | `tab_incremental`           | §6.1 — incremental backup volume & correctness |
+//! | `tab_appread_zero_logging`  | §6.2 — applications-last ordering needs no Iw/oF |
+//! | `tab_partition_parallel`    | §3.4 — partition-parallel backup |
+//! | `tab_succ_structure`        | §5.2's caveats — successor-structure ablation |
+//!
+//! Run any of them with
+//! `cargo run -p lob-bench --release --bin <name>`; each prints the table
+//! quoted in EXPERIMENTS.md. Criterion benches (`cargo bench -p lob-bench`)
+//! time the hot paths: backup strategies, write-graph maintenance, the
+//! Figure 5 simulation, and B-tree operations under both split-logging
+//! modes.
+
+use lob_core::{BackupPolicy, Discipline, Engine, EngineConfig, PageId};
+use lob_harness::{ShadowOracle, WorkloadGen};
+
+/// Build a quiesced single-partition engine prefilled on every page.
+///
+/// Shared by the throughput experiments so each strategy starts from an
+/// identical database.
+pub fn prefilled_engine(
+    pages: u32,
+    page_size: usize,
+    discipline: Discipline,
+    policy: BackupPolicy,
+    seed: u64,
+) -> (Engine, ShadowOracle, WorkloadGen) {
+    let mut engine = Engine::new(EngineConfig {
+        discipline,
+        policy,
+        ..EngineConfig::single(pages, page_size)
+    })
+    .expect("engine config");
+    let mut oracle = ShadowOracle::new(page_size);
+    let mut gen = WorkloadGen::new(seed, page_size);
+    for i in 0..pages {
+        let op = gen.physical(PageId::new(0, i));
+        oracle
+            .execute(&mut engine, op)
+            .expect("prefill");
+    }
+    engine.flush_all().expect("prefill flush");
+    engine.coordinator().stats().reset();
+    (engine, oracle, gen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefilled_engine_is_quiesced() {
+        let (engine, oracle, _) = prefilled_engine(
+            16,
+            64,
+            Discipline::General,
+            BackupPolicy::Protocol,
+            1,
+        );
+        assert_eq!(engine.cache().dirty_count(), 0);
+        assert!(engine.graph().is_empty());
+        assert_eq!(oracle.len(), 16);
+        assert!(oracle.verify_store(&engine, lob_core::Lsn::MAX).is_ok());
+    }
+}

@@ -1,0 +1,1543 @@
+//! The engine.
+
+use crate::config::{BackupPolicy, Discipline, EngineConfig, LogBacking, Tracking};
+use crate::error::EngineError;
+use crate::stats::EngineStats;
+use bytes::Bytes;
+use lob_backup::{
+    BackupCoordinator, BackupImage, BackupRun, DomainId, RunConfig, SuccessorTable,
+};
+use lob_cache::{CacheManager, CacheReader};
+use lob_ops::{OpBody, TreeForm};
+use lob_pagestore::{Lsn, Page, PageId, PageImage, PartitionId, StableStore, StoreConfig};
+use lob_recovery::redo::StoreRedoTarget;
+use lob_recovery::{redo_scan, NodeId, RedoOutcome, WriteGraph};
+use lob_wal::{FileLogStore, LogManager, RecordBody};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The engine: executes logged operations against the cache, flushes in
+/// write-graph order with the paper's backup coordination, recovers from
+/// crashes and media failures.
+///
+/// Single ownership, single writer: one thread drives the engine. The
+/// pieces that backup threads touch concurrently — the stable store and the
+/// backup coordinator — are `Arc`-shared and internally synchronized (the
+/// store's per-partition page lock; the coordinator's backup latches).
+pub struct Engine {
+    config: EngineConfig,
+    store: Arc<StableStore>,
+    log: LogManager,
+    cache: CacheManager,
+    graph: WriteGraph,
+    coordinator: Arc<BackupCoordinator>,
+    succ: SuccessorTable,
+    next_free: Vec<u32>,
+    next_backup_id: u64,
+    /// Backups whose media-recovery log suffix must be retained:
+    /// `(backup_id, start_lsn)`.
+    retained: Vec<(u64, Lsn)>,
+    /// Changed-page sets taken by in-flight backups (full backups consume
+    /// their domain's changed pages; incremental backups use them as the
+    /// copy filter), restored if the backup aborts.
+    taken_changed: Vec<(u64, HashSet<PageId>)>,
+    /// Images of in-progress linked-flush backups (flushes mirror into
+    /// them).
+    linked_images: Vec<(u64, Arc<Mutex<PageImage>>)>,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Build an engine (fresh, formatted database).
+    pub fn new(config: EngineConfig) -> Result<Engine, EngineError> {
+        let store = Arc::new(StableStore::new(
+            StoreConfig {
+                page_size: config.page_size,
+            },
+            &config.partitions,
+        ));
+        let parts_with_sizes = |ids: &[PartitionId]| -> Result<Vec<(PartitionId, u32)>, EngineError> {
+            ids.iter()
+                .map(|&p| {
+                    store
+                        .page_count(p)
+                        .map(|n| (p, n))
+                        .map_err(EngineError::Store)
+                })
+                .collect()
+        };
+        let coordinator = match &config.tracking {
+            Tracking::Sequential(order) => {
+                if order.len() != config.partitions.len() {
+                    return Err(EngineError::Discipline(format!(
+                        "sequential tracking order lists {} partitions, store has {}",
+                        order.len(),
+                        config.partitions.len()
+                    )));
+                }
+                BackupCoordinator::sequential(parts_with_sizes(order)?)
+            }
+            Tracking::PerPartition => {
+                let all: Vec<PartitionId> = (0..config.partitions.len() as u32)
+                    .map(PartitionId)
+                    .collect();
+                BackupCoordinator::per_partition(parts_with_sizes(&all)?)
+            }
+        };
+        let log = match &config.log {
+            LogBacking::Memory => LogManager::in_memory(),
+            LogBacking::File(path) => LogManager::new(Box::new(
+                FileLogStore::create(path).map_err(lob_wal::LogError::Io)?,
+            )),
+        };
+        let next_free = vec![0; config.partitions.len()];
+        Ok(Engine {
+            graph: WriteGraph::new(config.graph_mode),
+            cache: CacheManager::with_capacity(config.cache_capacity),
+            log,
+            coordinator: Arc::new(coordinator),
+            succ: SuccessorTable::new(),
+            next_free,
+            next_backup_id: 1,
+            retained: Vec::new(),
+            taken_changed: Vec::new(),
+            linked_images: Vec::new(),
+            stats: EngineStats::default(),
+            store,
+            config,
+        })
+    }
+
+    /// Resume from an existing log file after a process restart: the
+    /// stable database starts formatted (the "disk" of this simulation is
+    /// in memory), and [`Engine::recover`] rebuilds it by replaying the
+    /// entire surviving log.
+    pub fn open_existing(config: EngineConfig) -> Result<Engine, EngineError> {
+        let LogBacking::File(path) = config.log.clone() else {
+            return Err(EngineError::Discipline(
+                "open_existing requires a file-backed log".into(),
+            ));
+        };
+        let mut engine = Engine::new(EngineConfig {
+            log: LogBacking::Memory, // placeholder, replaced below
+            ..config.clone()
+        })?;
+        let store = FileLogStore::open(&path).map_err(lob_wal::LogError::Io)?;
+        engine.log = LogManager::from_existing(Box::new(store))?;
+        engine.config = config;
+        // Rebuild the retained-backup set from the surviving BackupBegin
+        // records, so the media barrier keeps protecting every backup's
+        // log suffix across the restart. (Superseded backups are released
+        // explicitly with [`Engine::release_backup`], exactly as before
+        // the restart.)
+        for rec in engine.log.scan_from(engine.log.truncation())? {
+            if let RecordBody::BackupBegin {
+                backup_id,
+                start_lsn,
+            } = rec.body
+            {
+                engine.retained.push((backup_id, start_lsn));
+                engine.next_backup_id = engine.next_backup_id.max(backup_id + 1);
+            }
+        }
+        engine.refresh_media_barrier();
+        Ok(engine)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The stable database (shared with backup threads).
+    pub fn store(&self) -> &Arc<StableStore> {
+        &self.store
+    }
+
+    /// The backup coordinator (shared with backup threads).
+    pub fn coordinator(&self) -> &Arc<BackupCoordinator> {
+        &self.coordinator
+    }
+
+    /// The log manager.
+    pub fn log(&self) -> &LogManager {
+        &self.log
+    }
+
+    /// The cache manager.
+    pub fn cache(&self) -> &CacheManager {
+        &self.cache
+    }
+
+    /// The live write graph.
+    pub fn graph(&self) -> &WriteGraph {
+        &self.graph
+    }
+
+    /// Engine statistics. `iwof_bytes` is derived from the log's
+    /// identity-write accounting.
+    pub fn stats(&self) -> EngineStats {
+        let mut s = self.stats;
+        s.iwof_bytes = self.log.stats().identity_bytes();
+        s
+    }
+
+    /// Allocate a fresh (never-updated) page in `partition` — the `new`
+    /// object of a write-new tree operation.
+    pub fn alloc_page(&mut self, partition: PartitionId) -> Result<PageId, EngineError> {
+        let idx = partition.0 as usize;
+        let total = self
+            .store
+            .page_count(partition)
+            .map_err(EngineError::Store)?;
+        let next = self
+            .next_free
+            .get_mut(idx)
+            .ok_or(EngineError::Store(lob_pagestore::StoreError::NoSuchPartition(partition)))?;
+        if *next >= total {
+            return Err(EngineError::Internal(format!(
+                "partition {partition} is full ({total} pages)"
+            )));
+        }
+        let id = PageId {
+            partition,
+            index: *next,
+        };
+        *next += 1;
+        Ok(id)
+    }
+
+    /// Mark low page indexes as pre-allocated (workloads that address pages
+    /// directly call this so `alloc_page` hands out fresh ones).
+    pub fn reserve_pages(&mut self, partition: PartitionId, upto: u32) {
+        if let Some(n) = self.next_free.get_mut(partition.0 as usize) {
+            *n = (*n).max(upto);
+        }
+    }
+
+    /// Current value of a page (read through the cache).
+    pub fn read_page(&mut self, id: PageId) -> Result<Page, EngineError> {
+        Ok(self.cache.get(id, &self.store)?)
+    }
+
+    fn check_discipline(&mut self, body: &OpBody) -> Result<(), EngineError> {
+        // Domain confinement: every page the op touches must be in exactly
+        // one backup-order domain.
+        let mut domain: Option<DomainId> = None;
+        for page in body.readset().into_iter().chain(body.writeset()) {
+            match self.coordinator.domain_of(page.partition) {
+                None => {
+                    return Err(EngineError::Discipline(format!(
+                        "page {page} is outside every backup-order domain"
+                    )))
+                }
+                Some(d) => match domain {
+                    None => domain = Some(d),
+                    Some(prev) if prev == d => {}
+                    Some(prev) => {
+                        return Err(EngineError::Discipline(format!(
+                            "operation spans backup domains {prev:?} and {d:?}; \
+                             per-partition tracking requires partition-confined operations"
+                        )))
+                    }
+                },
+            }
+        }
+        match self.config.discipline {
+            Discipline::General => Ok(()),
+            Discipline::PageOriented => {
+                if body.class().is_page_oriented() {
+                    Ok(())
+                } else {
+                    Err(EngineError::Discipline(format!(
+                        "{} is a logical operation; engine is page-oriented",
+                        body.label()
+                    )))
+                }
+            }
+            Discipline::Tree => match body.tree_form() {
+                Some(TreeForm::PageOriented { .. }) | Some(TreeForm::ReadExtra { .. }) => Ok(()),
+                Some(TreeForm::WriteNew { new, .. }) => {
+                    let lsn = self.cache.page_lsn(new, &self.store)?;
+                    if lsn.is_null() {
+                        Ok(())
+                    } else {
+                        Err(EngineError::Discipline(format!(
+                            "write-new target {new} was already updated (pageLSN {lsn}); \
+                             tree operations may only initialize fresh objects"
+                        )))
+                    }
+                }
+                None => Err(EngineError::Discipline(format!(
+                    "{} does not fit the tree-operation discipline",
+                    body.label()
+                ))),
+            },
+        }
+    }
+
+    /// Execute a logged operation: evaluate it against the cache, append
+    /// its log record, install the results in the cache (dirty), and update
+    /// the write graph and successor metadata. Returns the record's LSN.
+    pub fn execute(&mut self, body: OpBody) -> Result<Lsn, EngineError> {
+        body.validate()?;
+        self.check_discipline(&body)?;
+        // Evaluate first (no state change on failure).
+        let outputs = {
+            let mut reader = CacheReader::new(&mut self.cache, &self.store);
+            body.apply(&mut reader)?
+        };
+        for (pid, bytes) in &outputs {
+            if bytes.len() != self.config.page_size {
+                return Err(EngineError::Internal(format!(
+                    "operation produced {} bytes for {pid}, page size is {}",
+                    bytes.len(),
+                    self.config.page_size
+                )));
+            }
+        }
+        let lsn = self.log.append(RecordBody::Op(body.clone()));
+        for (pid, bytes) in outputs {
+            self.cache.put_dirty(pid, Page::new(lsn, bytes));
+        }
+        self.graph.add_op(lsn, &body);
+        let coord = &self.coordinator;
+        self.succ.note_op(&body, |p| coord.pos(p));
+        self.stats.ops_executed += 1;
+        Ok(lsn)
+    }
+
+    /// Install one write-graph node (it must have no predecessors): decide
+    /// Iw/oF per object under the backup latch, log identity writes where
+    /// required, flush the node's `vars` to `S` (WAL-protocol-checked), and
+    /// remove the node. This is the cache-management algorithm of §3.5.
+    fn install_one_node(&mut self, node: NodeId) -> Result<(), EngineError> {
+        let vars: Vec<PageId> = self.graph.vars(node)?.iter().copied().collect();
+        // WAL rule for steals: if a blind write emptied (part of) this
+        // node's vars, the thief's record must be durable before the node
+        // installs — otherwise a crash leaves the stolen object's value
+        // with no source (not in S, not regenerable: the replay inputs may
+        // already be overwritten in S by the time recovery runs).
+        let wal_floor = self.graph.wal_floor(node)?;
+        if vars.is_empty() {
+            self.log.force(wal_floor)?;
+            self.graph.install_node(node)?;
+            self.stats.nodes_installed_free += 1;
+            return Ok(());
+        }
+
+        // Take the backup latch (share mode) for the affected domains; the
+        // classification stays valid until we drop it, after the flush.
+        let latch = self.coordinator.latch_for(&vars);
+
+        // Decide which objects need Iw/oF.
+        let mut iwof: Vec<PageId> = Vec::new();
+        if self.config.policy == BackupPolicy::Protocol {
+            for &v in &vars {
+                let needs = match self.config.discipline {
+                    Discipline::PageOriented => false,
+                    Discipline::General => latch.decide_general(v),
+                    Discipline::Tree => latch.decide_tree(v, self.succ.get(v)),
+                };
+                if needs {
+                    iwof.push(v);
+                }
+            }
+        }
+
+        // Log identity writes. Each steals its object from `node` into a
+        // fresh single-object node (installed below, by the same flush).
+        let mut identity_nodes: Vec<(PageId, NodeId)> = Vec::new();
+        for &v in &iwof {
+            let value: Bytes = self
+                .cache
+                .peek(v)
+                .ok_or_else(|| EngineError::Internal(format!("iwof target {v} not resident")))?
+                .data()
+                .clone();
+            let body = OpBody::IdentityWrite { target: v, value };
+            let ilsn = self.log.append(RecordBody::Op(body.clone()));
+            self.stats.iwof_records += 1;
+            let n = self.graph.add_op(ilsn, &body);
+            // The page now carries the identity write's LSN; its redo can
+            // start at the identity record (rLSN advance, §3.2).
+            let page = self.cache.peek(v).unwrap().with_lsn(ilsn);
+            self.cache.put_dirty(v, page);
+            self.cache.advance_rlsn(v, ilsn);
+            identity_nodes.push((v, n));
+        }
+
+        // WAL protocol: force the log up to the newest pageLSN we are about
+        // to write, then flush all vars (the paper flushes X to S even when
+        // it was Iw/oF-logged, §3.5).
+        let max_lsn = vars
+            .iter()
+            .filter_map(|&v| self.cache.peek(v).map(|p| p.lsn()))
+            .max()
+            .unwrap_or(Lsn::NULL);
+        self.log.force(max_lsn.max(wal_floor))?;
+        self.cache
+            .write_out(&vars, &self.store, self.log.durable_lsn())?;
+        self.stats.pages_flushed += vars.len() as u64;
+
+        // Mirror into any in-progress linked-flush backups, and feed the
+        // incremental changed-set.
+        for &v in &vars {
+            self.coordinator.note_flushed(v);
+        }
+        if !self.linked_images.is_empty() {
+            for (_, img) in &self.linked_images {
+                let mut g = img.lock();
+                for &v in &vars {
+                    if let Some(p) = self.cache.peek(v) {
+                        g.put(v, p.clone());
+                    }
+                }
+            }
+        }
+
+        // The flush installed the node's remaining ops and every identity
+        // write.
+        self.graph.install_node(node)?;
+        self.stats.nodes_flushed += 1;
+        for (v, n) in identity_nodes {
+            // The identity node may still exist (it does unless it was the
+            // same node — impossible: identity writes never merge).
+            self.graph.install_node(n)?;
+            let _ = v;
+        }
+        for &v in &vars {
+            self.succ.clear(v);
+        }
+        drop(latch);
+        Ok(())
+    }
+
+    /// Flush the node holding `page` (and, first, all its write-graph
+    /// ancestors). No-op if the page is clean.
+    pub fn flush_page(&mut self, page: PageId) -> Result<(), EngineError> {
+        let Some(node) = self.graph.node_of(page) else {
+            if self.cache.is_dirty(page) {
+                return Err(EngineError::Internal(format!(
+                    "dirty page {page} not owned by any write-graph node"
+                )));
+            }
+            return Ok(());
+        };
+        let plan = self.graph.flush_plan(node)?;
+        for n in plan {
+            self.install_one_node(n)?;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty page (in write-graph order) until the graph is
+    /// empty, then advance the log truncation point.
+    pub fn flush_all(&mut self) -> Result<(), EngineError> {
+        loop {
+            let frontier = self.graph.frontier();
+            if frontier.is_empty() {
+                break;
+            }
+            for node in frontier {
+                self.install_one_node(node)?;
+            }
+        }
+        if self.cache.dirty_count() != 0 {
+            return Err(EngineError::Internal(
+                "dirty pages remain after the write graph drained".into(),
+            ));
+        }
+        self.truncate_log()?;
+        Ok(())
+    }
+
+    /// Durably force every appended log record (a commit point: operations
+    /// logged so far survive a crash).
+    pub fn force_log(&mut self) -> Result<(), EngineError> {
+        self.log.force_all()?;
+        Ok(())
+    }
+
+    /// Flush up to `budget` dirty pages, oldest rLSN first (the classic
+    /// background-checkpointing policy: it advances the log truncation
+    /// point fastest), then truncate the log. Returns the number of pages
+    /// that were dirty before the call and are clean after it.
+    pub fn flush_oldest(&mut self, budget: usize) -> Result<usize, EngineError> {
+        let victims = self.cache.dirty_pages_by_rlsn();
+        let mut cleaned = 0;
+        for (page, _) in victims.into_iter().take(budget) {
+            if self.cache.is_dirty(page) {
+                self.flush_page(page)?;
+                cleaned += 1;
+            }
+        }
+        self.truncate_log()?;
+        Ok(cleaned)
+    }
+
+    /// The redo scan start point: the earliest LSN crash recovery could
+    /// need. This is also the media-recovery start point a backup records
+    /// when it begins (§1.2).
+    pub fn redo_scan_start(&self) -> Lsn {
+        let graph_min = self.graph.min_uninstalled_lsn();
+        let cache_min = self.cache.min_dirty_rlsn();
+        match (graph_min, cache_min) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => self.log.next_lsn(),
+        }
+    }
+
+    /// Advance the log truncation point as far as crash recovery and
+    /// retained backups permit.
+    pub fn truncate_log(&mut self) -> Result<Lsn, EngineError> {
+        let bound = self.redo_scan_start();
+        Ok(self.log.truncate(bound)?)
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Crash: all volatile state (cache, write graph, successor table, the
+    /// unforced log tail) is lost. Call [`Engine::recover`] next.
+    pub fn crash(&mut self) {
+        self.log.crash();
+        self.cache.clear();
+        self.graph = WriteGraph::new(self.config.graph_mode);
+        self.succ.clear_all();
+        self.taken_changed.clear();
+        self.linked_images.clear();
+    }
+
+    /// Crash recovery: forward redo over the surviving log suffix, write-
+    /// through to `S`.
+    pub fn recover(&mut self) -> Result<RedoOutcome, EngineError> {
+        let records = self.log.scan_from(self.log.truncation())?;
+        let mut target = StoreRedoTarget::new(&self.store);
+        let outcome = redo_scan(&records, &mut target)?;
+        self.stats.recoveries += 1;
+        self.reseed_allocator()?;
+        self.truncate_log()?;
+        Ok(outcome)
+    }
+
+    fn reseed_allocator(&mut self) -> Result<(), EngineError> {
+        for p in 0..self.config.partitions.len() as u32 {
+            let hw = self.store.high_water(PartitionId(p))?;
+            let floor = hw.map_or(0, |h| h + 1);
+            self.next_free[p as usize] = self.next_free[p as usize].max(floor);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Backups
+    // ------------------------------------------------------------------
+
+    /// Take the changed-page set for `domain`, restoring out-of-domain
+    /// pages immediately (they belong to other domains' next backups).
+    fn take_domain_changed(&mut self, domain: DomainId) -> HashSet<PageId> {
+        let changed = self.coordinator.take_changed();
+        let (in_dom, out_dom): (HashSet<PageId>, HashSet<PageId>) = changed
+            .into_iter()
+            .partition(|p| self.coordinator.domain_of(p.partition) == Some(domain));
+        self.coordinator.restore_changed(out_dom);
+        in_dom
+    }
+
+    fn begin_backup_inner(
+        &mut self,
+        domain: DomainId,
+        steps: u32,
+        incremental: bool,
+        base: Option<u64>,
+    ) -> Result<BackupRun, EngineError> {
+        // Both full and incremental backups consume the domain's changed
+        // set: a full backup supersedes it (every page is captured at or
+        // after this point, and flushes during the window are re-noted); an
+        // incremental backup copies exactly it.
+        let changed = self.take_domain_changed(domain);
+        let backup_id = self.next_backup_id;
+        let start_lsn = self.redo_scan_start();
+        let cfg = RunConfig {
+            domain,
+            steps,
+            filter: incremental.then(|| changed.clone()),
+            base,
+        };
+        let run = match BackupRun::begin(&self.coordinator, cfg, backup_id, start_lsn) {
+            Ok(r) => r,
+            Err(e) => {
+                self.coordinator.restore_changed(changed);
+                return Err(EngineError::Backup(e));
+            }
+        };
+        self.taken_changed.push((backup_id, changed));
+        self.next_backup_id += 1;
+        self.log.append(RecordBody::BackupBegin {
+            backup_id,
+            start_lsn,
+        });
+        self.log.force_all()?;
+        self.retained.push((backup_id, start_lsn));
+        self.refresh_media_barrier();
+        self.stats.backups_begun += 1;
+        Ok(run)
+    }
+
+    fn refresh_media_barrier(&mut self) {
+        let barrier = self.retained.iter().map(|&(_, l)| l).min();
+        self.log.set_media_barrier(barrier);
+    }
+
+    /// Begin an on-line backup of domain 0 in `steps` steps (the common
+    /// single-domain case).
+    pub fn begin_backup(&mut self, steps: u32) -> Result<BackupRun, EngineError> {
+        self.begin_backup_inner(DomainId(0), steps, false, None)
+    }
+
+    /// Begin an on-line backup of a specific domain.
+    pub fn begin_backup_of(
+        &mut self,
+        domain: DomainId,
+        steps: u32,
+    ) -> Result<BackupRun, EngineError> {
+        self.begin_backup_inner(domain, steps, false, None)
+    }
+
+    /// Begin an incremental backup: copy only pages flushed to `S` since
+    /// the last completed backup, on top of `base`.
+    pub fn begin_incremental_backup(
+        &mut self,
+        domain: DomainId,
+        steps: u32,
+        base: &BackupImage,
+    ) -> Result<BackupRun, EngineError> {
+        self.begin_backup_inner(domain, steps, true, Some(base.backup_id))
+    }
+
+    /// Advance an on-line backup by one step (copy + cursor advance).
+    /// Between calls, the engine is free to execute and flush — that is the
+    /// "on-line" in on-line backup.
+    pub fn backup_step(&mut self, run: &mut BackupRun) -> Result<bool, EngineError> {
+        Ok(run.step(&self.coordinator, &self.store)?)
+    }
+
+    /// Complete a finished backup run: logs `BackupEnd` and returns the
+    /// image. The image's log suffix stays retained until
+    /// [`Engine::release_backup`].
+    pub fn complete_backup(&mut self, run: BackupRun) -> Result<BackupImage, EngineError> {
+        let backup_id = run.backup_id();
+        let mut image = run.into_image()?;
+        self.log.append(RecordBody::BackupEnd { backup_id });
+        self.log.force_all()?;
+        image.end_lsn = self.log.durable_lsn();
+        self.taken_changed.retain(|(id, _)| *id != backup_id);
+        self.stats.backups_completed += 1;
+        Ok(image)
+    }
+
+    /// Abort an in-flight backup run: the tracker deactivates, the log
+    /// suffix is released, and (for incremental runs) the changed-page set
+    /// is merged back.
+    pub fn abort_backup(&mut self, run: BackupRun) {
+        let backup_id = run.backup_id();
+        run.abort(&self.coordinator);
+        if let Some(i) = self.taken_changed.iter().position(|(id, _)| *id == backup_id) {
+            let (_, changed) = self.taken_changed.swap_remove(i);
+            self.coordinator.restore_changed(changed);
+        }
+        self.release_backup(backup_id);
+    }
+
+    /// Stop retaining log records for a backup (it was superseded or
+    /// discarded). Allows the log to truncate past its start LSN.
+    pub fn release_backup(&mut self, backup_id: u64) {
+        self.retained.retain(|&(id, _)| id != backup_id);
+        self.refresh_media_barrier();
+    }
+
+    /// An off-line backup: quiesce (flush everything), then snapshot. The
+    /// availability cost is the point of comparison; correctness is
+    /// trivial.
+    pub fn offline_backup(&mut self) -> Result<BackupImage, EngineError> {
+        self.flush_all()?;
+        let pages = self.store.snapshot()?;
+        let backup_id = self.next_backup_id;
+        self.next_backup_id += 1;
+        let start_lsn = self.log.next_lsn();
+        self.retained.push((backup_id, start_lsn));
+        self.refresh_media_barrier();
+        self.stats.backups_begun += 1;
+        self.stats.backups_completed += 1;
+        Ok(BackupImage {
+            backup_id,
+            start_lsn,
+            end_lsn: start_lsn,
+            pages,
+            complete: true,
+            incremental: false,
+            base: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Linked-flush backup (the "completely unrealistic" baseline of §1.3)
+    // ------------------------------------------------------------------
+
+    /// Begin a linked-flush backup: pages are copied from `S` through the
+    /// engine (serialized with operation execution), and every flush during
+    /// the window is synchronously mirrored into the image.
+    pub fn begin_linked_backup(&mut self) -> Result<LinkedBackupRun, EngineError> {
+        let backup_id = self.next_backup_id;
+        self.next_backup_id += 1;
+        let start_lsn = self.redo_scan_start();
+        self.log.append(RecordBody::BackupBegin {
+            backup_id,
+            start_lsn,
+        });
+        self.log.force_all()?;
+        self.retained.push((backup_id, start_lsn));
+        self.refresh_media_barrier();
+        self.stats.backups_begun += 1;
+        let image = Arc::new(Mutex::new(PageImage::new()));
+        self.linked_images.push((backup_id, Arc::clone(&image)));
+        let mut todo = Vec::new();
+        for p in 0..self.config.partitions.len() as u32 {
+            let n = self.store.page_count(PartitionId(p))?;
+            for i in 0..n {
+                todo.push(PageId::new(p, i));
+            }
+        }
+        Ok(LinkedBackupRun {
+            backup_id,
+            start_lsn,
+            todo,
+            cursor: 0,
+            image,
+        })
+    }
+
+    /// Copy up to `pages` pages for a linked backup. Returns `true` when
+    /// the sweep has covered every page.
+    pub fn linked_step(
+        &mut self,
+        run: &mut LinkedBackupRun,
+        pages: usize,
+    ) -> Result<bool, EngineError> {
+        let end = (run.cursor + pages).min(run.todo.len());
+        let mut img = run.image.lock();
+        for i in run.cursor..end {
+            let id = run.todo[i];
+            // Copy the *stable* version: the image mirrors S exactly
+            // (flushes during the window also land in the image).
+            if !img.contains(id) {
+                let page = self.store.read_page(id)?;
+                img.put(id, page);
+            }
+        }
+        drop(img);
+        run.cursor = end;
+        Ok(run.cursor == run.todo.len())
+    }
+
+    /// Complete a linked backup.
+    pub fn complete_linked_backup(
+        &mut self,
+        run: LinkedBackupRun,
+    ) -> Result<BackupImage, EngineError> {
+        if run.cursor != run.todo.len() {
+            return Err(EngineError::Backup(lob_backup::BackupError::BadState(
+                "linked backup incomplete".into(),
+            )));
+        }
+        self.linked_images.retain(|(id, _)| *id != run.backup_id);
+        self.log.append(RecordBody::BackupEnd {
+            backup_id: run.backup_id,
+        });
+        self.log.force_all()?;
+        self.stats.backups_completed += 1;
+        let pages = Arc::try_unwrap(run.image)
+            .map(|m| m.into_inner())
+            .unwrap_or_else(|arc| arc.lock().clone());
+        Ok(BackupImage {
+            backup_id: run.backup_id,
+            start_lsn: run.start_lsn,
+            end_lsn: self.log.durable_lsn(),
+            pages,
+            complete: true,
+            incremental: false,
+            base: None,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Media recovery
+    // ------------------------------------------------------------------
+
+    /// Full media recovery: discard volatile state, replace the failed
+    /// media, restore every page from the backup image, and roll forward
+    /// from the image's start LSN to the current end of the log.
+    pub fn media_recover(&mut self, image: &BackupImage) -> Result<RedoOutcome, EngineError> {
+        self.log.force_all()?;
+        self.cache.clear();
+        self.graph = WriteGraph::new(self.config.graph_mode);
+        self.succ.clear_all();
+        for p in 0..self.config.partitions.len() as u32 {
+            self.store.clear_failures(PartitionId(p))?;
+        }
+        image.restore_to(&self.store)?;
+        let records = self.log.scan_from(image.start_lsn)?;
+        let mut target = StoreRedoTarget::new(&self.store);
+        let outcome = redo_scan(&records, &mut target)?;
+        self.stats.media_recoveries += 1;
+        self.reseed_allocator()?;
+        Ok(outcome)
+    }
+
+    /// Point-in-time media recovery (paper §1: roll forward "to some
+    /// designated earlier time", and §6.3's application-error discussion):
+    /// restore from the image, then replay only records with `lsn <= upto`.
+    ///
+    /// Because the fuzzy sweep may capture page states from anywhere inside
+    /// the backup window and redo can never roll *backwards*, the target
+    /// must be at or after the image's completion frontier
+    /// ([`BackupImage::end_lsn`]).
+    pub fn media_recover_to(
+        &mut self,
+        image: &BackupImage,
+        upto: Lsn,
+    ) -> Result<RedoOutcome, EngineError> {
+        if upto < image.end_lsn {
+            return Err(EngineError::Discipline(format!(
+                "point-in-time target {upto} precedes the backup's completion frontier {}; a fuzzy backup cannot be rolled back",
+                image.end_lsn
+            )));
+        }
+        self.log.force_all()?;
+        self.cache.clear();
+        self.graph = WriteGraph::new(self.config.graph_mode);
+        self.succ.clear_all();
+        for p in 0..self.config.partitions.len() as u32 {
+            self.store.clear_failures(PartitionId(p))?;
+        }
+        image.restore_to(&self.store)?;
+        let records: Vec<_> = self
+            .log
+            .scan_from(image.start_lsn)?
+            .into_iter()
+            .filter(|r| r.lsn <= upto)
+            .collect();
+        let mut target = StoreRedoTarget::new(&self.store);
+        let outcome = redo_scan(&records, &mut target)?;
+        self.stats.media_recoveries += 1;
+        self.reseed_allocator()?;
+        Ok(outcome)
+    }
+
+    /// Install the operations pending on `page` **without flushing it**
+    /// (paper §5.3: "Extra logging can also substitute for flushing. Should
+    /// X be dirty in the cache, but hot, ... logging it to install its
+    /// update operations in S treats S the way we have been treating B.").
+    ///
+    /// Every object in the node's flush set is identity-logged (advancing
+    /// its rLSN so the log can truncate past the installed operations); the
+    /// page stays dirty and hot in the cache. Ancestor nodes are installed
+    /// first, normally (they must reach `S` in write-graph order anyway).
+    pub fn install_without_flush(&mut self, page: PageId) -> Result<(), EngineError> {
+        let Some(node) = self.graph.node_of(page) else {
+            return Ok(()); // nothing pending
+        };
+        let plan = self.graph.flush_plan(node)?;
+        let (ancestors, target) = plan.split_at(plan.len() - 1);
+        for &n in ancestors {
+            self.install_one_node(n)?;
+        }
+        let node = target[0];
+        let vars: Vec<PageId> = self.graph.vars(node)?.iter().copied().collect();
+        for &v in &vars {
+            let value: Bytes = self
+                .cache
+                .peek(v)
+                .ok_or_else(|| EngineError::Internal(format!("hot page {v} not resident")))?
+                .data()
+                .clone();
+            let body = OpBody::IdentityWrite { target: v, value };
+            let ilsn = self.log.append(RecordBody::Op(body.clone()));
+            self.stats.iwof_records += 1;
+            // The identity write steals `v` into its own single-object
+            // node, which stays in the graph until `v` is eventually
+            // flushed; meanwhile the logged value covers recovery and the
+            // rLSN advances.
+            self.graph.add_op(ilsn, &body);
+            let fresh = self.cache.peek(v).unwrap().with_lsn(ilsn);
+            self.cache.put_dirty(v, fresh);
+            self.cache.advance_rlsn(v, ilsn);
+        }
+        // All objects stolen: the node installs without any page write.
+        self.graph.install_node(node)?;
+        self.stats.nodes_installed_free += 1;
+        self.log.force_all()?;
+        Ok(())
+    }
+
+    /// Audit a backup: restore it into a scratch store, roll it forward
+    /// over the live log, and compare every page against the engine's
+    /// current logical state (cache over store). Returns the mismatching
+    /// pages (empty = the backup is good).
+    ///
+    /// This is the operational "can I actually recover from this?" check a
+    /// production system runs before trusting an image.
+    pub fn audit_backup(&mut self, image: &BackupImage) -> Result<Vec<PageId>, EngineError> {
+        let scratch = StableStore::new(
+            StoreConfig {
+                page_size: self.config.page_size,
+            },
+            &self.config.partitions,
+        );
+        image
+            .restore_to(&scratch)
+            .map_err(EngineError::Backup)?;
+        let records = self.log.scan_from(image.start_lsn)?;
+        let mut target = StoreRedoTarget::new(&scratch);
+        redo_scan(&records, &mut target)?;
+        let mut mismatches = Vec::new();
+        for p in 0..self.config.partitions.len() as u32 {
+            let n = self.store.page_count(PartitionId(p))?;
+            for i in 0..n {
+                let id = PageId::new(p, i);
+                let live = self.cache.get(id, &self.store)?;
+                let recovered = scratch.read_page(id)?;
+                if live.data() != recovered.data() {
+                    mismatches.push(id);
+                }
+            }
+        }
+        Ok(mismatches)
+    }
+
+    /// Partition-grained media recovery (§6.3): restore only the failed
+    /// partition's pages, then roll forward. Sound only when operations are
+    /// partition-confined, i.e. under per-partition tracking.
+    pub fn media_recover_partition(
+        &mut self,
+        image: &BackupImage,
+        partition: PartitionId,
+    ) -> Result<RedoOutcome, EngineError> {
+        if !matches!(self.config.tracking, Tracking::PerPartition) {
+            return Err(EngineError::Discipline(
+                "partition media recovery requires per-partition tracking \
+                 (operations confined to one partition)"
+                    .into(),
+            ));
+        }
+        if !image.complete {
+            return Err(EngineError::Backup(lob_backup::BackupError::IncompleteImage {
+                backup_id: image.backup_id,
+            }));
+        }
+        self.log.force_all()?;
+        self.cache.clear();
+        self.graph = WriteGraph::new(self.config.graph_mode);
+        self.succ.clear_all();
+        self.store.clear_failures(partition)?;
+        for (id, page) in image.pages.iter() {
+            if id.partition == partition {
+                self.store.write_page(id, page.clone())?;
+            }
+        }
+        let records = self.log.scan_from(image.start_lsn)?;
+        // Replay only partition-confined records touching this partition;
+        // the LSN test makes replaying the rest harmless, but restricting
+        // the scan shows the §6.3 point: the partition is the recovery
+        // unit.
+        let relevant: Vec<_> = records
+            .into_iter()
+            .filter(|r| match &r.body {
+                RecordBody::Op(op) => op
+                    .writeset()
+                    .iter()
+                    .chain(op.readset().iter())
+                    .any(|p| p.partition == partition),
+                _ => false,
+            })
+            .collect();
+        let mut target = StoreRedoTarget::new(&self.store);
+        let outcome = redo_scan(&relevant, &mut target)?;
+        self.stats.media_recoveries += 1;
+        self.reseed_allocator()?;
+        Ok(outcome)
+    }
+}
+
+/// An in-progress linked-flush backup (baseline).
+pub struct LinkedBackupRun {
+    backup_id: u64,
+    start_lsn: Lsn,
+    todo: Vec<PageId>,
+    cursor: usize,
+    image: Arc<Mutex<PageImage>>,
+}
+
+impl LinkedBackupRun {
+    /// The run's backup id.
+    pub fn backup_id(&self) -> u64 {
+        self.backup_id
+    }
+
+    /// Pages copied so far.
+    pub fn pages_copied(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total pages to copy.
+    pub fn pages_total(&self) -> usize {
+        self.todo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lob_ops::LogicalOp;
+
+    fn pid(i: u32) -> PageId {
+        PageId::new(0, i)
+    }
+
+    fn engine() -> Engine {
+        Engine::new(EngineConfig::small()).unwrap()
+    }
+
+    fn phys(i: u32, fill: u8) -> OpBody {
+        OpBody::PhysicalWrite {
+            target: pid(i),
+            value: Bytes::from(vec![fill; 256]),
+        }
+    }
+
+    fn copy(src: u32, dst: u32) -> OpBody {
+        OpBody::Logical(LogicalOp::Copy {
+            src: pid(src),
+            dst: pid(dst),
+        })
+    }
+
+    #[test]
+    fn execute_dirties_and_tracks() {
+        let mut e = engine();
+        let lsn = e.execute(phys(0, 7)).unwrap();
+        assert_eq!(lsn, Lsn(1));
+        assert!(e.cache().is_dirty(pid(0)));
+        assert_eq!(e.graph().node_count(), 1);
+        assert_eq!(e.read_page(pid(0)).unwrap().data()[0], 7);
+        // Not yet in S.
+        assert!(e.store().read_page(pid(0)).unwrap().lsn().is_null());
+    }
+
+    #[test]
+    fn flush_page_installs_and_persists() {
+        let mut e = engine();
+        e.execute(phys(0, 7)).unwrap();
+        e.flush_page(pid(0)).unwrap();
+        assert!(!e.cache().is_dirty(pid(0)));
+        assert!(e.graph().is_empty());
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 7);
+        assert_eq!(e.stats().pages_flushed, 1);
+    }
+
+    #[test]
+    fn flush_respects_write_graph_order() {
+        let mut e = engine();
+        e.execute(phys(0, 1)).unwrap();
+        e.flush_page(pid(0)).unwrap();
+        // copy(0 → 1), then overwrite 0: node(1) must flush before node(0).
+        e.execute(copy(0, 1)).unwrap();
+        e.execute(phys(0, 2)).unwrap();
+        // Flushing page 0 must first flush page 1.
+        e.flush_page(pid(0)).unwrap();
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 1);
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 2);
+        assert!(e.graph().is_empty());
+    }
+
+    #[test]
+    fn crash_before_flush_recovers_via_log() {
+        let mut e = engine();
+        e.execute(phys(0, 9)).unwrap();
+        e.execute(copy(0, 1)).unwrap();
+        e.force_log().unwrap();
+        e.crash();
+        assert!(e.store().read_page(pid(1)).unwrap().lsn().is_null());
+        let out = e.recover().unwrap();
+        assert_eq!(out.replayed, 2);
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 9);
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 9);
+    }
+
+    #[test]
+    fn crash_loses_unforced_tail() {
+        let mut e = engine();
+        e.execute(phys(0, 9)).unwrap();
+        // Not forced: the operation is lost at the crash.
+        e.crash();
+        let out = e.recover().unwrap();
+        assert_eq!(out.replayed + out.skipped, 0);
+        assert!(e.store().read_page(pid(0)).unwrap().lsn().is_null());
+    }
+
+    #[test]
+    fn wal_protocol_is_automatic_on_flush() {
+        let mut e = engine();
+        e.execute(phys(0, 9)).unwrap();
+        // flush_page forces the log itself; no explicit force needed.
+        e.flush_page(pid(0)).unwrap();
+        e.crash();
+        let out = e.recover().unwrap();
+        assert_eq!(out.skipped, 1, "already installed");
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 9);
+    }
+
+    #[test]
+    fn flush_all_drains_and_truncates() {
+        let mut e = engine();
+        for i in 0..8 {
+            e.execute(phys(i, i as u8)).unwrap();
+            e.execute(copy(i, i + 8)).unwrap();
+        }
+        e.flush_all().unwrap();
+        assert!(e.graph().is_empty());
+        assert_eq!(e.cache().dirty_count(), 0);
+        assert_eq!(e.log().truncation(), e.log().next_lsn());
+    }
+
+    #[test]
+    fn tree_discipline_enforced() {
+        let mut e = Engine::new(EngineConfig {
+            discipline: Discipline::Tree,
+            ..EngineConfig::small()
+        })
+        .unwrap();
+        // Mix is irreducibly general → rejected.
+        let mix = OpBody::Logical(LogicalOp::Mix {
+            reads: vec![pid(0)],
+            writes: vec![pid(1)],
+            salt: 0,
+        });
+        assert!(matches!(
+            e.execute(mix),
+            Err(EngineError::Discipline(_))
+        ));
+        // Copy into a fresh page is a write-new tree op → accepted.
+        e.execute(phys(0, 1)).unwrap();
+        e.execute(copy(0, 1)).unwrap();
+        // Copy onto an already-updated page → rejected.
+        assert!(matches!(
+            e.execute(copy(0, 1)),
+            Err(EngineError::Discipline(_))
+        ));
+    }
+
+    #[test]
+    fn page_oriented_discipline_rejects_logical() {
+        let mut e = Engine::new(EngineConfig {
+            discipline: Discipline::PageOriented,
+            ..EngineConfig::small()
+        })
+        .unwrap();
+        assert!(matches!(
+            e.execute(copy(0, 1)),
+            Err(EngineError::Discipline(_))
+        ));
+        e.execute(phys(0, 1)).unwrap();
+    }
+
+    #[test]
+    fn alloc_pages_are_fresh_and_sequential() {
+        let mut e = engine();
+        let a = e.alloc_page(PartitionId(0)).unwrap();
+        let b = e.alloc_page(PartitionId(0)).unwrap();
+        assert_eq!(a, pid(0));
+        assert_eq!(b, pid(1));
+        e.reserve_pages(PartitionId(0), 10);
+        assert_eq!(e.alloc_page(PartitionId(0)).unwrap(), pid(10));
+    }
+
+    #[test]
+    fn online_backup_with_iwof_supports_media_recovery() {
+        let mut e = engine();
+        // Dirty some state and flush it so S has content.
+        for i in 0..8 {
+            e.execute(phys(i, i as u8 + 1)).unwrap();
+        }
+        e.flush_all().unwrap();
+
+        let mut run = e.begin_backup(4).unwrap();
+        // Interleave: update pages already copied (forcing Done/Doubt
+        // flushes → Iw/oF).
+        e.backup_step(&mut run).unwrap(); // copies pages 0..16
+        e.execute(copy(0, 20)).unwrap();
+        e.execute(phys(0, 99)).unwrap();
+        e.flush_page(pid(0)).unwrap(); // page 0 is Done → Iw/oF
+        assert!(e.stats().iwof_records >= 1, "Done flush logged identity");
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+
+        // More updates after the backup.
+        e.execute(phys(5, 55)).unwrap();
+        e.flush_page(pid(5)).unwrap();
+
+        // Media failure → restore → roll forward.
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image).unwrap();
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 99);
+        assert_eq!(e.store().read_page(pid(20)).unwrap().data()[0], 1);
+        assert_eq!(e.store().read_page(pid(5)).unwrap().data()[0], 55);
+    }
+
+    #[test]
+    fn offline_backup_restores_exactly() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, 0xA0 + i as u8)).unwrap();
+        }
+        let image = e.offline_backup().unwrap();
+        e.execute(phys(0, 0xFF)).unwrap();
+        e.flush_all().unwrap();
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image).unwrap();
+        // Roll-forward reapplies the later update too.
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 0xFF);
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 0xA1);
+    }
+
+    #[test]
+    fn linked_backup_mirrors_flushes() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, 1 + i as u8)).unwrap();
+        }
+        e.flush_all().unwrap();
+        let mut run = e.begin_linked_backup().unwrap();
+        e.linked_step(&mut run, 10).unwrap();
+        // A flush during the window lands in the image too.
+        e.execute(phys(0, 0x77)).unwrap();
+        e.flush_page(pid(0)).unwrap();
+        while !e.linked_step(&mut run, 16).unwrap() {}
+        let image = e.complete_linked_backup(run).unwrap();
+        assert_eq!(
+            image.pages.get(pid(0)).unwrap().data()[0],
+            0x77,
+            "linked flush updated the already-copied page"
+        );
+        // And it restores.
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image).unwrap();
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 0x77);
+    }
+
+    #[test]
+    fn incremental_backup_copies_only_changes() {
+        let mut e = engine();
+        for i in 0..8 {
+            e.execute(phys(i, 1)).unwrap();
+        }
+        e.flush_all().unwrap();
+        let mut run = e.begin_backup(2).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        let base = e.complete_backup(run).unwrap();
+
+        // Change two pages.
+        e.execute(phys(1, 2)).unwrap();
+        e.execute(phys(3, 2)).unwrap();
+        e.flush_all().unwrap();
+
+        let mut irun = e
+            .begin_incremental_backup(DomainId(0), 2, &base)
+            .unwrap();
+        while !e.backup_step(&mut irun).unwrap() {}
+        let incr = e.complete_backup(irun).unwrap();
+        assert!(incr.incremental);
+        assert_eq!(incr.page_count(), 2);
+
+        let full = BackupImage::materialize(&base, &incr).unwrap();
+        e.execute(phys(5, 9)).unwrap();
+        e.flush_all().unwrap();
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&full).unwrap();
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 2);
+        assert_eq!(e.store().read_page(pid(3)).unwrap().data()[0], 2);
+        assert_eq!(e.store().read_page(pid(5)).unwrap().data()[0], 9);
+    }
+
+    #[test]
+    fn abort_restores_incremental_changed_set() {
+        let mut e = engine();
+        e.execute(phys(0, 1)).unwrap();
+        e.flush_all().unwrap();
+        let mut run = e.begin_backup(1).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        let base = e.complete_backup(run).unwrap();
+        e.execute(phys(2, 1)).unwrap();
+        e.flush_all().unwrap();
+        let before = e.coordinator().changed_count();
+        let irun = e
+            .begin_incremental_backup(DomainId(0), 2, &base)
+            .unwrap();
+        assert_eq!(e.coordinator().changed_count(), 0);
+        e.abort_backup(irun);
+        assert_eq!(e.coordinator().changed_count(), before);
+    }
+
+    #[test]
+    fn media_barrier_prevents_truncating_backup_log() {
+        let mut e = engine();
+        e.execute(phys(0, 1)).unwrap();
+        e.flush_all().unwrap();
+        let run = e.begin_backup(2).unwrap();
+        let start = e.log().media_barrier().unwrap();
+        e.execute(phys(1, 1)).unwrap();
+        e.flush_all().unwrap();
+        assert!(
+            e.log().truncation() <= start,
+            "records the backup needs survive truncation"
+        );
+        e.abort_backup(run);
+        e.flush_all().unwrap();
+        assert!(e.log().media_barrier().is_none());
+    }
+
+    #[test]
+    fn install_without_flush_advances_truncation() {
+        let mut e = engine();
+        e.execute(phys(0, 1)).unwrap();
+        e.execute(copy(0, 1)).unwrap();
+        let before = e.truncate_log().unwrap();
+        assert!(before <= Lsn(1), "uninstalled ops pin the log");
+        // Identity-log the hot pages instead of flushing them.
+        e.install_without_flush(pid(1)).unwrap();
+        e.install_without_flush(pid(0)).unwrap();
+        let after = e.truncate_log().unwrap();
+        assert!(after > Lsn(2), "identity records released the old records");
+        assert!(e.cache().is_dirty(pid(0)), "page stays hot and dirty");
+        // Crash recovery works from the identity records alone.
+        e.crash();
+        e.recover().unwrap();
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 1);
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 1);
+    }
+
+    #[test]
+    fn audit_backup_detects_good_and_stale_images() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, i as u8 + 1)).unwrap();
+        }
+        e.flush_all().unwrap();
+        let mut run = e.begin_backup(2).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+        assert!(e.audit_backup(&image).unwrap().is_empty(), "fresh image audits clean");
+
+        // Further updates: the audit rolls the image forward over the live
+        // log, so it still audits clean.
+        e.execute(phys(0, 0x77)).unwrap();
+        e.flush_all().unwrap();
+        assert!(e.audit_backup(&image).unwrap().is_empty());
+
+        // A released backup whose log suffix was truncated fails loudly.
+        e.release_backup(image.backup_id);
+        e.flush_all().unwrap();
+        e.execute(phys(1, 0x11)).unwrap();
+        e.flush_all().unwrap();
+        if e.log().truncation() > image.start_lsn {
+            assert!(e.audit_backup(&image).is_err(), "truncated suffix detected");
+        }
+    }
+
+    #[test]
+    fn point_in_time_recovery_stops_at_target() {
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, 1)).unwrap();
+        }
+        e.flush_all().unwrap();
+        let mut run = e.begin_backup(2).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+
+        // Two epochs of post-backup updates.
+        e.execute(phys(0, 0xAA)).unwrap();
+        e.flush_all().unwrap();
+        let epoch1 = e.log().durable_lsn();
+        e.execute(phys(0, 0xBB)).unwrap();
+        e.execute(copy(0, 9)).unwrap();
+        e.flush_all().unwrap();
+
+        // Recover to epoch 1: the 0xBB write and the copy are excluded.
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover_to(&image, epoch1).unwrap();
+        assert_eq!(e.store().read_page(pid(0)).unwrap().data()[0], 0xAA);
+        assert!(e.store().read_page(pid(9)).unwrap().lsn().is_null());
+
+        // Targets before the backup completed are rejected.
+        assert!(matches!(
+            e.media_recover_to(&image, Lsn(1)),
+            Err(EngineError::Discipline(_))
+        ));
+    }
+
+    #[test]
+    fn file_backed_engine_survives_process_restart() {
+        let dir = std::env::temp_dir().join(format!("lob-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.wal");
+        let config = EngineConfig {
+            log: crate::config::LogBacking::File(path.clone()),
+            ..EngineConfig::small()
+        };
+        {
+            let mut e = Engine::new(config.clone()).unwrap();
+            e.execute(phys(0, 7)).unwrap();
+            e.execute(copy(0, 1)).unwrap();
+            e.force_log().unwrap();
+            // Process "dies" here: nothing flushed to S.
+        }
+        let mut e2 = Engine::open_existing(config).unwrap();
+        e2.recover().unwrap();
+        assert_eq!(e2.store().read_page(pid(0)).unwrap().data()[0], 7);
+        assert_eq!(e2.store().read_page(pid(1)).unwrap().data()[0], 7);
+        // LSNs continue above everything in the file.
+        let lsn = e2.execute(phys(2, 1)).unwrap();
+        assert!(lsn > Lsn(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_oldest_advances_truncation_fastest() {
+        let mut e = engine();
+        for i in 0..6 {
+            e.execute(phys(i, 1)).unwrap();
+        }
+        let t0 = e.log().truncation();
+        // Flushing the two oldest pages moves the truncation bound past
+        // their records.
+        let cleaned = e.flush_oldest(2).unwrap();
+        assert_eq!(cleaned, 2);
+        assert!(e.log().truncation() > t0);
+        assert!(e.log().truncation() >= Lsn(3));
+        assert_eq!(e.cache().dirty_count(), 4);
+        // Budget larger than the dirty set drains it.
+        assert_eq!(e.flush_oldest(100).unwrap(), 4);
+        assert_eq!(e.log().truncation(), e.log().next_lsn());
+    }
+
+    #[test]
+    fn regression_blind_steal_requires_thief_durability() {
+        // Distilled from a shadow-oracle counterexample: op A writes {X, Y};
+        // op B blind-writes Y (stealing it from A's node, not yet durable);
+        // flushing A's node (now vars = {X}) then flushing an overwrite of
+        // A's readset must force B's record first — otherwise a crash
+        // leaves Y with no value anywhere (not in S; A's replay reads the
+        // overwritten input; B's record is lost).
+        let mut e = engine();
+        e.execute(phys(0, 1)).unwrap(); // input page 0
+        e.flush_all().unwrap();
+        // A: reads {0}, writes {1, 2}.
+        let a = OpBody::Logical(LogicalOp::Mix {
+            reads: vec![pid(0)],
+            writes: vec![pid(1), pid(2)],
+            salt: 7,
+        });
+        e.execute(a.clone()).unwrap();
+        let expect_y = e.read_page(pid(2)).unwrap().data().clone();
+        // B: blind Mix stealing page 2 (reads 3, writes 2) — appended but
+        // never explicitly forced.
+        e.execute(OpBody::Logical(LogicalOp::Mix {
+            reads: vec![pid(3)],
+            writes: vec![pid(2)],
+            salt: 8,
+        }))
+        .unwrap();
+        let expect_y2 = e.read_page(pid(2)).unwrap().data().clone();
+        // Flush A's node (vars = {1} after the steal)…
+        e.flush_page(pid(1)).unwrap();
+        // …and overwrite + flush A's input, destroying A's replayability.
+        e.execute(phys(0, 0xEE)).unwrap();
+        e.flush_page(pid(0)).unwrap();
+        // Crash. The WAL floor must have made B's record durable when A's
+        // node installed, so page 2 recovers to B's value.
+        e.crash();
+        e.recover().unwrap();
+        let got = e.store().read_page(pid(2)).unwrap();
+        assert_eq!(
+            got.data(),
+            &expect_y2,
+            "stolen page recovered from the (forced) thief record"
+        );
+        let _ = expect_y;
+    }
+
+    #[test]
+    fn regression_identity_backdating_on_replay() {
+        // Distilled from a shadow-oracle counterexample: an identity record
+        // is logged (at flush time) *after* an operation that read the
+        // value it carries; replay must apply it at the covered write, not
+        // at its own LSN.
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, i as u8 + 1)).unwrap();
+        }
+        e.flush_all().unwrap();
+        let mut run = e.begin_backup(2).unwrap();
+        e.backup_step(&mut run).unwrap(); // low half Done
+
+        // W: writes page 1 (Done region) from page 3.
+        e.execute(OpBody::Logical(LogicalOp::Mix {
+            reads: vec![pid(3)],
+            writes: vec![pid(1)],
+            salt: 1,
+        }))
+        .unwrap();
+        // R: reads the new page 1, writes page 40 (Pend region).
+        e.execute(OpBody::Logical(LogicalOp::Mix {
+            reads: vec![pid(1)],
+            writes: vec![pid(40)],
+            salt: 2,
+        }))
+        .unwrap();
+        let expect_40 = e.read_page(pid(40)).unwrap().data().clone();
+        // Flush page 40 first (its node precedes nothing), then page 1 —
+        // page 1 is Done → identity write logged AFTER R's record.
+        e.flush_page(pid(40)).unwrap();
+        e.flush_page(pid(1)).unwrap();
+        assert!(e.stats().iwof_records >= 1);
+        // Overwrite page 3 (W's input) and flush, destroying W's replay.
+        e.execute(phys(3, 0x99)).unwrap();
+        e.flush_page(pid(3)).unwrap();
+
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image).unwrap();
+        assert_eq!(
+            e.store().read_page(pid(40)).unwrap().data(),
+            &expect_40,
+            "R replays against the backdated identity value of page 1"
+        );
+    }
+
+    #[test]
+    fn partition_recovery_requires_per_partition_tracking() {
+        let mut e = engine();
+        let img = e.offline_backup().unwrap();
+        assert!(matches!(
+            e.media_recover_partition(&img, PartitionId(0)),
+            Err(EngineError::Discipline(_))
+        ));
+    }
+}

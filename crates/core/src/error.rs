@@ -1,0 +1,86 @@
+//! Engine errors.
+
+use lob_backup::BackupError;
+use lob_cache::CacheError;
+use lob_ops::OpError;
+use lob_pagestore::StoreError;
+use lob_recovery::{RedoError, WriteGraphError};
+use lob_wal::LogError;
+use std::fmt;
+
+/// Any failure surfaced by the engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Operation evaluation failed.
+    Op(OpError),
+    /// Cache failure (including WAL-protocol violations).
+    Cache(CacheError),
+    /// Stable store failure.
+    Store(StoreError),
+    /// Log failure.
+    Log(LogError),
+    /// Write-graph failure.
+    Graph(WriteGraphError),
+    /// Backup machinery failure.
+    Backup(BackupError),
+    /// Redo failure during recovery.
+    Redo(RedoError),
+    /// The operation violates the configured discipline or tracking scheme.
+    Discipline(String),
+    /// Internal invariant violation — a bug in the engine, surfaced loudly.
+    Internal(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Op(e) => write!(f, "operation error: {e}"),
+            EngineError::Cache(e) => write!(f, "cache error: {e}"),
+            EngineError::Store(e) => write!(f, "store error: {e}"),
+            EngineError::Log(e) => write!(f, "log error: {e}"),
+            EngineError::Graph(e) => write!(f, "write-graph error: {e}"),
+            EngineError::Backup(e) => write!(f, "backup error: {e}"),
+            EngineError::Redo(e) => write!(f, "redo error: {e}"),
+            EngineError::Discipline(m) => write!(f, "discipline violation: {m}"),
+            EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<OpError> for EngineError {
+    fn from(e: OpError) -> Self {
+        EngineError::Op(e)
+    }
+}
+impl From<CacheError> for EngineError {
+    fn from(e: CacheError) -> Self {
+        EngineError::Cache(e)
+    }
+}
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Store(e)
+    }
+}
+impl From<LogError> for EngineError {
+    fn from(e: LogError) -> Self {
+        EngineError::Log(e)
+    }
+}
+impl From<WriteGraphError> for EngineError {
+    fn from(e: WriteGraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+impl From<BackupError> for EngineError {
+    fn from(e: BackupError) -> Self {
+        EngineError::Backup(e)
+    }
+}
+impl From<RedoError> for EngineError {
+    fn from(e: RedoError) -> Self {
+        EngineError::Redo(e)
+    }
+}

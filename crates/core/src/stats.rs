@@ -1,0 +1,69 @@
+//! Engine statistics.
+
+/// Counters describing engine activity, read by the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Operations executed (logged and applied).
+    pub ops_executed: u64,
+    /// Identity-write (`W_IP`) records appended for Iw/oF.
+    pub iwof_records: u64,
+    /// Bytes of identity-write records appended for Iw/oF.
+    pub iwof_bytes: u64,
+    /// Write-graph nodes installed by flushing.
+    pub nodes_flushed: u64,
+    /// Write-graph nodes installed without flushing anything (empty
+    /// `vars`).
+    pub nodes_installed_free: u64,
+    /// Pages written to `S` by flushes.
+    pub pages_flushed: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// Media recoveries performed.
+    pub media_recoveries: u64,
+    /// Backups begun.
+    pub backups_begun: u64,
+    /// Backups completed.
+    pub backups_completed: u64,
+}
+
+impl EngineStats {
+    /// Difference `self - earlier` per counter.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            ops_executed: self.ops_executed - earlier.ops_executed,
+            iwof_records: self.iwof_records - earlier.iwof_records,
+            iwof_bytes: self.iwof_bytes - earlier.iwof_bytes,
+            nodes_flushed: self.nodes_flushed - earlier.nodes_flushed,
+            nodes_installed_free: self.nodes_installed_free - earlier.nodes_installed_free,
+            pages_flushed: self.pages_flushed - earlier.pages_flushed,
+            recoveries: self.recoveries - earlier.recoveries,
+            media_recoveries: self.media_recoveries - earlier.media_recoveries,
+            backups_begun: self.backups_begun - earlier.backups_begun,
+            backups_completed: self.backups_completed - earlier.backups_completed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = EngineStats {
+            ops_executed: 10,
+            iwof_records: 3,
+            ..Default::default()
+        };
+        let b = EngineStats {
+            ops_executed: 25,
+            iwof_records: 5,
+            pages_flushed: 7,
+            ..Default::default()
+        };
+        let d = b.since(&a);
+        assert_eq!(d.ops_executed, 15);
+        assert_eq!(d.iwof_records, 2);
+        assert_eq!(d.pages_flushed, 7);
+    }
+}

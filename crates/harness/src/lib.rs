@@ -1,0 +1,31 @@
+//! # lob-harness — the experiment harness
+//!
+//! Everything the reproduction's experiments, integration tests, and
+//! benches share:
+//!
+//! * [`shadow`] — [`ShadowOracle`]: a deterministic replica of the logged
+//!   operation history providing ground truth. After any crash recovery or
+//!   media recovery, the recovered stable database must byte-match the
+//!   oracle's state at the surviving log prefix.
+//! * [`workload`] — seeded random workload generators for each operation
+//!   discipline.
+//! * [`sim`] — the Figure 5 measurement: drive uniformly-positioned flushes
+//!   through an `N`-step on-line backup and measure the Iw/oF frequency,
+//!   for both general and tree operations, against the closed-form §5
+//!   model.
+//! * [`scenarios`] — the Figure 1 B-tree-split counterexample (naive fuzzy
+//!   dump loses data; the paper's protocol does not) and randomized
+//!   end-to-end sessions with backups, crashes, and media failures.
+//! * [`report`] — plain-text table formatting for the experiment binaries.
+
+pub mod report;
+pub mod scenarios;
+pub mod shadow;
+pub mod sim;
+pub mod workload;
+
+pub use report::Table;
+pub use scenarios::{fig1_split_scenario, random_session, Fig1Outcome, SessionConfig, SessionReport};
+pub use shadow::ShadowOracle;
+pub use sim::{run_fig5, Fig5Config, Fig5Result, SimDiscipline};
+pub use workload::WorkloadGen;

@@ -1,0 +1,399 @@
+//! End-to-end scenarios: the Figure 1 counterexample and randomized
+//! sessions.
+
+use crate::shadow::ShadowOracle;
+use crate::workload::WorkloadGen;
+use bytes::Bytes;
+use lob_core::{
+    BackupPolicy, Discipline, Engine, EngineConfig, Lsn, OpBody, PageId, PartitionId, RecPage,
+};
+use lob_ops::{LogicalOp, PhysioOp};
+
+/// Outcome of the Figure 1 split scenario.
+#[derive(Debug, Clone)]
+pub struct Fig1Outcome {
+    /// Whether every record survived media recovery from the backup.
+    pub data_intact: bool,
+    /// Identity-write records the protocol logged (0 for the naive dump).
+    pub iwof_records: u64,
+    /// Records expected / found after recovery.
+    pub records_expected: usize,
+    /// See [`Fig1Outcome::records_expected`].
+    pub records_found: usize,
+}
+
+/// The paper's Figure 1, executed: a B-tree-style logical split races an
+/// on-line backup such that the backup captures `new` *before* the split
+/// and `old` *after* it.
+///
+/// * With [`BackupPolicy::NaiveFuzzy`] (the conventional fuzzy dump), the
+///   moved records exist nowhere in the backup **or** the log — media
+///   recovery silently loses them.
+/// * With [`BackupPolicy::Protocol`], flushing `new` while `Done` triggers
+///   an identity write, and recovery is exact.
+pub fn fig1_split_scenario(policy: BackupPolicy) -> Result<Fig1Outcome, String> {
+    let page_size = 256usize;
+    let mut engine = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        policy,
+        ..EngineConfig::single(64, page_size)
+    })
+    .map_err(|e| e.to_string())?;
+
+    // `new` low in the backup order, `old` high — the Figure 1 geometry.
+    let new = PageId::new(0, 8);
+    let old = PageId::new(0, 40);
+
+    // Prefill `old` with records and quiesce.
+    let mut expected: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for i in 0..6u8 {
+        let key = vec![b'a' + i];
+        let val = vec![0x10 + i; 8];
+        expected.push((key.clone(), val.clone()));
+        engine
+            .execute(OpBody::Physio(PhysioOp::InsertRec {
+                target: old,
+                key: Bytes::from(key),
+                val: Bytes::from(val),
+            }))
+            .map_err(|e| e.to_string())?;
+    }
+    engine.flush_all().map_err(|e| e.to_string())?;
+
+    // Two-step backup: step 1 copies the low half (including `new`,
+    // still empty).
+    let mut run = engine.begin_backup(2).map_err(|e| e.to_string())?;
+    engine.backup_step(&mut run).map_err(|e| e.to_string())?;
+
+    // The logical split: MovRec(old, "c", new) then RmvRec(old, "c").
+    let sep = Bytes::from_static(b"c");
+    engine
+        .execute(OpBody::Logical(LogicalOp::MovRec {
+            old,
+            sep: sep.clone(),
+            new,
+        }))
+        .map_err(|e| e.to_string())?;
+    engine
+        .execute(OpBody::Physio(PhysioOp::RmvRec { target: old, sep }))
+        .map_err(|e| e.to_string())?;
+
+    // Flush both (write-graph order: new before old). `new` is Done —
+    // the protocol logs it; the naive dump does not.
+    engine.flush_page(old).map_err(|e| e.to_string())?;
+
+    // Step 2 copies the high half (including the truncated `old`).
+    while !engine.backup_step(&mut run).map_err(|e| e.to_string())? {}
+    let image = engine.complete_backup(run).map_err(|e| e.to_string())?;
+    let iwof_records = engine.stats().iwof_records;
+
+    // Media failure and recovery from the backup.
+    engine
+        .store()
+        .fail_partition(PartitionId(0))
+        .map_err(|e| e.to_string())?;
+    engine.media_recover(&image).map_err(|e| e.to_string())?;
+
+    // Collect the records from both nodes.
+    let mut found: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for pid in [old, new] {
+        let page = engine.read_page(pid).map_err(|e| e.to_string())?;
+        let rp = RecPage::decode(pid, page.data()).map_err(|e| e.to_string())?;
+        found.extend(rp.into_entries());
+    }
+    found.sort();
+    let mut want = expected.clone();
+    want.sort();
+    Ok(Fig1Outcome {
+        data_intact: found == want,
+        iwof_records,
+        records_expected: want.len(),
+        records_found: found.len(),
+    })
+}
+
+/// Configuration of a randomized end-to-end session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// RNG seed — everything else being equal, the session is a pure
+    /// function of it.
+    pub seed: u64,
+    /// Database pages (one partition).
+    pub pages: u32,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Operation discipline (drives the generated mix).
+    pub discipline: Discipline,
+    /// Backup policy under test.
+    pub policy: BackupPolicy,
+    /// Operations to execute.
+    pub ops: u32,
+    /// Probability of flushing a random dirty page after each operation.
+    pub flush_prob: f64,
+    /// Steps for the interleaved backup.
+    pub backup_steps: u32,
+    /// Operations before the backup begins.
+    pub backup_start_after: u32,
+    /// Operations between backup steps.
+    pub ops_per_backup_step: u32,
+    /// Crash (and verify recovery) after this many operations, if set.
+    /// The session ends at the crash.
+    pub crash_after: Option<u32>,
+    /// End with a media failure + restore from the session's backup +
+    /// roll-forward, verified against the oracle.
+    pub media_drill: bool,
+}
+
+impl SessionConfig {
+    /// A medium-sized protocol session for the given seed and discipline.
+    pub fn protocol(seed: u64, discipline: Discipline) -> SessionConfig {
+        SessionConfig {
+            seed,
+            pages: 256,
+            page_size: 64,
+            discipline,
+            policy: BackupPolicy::Protocol,
+            ops: 400,
+            flush_prob: 0.4,
+            backup_steps: 4,
+            backup_start_after: 80,
+            ops_per_backup_step: 60,
+            crash_after: None,
+            media_drill: true,
+        }
+    }
+}
+
+/// What a session observed.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// Identity-write records logged.
+    pub iwof_records: u64,
+    /// Coordinator decisions while a backup was active.
+    pub decisions_active: u64,
+    /// Pages the backup captured.
+    pub backup_pages: u64,
+    /// Whether every requested verification matched the oracle.
+    pub verified: bool,
+    /// Description of the first verification failure.
+    pub failure: Option<String>,
+}
+
+/// Run a randomized session: a seeded workload with interleaved flushes, an
+/// on-line backup, and optional crash / media-failure drills verified
+/// against the shadow oracle.
+pub fn random_session(cfg: &SessionConfig) -> Result<SessionReport, String> {
+    let mut engine = Engine::new(EngineConfig {
+        discipline: cfg.discipline,
+        policy: cfg.policy,
+        ..EngineConfig::single(cfg.pages, cfg.page_size)
+    })
+    .map_err(|e| e.to_string())?;
+    let mut oracle = ShadowOracle::new(cfg.page_size);
+    let mut gen = WorkloadGen::new(cfg.seed, cfg.page_size);
+
+    // Page pools. For the tree discipline, fresh pages come from a
+    // shuffled pool so write-new targets stay uniformly positioned.
+    let all: Vec<PageId> = (0..cfg.pages).map(|i| PageId::new(0, i)).collect();
+    let shuffled = gen.shuffled(&all);
+    let prefill = (cfg.pages as usize / 3).max(8).min(shuffled.len() / 2);
+    let mut used: Vec<PageId> = shuffled[..prefill].to_vec();
+    let mut fresh: Vec<PageId> = shuffled[prefill..].to_vec();
+    for &p in &used.clone() {
+        oracle.execute(&mut engine, gen.physical(p))?;
+    }
+    engine.flush_all().map_err(|e| e.to_string())?;
+
+    let mut run = None;
+    let mut image = None;
+    let mut backup_pages = 0u64;
+    let mut since_step = 0u32;
+    let mut crashed = false;
+    let mut failure: Option<String> = None;
+
+    for opno in 0..cfg.ops {
+        // Generate one operation fitting the discipline.
+        let body = match cfg.discipline {
+            Discipline::PageOriented => {
+                let p = gen_pick(&mut gen, &used);
+                if gen.chance(0.5) {
+                    gen.physio(p)
+                } else {
+                    gen.physical(p)
+                }
+            }
+            Discipline::Tree => {
+                if gen.chance(0.4) && !fresh.is_empty() {
+                    let x = fresh.swap_remove(gen.below(fresh.len()));
+                    let op = gen.copy_to_fresh(&used, x);
+                    used.push(x);
+                    op
+                } else {
+                    let p = gen_pick(&mut gen, &used);
+                    if gen.chance(0.5) {
+                        gen.physio(p)
+                    } else {
+                        gen.physical(p)
+                    }
+                }
+            }
+            Discipline::General => {
+                if gen.chance(0.5) && used.len() >= 4 {
+                    gen.mix(&used, 2, 2)
+                } else {
+                    let p = gen_pick(&mut gen, &used);
+                    if gen.chance(0.5) {
+                        gen.physio(p)
+                    } else {
+                        gen.physical(p)
+                    }
+                }
+            }
+        };
+        oracle.execute(&mut engine, body)?;
+
+        // Random flush pressure.
+        if gen.chance(cfg.flush_prob) {
+            let dirty = engine.cache().dirty_pages();
+            if !dirty.is_empty() {
+                let victim = dirty[gen.below(dirty.len())];
+                engine.flush_page(victim).map_err(|e| e.to_string())?;
+            }
+        }
+
+        // Backup lifecycle.
+        if opno == cfg.backup_start_after {
+            run = Some(
+                engine
+                    .begin_backup(cfg.backup_steps)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        if let Some(r) = run.as_mut() {
+            since_step += 1;
+            if since_step >= cfg.ops_per_backup_step {
+                since_step = 0;
+                if engine.backup_step(r).map_err(|e| e.to_string())? {
+                    let r = run.take().unwrap();
+                    backup_pages = r.pages_copied();
+                    image = Some(engine.complete_backup(r).map_err(|e| e.to_string())?);
+                }
+            }
+        }
+
+        // Crash drill.
+        if cfg.crash_after == Some(opno) {
+            let durable = engine.log().durable_lsn();
+            if let Some(r) = run.take() {
+                let id = r.backup_id();
+                r.abort(engine.coordinator());
+                engine.release_backup(id);
+            }
+            engine.crash();
+            engine.recover().map_err(|e| e.to_string())?;
+            if let Err(e) = oracle.verify_store(&engine, durable) {
+                failure = Some(format!("crash recovery mismatch: {e}"));
+            }
+            crashed = true;
+            break;
+        }
+    }
+
+    // Finish an unfinished backup.
+    if let Some(mut r) = run.take() {
+        while !engine.backup_step(&mut r).map_err(|e| e.to_string())? {}
+        backup_pages = r.pages_copied();
+        image = Some(engine.complete_backup(r).map_err(|e| e.to_string())?);
+    }
+
+    let (decisions_active, _, _, _, _, _) = engine.coordinator().stats().snapshot();
+    let iwof_records = engine.stats().iwof_records;
+
+    // Media drill: lose the medium, restore, roll forward, compare.
+    if cfg.media_drill && !crashed && failure.is_none() {
+        let image = image.ok_or("media drill requires a completed backup")?;
+        engine
+            .store()
+            .fail_partition(PartitionId(0))
+            .map_err(|e| e.to_string())?;
+        engine.media_recover(&image).map_err(|e| e.to_string())?;
+        if let Err(e) = oracle.verify_store(&engine, Lsn::MAX) {
+            failure = Some(format!("media recovery mismatch: {e}"));
+        }
+    }
+
+    Ok(SessionReport {
+        iwof_records,
+        decisions_active,
+        backup_pages,
+        verified: failure.is_none(),
+        failure,
+    })
+}
+
+fn gen_pick(gen: &mut WorkloadGen, pages: &[PageId]) -> PageId {
+    pages[gen.below(pages.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_naive_fuzzy_dump_loses_the_split() {
+        let out = fig1_split_scenario(BackupPolicy::NaiveFuzzy).unwrap();
+        assert!(!out.data_intact, "the counterexample must bite");
+        assert_eq!(out.iwof_records, 0);
+        assert!(out.records_found < out.records_expected);
+    }
+
+    #[test]
+    fn fig1_protocol_preserves_the_split() {
+        let out = fig1_split_scenario(BackupPolicy::Protocol).unwrap();
+        assert!(out.data_intact);
+        assert!(out.iwof_records >= 1, "Done-region flush logged identity");
+        assert_eq!(out.records_found, out.records_expected);
+    }
+
+    #[test]
+    fn protocol_sessions_verify_across_disciplines() {
+        for discipline in [
+            Discipline::PageOriented,
+            Discipline::Tree,
+            Discipline::General,
+        ] {
+            for seed in [1u64, 2, 3] {
+                let cfg = SessionConfig::protocol(seed, discipline);
+                let rep = random_session(&cfg).unwrap();
+                assert!(
+                    rep.verified,
+                    "{discipline:?} seed {seed}: {:?}",
+                    rep.failure
+                );
+                assert!(rep.backup_pages > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_sessions_verify() {
+        for seed in [11u64, 12] {
+            let mut cfg = SessionConfig::protocol(seed, Discipline::General);
+            cfg.crash_after = Some(200);
+            cfg.media_drill = false;
+            let rep = random_session(&cfg).unwrap();
+            assert!(rep.verified, "seed {seed}: {:?}", rep.failure);
+        }
+    }
+
+    #[test]
+    fn page_oriented_sessions_never_need_iwof() {
+        let cfg = SessionConfig::protocol(5, Discipline::PageOriented);
+        let rep = random_session(&cfg).unwrap();
+        assert!(rep.verified);
+        assert_eq!(
+            rep.iwof_records, 0,
+            "conventional fuzzy dump: no extra logging for page-oriented ops"
+        );
+    }
+}

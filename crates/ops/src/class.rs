@@ -1,0 +1,91 @@
+//! Operation classification.
+//!
+//! The backup protocol's cost depends on the *form* of the logged operations
+//! (paper §1.1, §4): page-oriented operations permit unconstrained flushing;
+//! tree operations constrain the write graph to a forest of single-object
+//! nodes; general logical operations require conservative extra logging.
+
+use lob_pagestore::PageId;
+
+/// Broad class of a log operation (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `W_P(X, log(v))`: blind write of one object with a value from the log.
+    Physical,
+    /// `W_PL(X)`: reads and writes exactly one object (state transition).
+    Physiological,
+    /// `W_IP(X, log(X))`: a cache-manager identity write — physically logged
+    /// write of the object's current value, injected by the cache manager to
+    /// install operations without flushing (paper §2.5, §3.2).
+    Identity,
+    /// A logical operation: reads one or more objects, writes one or more
+    /// (potentially different) objects (paper §1.1).
+    Logical,
+}
+
+impl OpClass {
+    /// Whether operations of this class are page-oriented (touch at most one
+    /// object), so they impose no flush-order constraints.
+    pub fn is_page_oriented(self) -> bool {
+        !matches!(self, OpClass::Logical)
+    }
+}
+
+/// The *shape* of an operation with respect to the tree-operation discipline
+/// of paper §4.
+///
+/// Whether a `WriteNew`-shaped operation really is a valid tree operation
+/// additionally requires that `new` has not been updated before ("an object
+/// can only be a **new** object the first time it is updated") — a dynamic
+/// condition the engine checks; this enum only captures the static shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeForm {
+    /// Page-oriented: possibly read `target` and write `target`.
+    PageOriented {
+        /// The single object read (possibly) and written.
+        target: PageId,
+    },
+    /// Write-new: read existing `old`, write (only) `new`.
+    WriteNew {
+        /// The object read.
+        old: PageId,
+        /// The object written (must be previously un-updated).
+        new: PageId,
+    },
+    /// Read-extra (paper §6.2): read and write `target`, additionally read
+    /// `extra` — the application-read form `R(X, A)`. Not a §4 tree
+    /// operation (the successor set of `target` grows over time), but the
+    /// same successor-tracking machinery handles it.
+    ReadExtra {
+        /// The object read and written (the application state `A`).
+        target: PageId,
+        /// The additional objects read (the input `X`).
+        extra: Vec<PageId>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_oriented_classes() {
+        assert!(OpClass::Physical.is_page_oriented());
+        assert!(OpClass::Physiological.is_page_oriented());
+        assert!(OpClass::Identity.is_page_oriented());
+        assert!(!OpClass::Logical.is_page_oriented());
+    }
+
+    #[test]
+    fn tree_form_equality() {
+        let a = TreeForm::WriteNew {
+            old: PageId::new(0, 1),
+            new: PageId::new(0, 2),
+        };
+        let b = TreeForm::WriteNew {
+            old: PageId::new(0, 1),
+            new: PageId::new(0, 2),
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,50 @@
+//! Operation errors.
+
+use lob_pagestore::PageId;
+use std::fmt;
+
+/// Errors raised while evaluating an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// The page reader could not supply a read-set page.
+    ReadFailed {
+        /// Page that could not be read.
+        page: PageId,
+        /// Human-readable cause from the reader.
+        cause: String,
+    },
+    /// A page's payload did not parse as the format the operation expects
+    /// (e.g. a record page).
+    MalformedPage {
+        /// Offending page.
+        page: PageId,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A record page overflowed while applying the operation.
+    PageFull {
+        /// Offending page.
+        page: PageId,
+    },
+    /// The operation is structurally invalid (e.g. a `Mix` with an empty
+    /// write set, or a physical write whose payload length is not the page
+    /// size — detected when applied).
+    Invalid(String),
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::ReadFailed { page, cause } => {
+                write!(f, "failed to read {page}: {cause}")
+            }
+            OpError::MalformedPage { page, detail } => {
+                write!(f, "malformed page {page}: {detail}")
+            }
+            OpError::PageFull { page } => write!(f, "page {page} is full"),
+            OpError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}

@@ -1,0 +1,364 @@
+//! A sorted record-page codec.
+//!
+//! Both motivating workloads of the paper — B-tree node splits (§1.1
+//! "Database Recovery") and record files (§1.1 "File System Recovery") —
+//! manipulate pages holding ordered *records*. This module provides the
+//! shared on-page format: a count followed by length-prefixed `(key, value)`
+//! entries kept sorted by key, padded with zeroes to the page size.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! [u16 count] ([u16 key_len][u16 val_len][key][val])*  [zero padding]
+//! ```
+//!
+//! The codec round-trips exactly, so a record page re-encoded after a
+//! no-op modification is byte-identical — important because page equality is
+//! how the test oracle checks recovery correctness.
+
+use crate::error::OpError;
+use bytes::Bytes;
+use lob_pagestore::PageId;
+
+/// Header bytes (the `u16` record count).
+const HEADER: usize = 2;
+/// Per-entry overhead bytes (two `u16` length fields).
+const ENTRY_OVERHEAD: usize = 4;
+
+/// A decoded record page: records sorted by key, unique keys.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecPage {
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+impl RecPage {
+    /// An empty record page.
+    pub fn new() -> RecPage {
+        RecPage::default()
+    }
+
+    /// Decode a page payload. `page` is used only for error reporting.
+    pub fn decode(page: PageId, data: &[u8]) -> Result<RecPage, OpError> {
+        let malformed = |detail: &str| OpError::MalformedPage {
+            page,
+            detail: detail.to_string(),
+        };
+        if data.len() < HEADER {
+            return Err(malformed("page smaller than header"));
+        }
+        let count = u16::from_le_bytes([data[0], data[1]]) as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut off = HEADER;
+        for _ in 0..count {
+            if off + ENTRY_OVERHEAD > data.len() {
+                return Err(malformed("truncated entry header"));
+            }
+            let klen = u16::from_le_bytes([data[off], data[off + 1]]) as usize;
+            let vlen = u16::from_le_bytes([data[off + 2], data[off + 3]]) as usize;
+            off += ENTRY_OVERHEAD;
+            if off + klen + vlen > data.len() {
+                return Err(malformed("truncated entry body"));
+            }
+            let key = data[off..off + klen].to_vec();
+            let val = data[off + klen..off + klen + vlen].to_vec();
+            off += klen + vlen;
+            if let Some((prev, _)) = entries.last() {
+                if *prev >= key {
+                    return Err(malformed("keys not strictly ascending"));
+                }
+            }
+            entries.push((key, val));
+        }
+        Ok(RecPage { entries })
+    }
+
+    /// Encode into a payload of exactly `page_size` bytes.
+    pub fn encode(&self, page: PageId, page_size: usize) -> Result<Bytes, OpError> {
+        let need = self.encoded_len();
+        if need > page_size {
+            return Err(OpError::PageFull { page });
+        }
+        let mut out = Vec::with_capacity(page_size);
+        out.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for (k, v) in &self.entries {
+            out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+            out.extend_from_slice(&(v.len() as u16).to_le_bytes());
+            out.extend_from_slice(k);
+            out.extend_from_slice(v);
+        }
+        out.resize(page_size, 0);
+        Ok(Bytes::from(out))
+    }
+
+    /// Bytes the encoded form occupies before padding.
+    pub fn encoded_len(&self) -> usize {
+        HEADER
+            + self
+                .entries
+                .iter()
+                .map(|(k, v)| ENTRY_OVERHEAD + k.len() + v.len())
+                .sum::<usize>()
+    }
+
+    /// Whether inserting `(key, val)` would fit in `page_size`.
+    pub fn fits_with(&self, key: &[u8], val: &[u8], page_size: usize) -> bool {
+        // Replacing an existing key frees its old value first.
+        let existing = self.get(key).map(|v| ENTRY_OVERHEAD + key.len() + v.len());
+        let after = self.encoded_len() - existing.unwrap_or(0)
+            + ENTRY_OVERHEAD
+            + key.len()
+            + val.len();
+        after <= page_size
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a record by key.
+    pub fn get(&self, key: &[u8]) -> Option<&[u8]> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1.as_slice())
+    }
+
+    /// Insert or replace a record. Returns the previous value if replaced.
+    pub fn insert(&mut self, key: Vec<u8>, val: Vec<u8>) -> Option<Vec<u8>> {
+        match self
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(&key))
+        {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, val)),
+            Err(i) => {
+                self.entries.insert(i, (key, val));
+                None
+            }
+        }
+    }
+
+    /// Delete a record by key, returning its value if present.
+    pub fn delete(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        match self
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+        {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Records with keys strictly greater than `sep`, in key order.
+    /// This is the set a `MovRec(old, key, new)` split moves (paper §1.3:
+    /// "moves index entries with keys greater than the split key").
+    pub fn records_above(&self, sep: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let start = match self
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(sep))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.entries[start..].to_vec()
+    }
+
+    /// Remove all records with keys strictly greater than `sep` (the
+    /// `RmvRec(old, key)` physiological operation).
+    pub fn remove_above(&mut self, sep: &[u8]) {
+        let start = match self
+            .entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(sep))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        self.entries.truncate(start);
+    }
+
+    /// The median key (used to pick split separators).
+    pub fn median_key(&self) -> Option<&[u8]> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries[self.entries.len() / 2].0.as_slice())
+        }
+    }
+
+    /// First (smallest) key.
+    pub fn min_key(&self) -> Option<&[u8]> {
+        self.entries.first().map(|(k, _)| k.as_slice())
+    }
+
+    /// Last (largest) key.
+    pub fn max_key(&self) -> Option<&[u8]> {
+        self.entries.last().map(|(k, _)| k.as_slice())
+    }
+
+    /// Iterate over records in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+    }
+
+    /// Bulk-load from sorted unique records (panics in debug if unsorted).
+    pub fn from_sorted(entries: Vec<(Vec<u8>, Vec<u8>)>) -> RecPage {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        RecPage { entries }
+    }
+
+    /// Consume into the record vector.
+    pub fn into_entries(self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid() -> PageId {
+        PageId::new(0, 0)
+    }
+
+    fn kv(k: &str, v: &str) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), v.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let p = RecPage::new();
+        let enc = p.encode(pid(), 64).unwrap();
+        assert_eq!(enc.len(), 64);
+        let q = RecPage::decode(pid(), &enc).unwrap();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut p = RecPage::new();
+        let (k, v) = kv("bee", "1");
+        assert!(p.insert(k.clone(), v).is_none());
+        assert_eq!(p.get(b"bee"), Some(b"1".as_slice()));
+        assert_eq!(p.insert(k.clone(), b"2".to_vec()), Some(b"1".to_vec()));
+        assert_eq!(p.get(b"bee"), Some(b"2".as_slice()));
+        assert_eq!(p.delete(b"bee"), Some(b"2".to_vec()));
+        assert_eq!(p.get(b"bee"), None);
+        assert_eq!(p.delete(b"bee"), None);
+    }
+
+    #[test]
+    fn keys_stay_sorted() {
+        let mut p = RecPage::new();
+        for k in ["m", "a", "z", "b"] {
+            p.insert(k.as_bytes().to_vec(), vec![]);
+        }
+        let keys: Vec<&[u8]> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"m", b"z"]);
+        assert_eq!(p.min_key(), Some(b"a".as_slice()));
+        assert_eq!(p.max_key(), Some(b"z".as_slice()));
+    }
+
+    #[test]
+    fn round_trip_preserves_bytes_exactly() {
+        let mut p = RecPage::new();
+        p.insert(b"alpha".to_vec(), b"1".to_vec());
+        p.insert(b"beta".to_vec(), vec![0, 255, 7]);
+        let enc1 = p.encode(pid(), 128).unwrap();
+        let q = RecPage::decode(pid(), &enc1).unwrap();
+        let enc2 = q.encode(pid(), 128).unwrap();
+        assert_eq!(enc1, enc2);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn encode_respects_capacity() {
+        let mut p = RecPage::new();
+        p.insert(vec![b'k'; 30], vec![b'v'; 30]);
+        assert!(matches!(
+            p.encode(pid(), 32),
+            Err(OpError::PageFull { .. })
+        ));
+        assert!(p.encode(pid(), 128).is_ok());
+    }
+
+    #[test]
+    fn fits_with_accounts_for_replacement() {
+        let mut p = RecPage::new();
+        p.insert(b"k".to_vec(), vec![0u8; 20]);
+        // encoded_len = 2 + 4+1+20 = 27. Page of 32: new record wouldn't fit...
+        assert!(!p.fits_with(b"j", &[0u8; 10], 32));
+        // ...but replacing k's 20-byte value with a 10-byte one does.
+        assert!(p.fits_with(b"k", &[0u8; 10], 32));
+    }
+
+    #[test]
+    fn split_primitives() {
+        let mut p = RecPage::new();
+        for (i, k) in ["a", "c", "e", "g"].iter().enumerate() {
+            p.insert(k.as_bytes().to_vec(), vec![i as u8]);
+        }
+        let moved = p.records_above(b"c");
+        assert_eq!(
+            moved,
+            vec![kv_raw("e", &[2]), kv_raw("g", &[3])],
+            "records strictly above the separator move"
+        );
+        // Separator between existing keys.
+        let moved2 = p.records_above(b"d");
+        assert_eq!(moved2.len(), 2);
+        p.remove_above(b"c");
+        let keys: Vec<&[u8]> = p.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"c"]);
+    }
+
+    fn kv_raw(k: &str, v: &[u8]) -> (Vec<u8>, Vec<u8>) {
+        (k.as_bytes().to_vec(), v.to_vec())
+    }
+
+    #[test]
+    fn median_key_exists_for_nonempty() {
+        let mut p = RecPage::new();
+        assert!(p.median_key().is_none());
+        for k in ["a", "b", "c", "d", "e"] {
+            p.insert(k.as_bytes().to_vec(), vec![]);
+        }
+        assert_eq!(p.median_key(), Some(b"c".as_slice()));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // Count says 1 entry but no bytes follow.
+        let mut data = vec![0u8; 16];
+        data[0] = 1;
+        // key_len = 200 overruns.
+        data[2] = 200;
+        assert!(RecPage::decode(pid(), &data).is_err());
+        // Too-short page.
+        assert!(RecPage::decode(pid(), &[0u8; 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unsorted() {
+        let mut p = Vec::new();
+        p.extend_from_slice(&2u16.to_le_bytes());
+        for k in [b"b", b"a"] {
+            p.extend_from_slice(&1u16.to_le_bytes());
+            p.extend_from_slice(&0u16.to_le_bytes());
+            p.extend_from_slice(k);
+        }
+        p.resize(64, 0);
+        assert!(RecPage::decode(pid(), &p).is_err());
+    }
+
+    #[test]
+    fn from_sorted_round_trips() {
+        let p = RecPage::from_sorted(vec![kv("a", "1"), kv("b", "2")]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.into_entries().len(), 2);
+    }
+}

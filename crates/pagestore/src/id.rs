@@ -1,0 +1,141 @@
+//! Page and partition identifiers, and positions in the backup order.
+
+use std::fmt;
+
+/// Identifier of a database partition.
+///
+/// Partitions are the unit of *independent backup progress tracking* (paper
+/// §3.4): "It is possible to divide the database into disjoint partitions,
+/// and to independently track backup progress in each partition." A
+/// partition is also the natural unit of media failure (§6.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a recoverable object (a page) in the stable database.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId {
+    /// Partition the page lives in.
+    pub partition: PartitionId,
+    /// Physical index of the page within its partition. This *is* the page's
+    /// position in the backup sweep order for the partition.
+    pub index: u32,
+}
+
+impl PageId {
+    /// Construct a page id from raw partition number and index.
+    #[inline]
+    pub fn new(partition: u32, index: u32) -> Self {
+        PageId {
+            partition: PartitionId(partition),
+            index,
+        }
+    }
+
+    /// The page's position `#X` in its partition's backup order.
+    ///
+    /// The paper (§3.4): "With each object X, we associate a value #X in the
+    /// backup \[partial\] order ... which can be derived from the physical
+    /// locations of data on disk." Here the physical location is simply the
+    /// page index.
+    #[inline]
+    pub fn pos(self) -> PagePos {
+        PagePos(self.index as u64)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.partition, self.index)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A position in the backup order of one partition.
+///
+/// Positions are totally ordered within a partition and incomparable across
+/// partitions (the backup order is a *partial* order overall). The paper
+/// requires sentinels `Min` and `Max` with `Min < #X < Max` for all `X`;
+/// [`PagePos::MIN`] and [`PagePos::MAX`] provide them (no real page uses
+/// `u64::MAX` since indexes are `u32`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PagePos(pub u64);
+
+impl PagePos {
+    /// `Min` sentinel: strictly below every real page position is not
+    /// possible for position 0, so `Min` is defined as "before any copying
+    /// has occurred" — the tracker treats `D = P = MIN` as "no backup
+    /// active / nothing copied". Comparisons in the tracker use half-open
+    /// ranges so position 0 behaves correctly.
+    pub const MIN: PagePos = PagePos(0);
+    /// `Max` sentinel: strictly above every real page position.
+    pub const MAX: PagePos = PagePos(u64::MAX);
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PagePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == PagePos::MAX {
+            write!(f, "#Max")
+        } else {
+            write!(f, "#{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_pos_derives_from_index() {
+        let x = PageId::new(3, 17);
+        assert_eq!(x.pos(), PagePos(17));
+        assert_eq!(x.partition, PartitionId(3));
+    }
+
+    #[test]
+    fn positions_are_ordered_within_partition() {
+        let a = PageId::new(0, 5).pos();
+        let b = PageId::new(0, 9).pos();
+        assert!(a < b);
+        assert!(PagePos::MIN <= a);
+        assert!(b < PagePos::MAX);
+    }
+
+    #[test]
+    fn sentinels_bracket_all_real_positions() {
+        // Real positions come from u32 indexes, so MAX (u64::MAX) is
+        // strictly above all of them.
+        let top = PageId::new(0, u32::MAX).pos();
+        assert!(top < PagePos::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", PageId::new(1, 2)), "P1:2");
+        assert_eq!(format!("{:?}", PagePos::MAX), "#Max");
+        assert_eq!(format!("{:?}", PagePos(4)), "#4");
+    }
+}

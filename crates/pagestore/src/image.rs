@@ -1,0 +1,145 @@
+//! Page images: bags of page copies.
+
+use crate::id::PageId;
+use crate::page::Page;
+use std::collections::BTreeMap;
+
+/// A bag of page copies keyed by [`PageId`].
+///
+/// This is the raw material of a backup database `B`: the backup drivers in
+/// `lob-backup` fill one of these page-by-page as the sweep progresses, and
+/// restore copies it back into a [`crate::StableStore`]. It is also used by
+/// the shadow oracle in tests.
+#[derive(Clone, Default)]
+pub struct PageImage {
+    pages: BTreeMap<PageId, Page>,
+}
+
+impl PageImage {
+    /// An empty image.
+    pub fn new() -> PageImage {
+        PageImage::default()
+    }
+
+    /// Insert (or replace) a page copy.
+    pub fn put(&mut self, id: PageId, page: Page) {
+        self.pages.insert(id, page);
+    }
+
+    /// Look up a page copy.
+    pub fn get(&self, id: PageId) -> Option<&Page> {
+        self.pages.get(&id)
+    }
+
+    /// Whether the image contains a copy of `id`.
+    pub fn contains(&self, id: PageId) -> bool {
+        self.pages.contains_key(&id)
+    }
+
+    /// Number of pages in the image.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the image is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterate over `(id, page)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PageId, &Page)> {
+        self.pages.iter().map(|(id, p)| (*id, p))
+    }
+
+    /// Remove a page copy, returning it if present.
+    pub fn remove(&mut self, id: PageId) -> Option<Page> {
+        self.pages.remove(&id)
+    }
+
+    /// Merge `other` into `self`; `other`'s pages win on conflict.
+    /// Used to apply an incremental backup on top of a full one.
+    pub fn overlay(&mut self, other: &PageImage) {
+        for (id, page) in other.iter() {
+            self.pages.insert(id, page.clone());
+        }
+    }
+
+    /// Total payload bytes held.
+    pub fn payload_bytes(&self) -> u64 {
+        self.pages.values().map(|p| p.len() as u64).sum()
+    }
+}
+
+impl std::fmt::Debug for PageImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageImage({} pages)", self.pages.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lsn;
+    use bytes::Bytes;
+
+    fn pg(lsn: u64, b: &'static [u8]) -> Page {
+        Page::new(Lsn(lsn), Bytes::from_static(b))
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut img = PageImage::new();
+        let id = PageId::new(0, 3);
+        assert!(!img.contains(id));
+        img.put(id, pg(1, b"a"));
+        assert_eq!(img.get(id).unwrap().lsn(), Lsn(1));
+        assert_eq!(img.len(), 1);
+        assert_eq!(img.remove(id).unwrap().lsn(), Lsn(1));
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn put_replaces() {
+        let mut img = PageImage::new();
+        let id = PageId::new(0, 0);
+        img.put(id, pg(1, b"a"));
+        img.put(id, pg(2, b"b"));
+        assert_eq!(img.len(), 1);
+        assert_eq!(img.get(id).unwrap().lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn overlay_prefers_other() {
+        let mut full = PageImage::new();
+        full.put(PageId::new(0, 0), pg(1, b"a"));
+        full.put(PageId::new(0, 1), pg(1, b"a"));
+        let mut incr = PageImage::new();
+        incr.put(PageId::new(0, 1), pg(5, b"z"));
+        incr.put(PageId::new(0, 2), pg(6, b"y"));
+        full.overlay(&incr);
+        assert_eq!(full.len(), 3);
+        assert_eq!(full.get(PageId::new(0, 1)).unwrap().lsn(), Lsn(5));
+        assert_eq!(full.get(PageId::new(0, 0)).unwrap().lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut img = PageImage::new();
+        img.put(PageId::new(0, 0), pg(1, b"abcd"));
+        img.put(PageId::new(0, 1), pg(1, b"ef"));
+        assert_eq!(img.payload_bytes(), 6);
+    }
+
+    #[test]
+    fn iteration_is_id_ordered() {
+        let mut img = PageImage::new();
+        img.put(PageId::new(1, 0), pg(1, b"c"));
+        img.put(PageId::new(0, 5), pg(1, b"b"));
+        img.put(PageId::new(0, 1), pg(1, b"a"));
+        let ids: Vec<PageId> = img.iter().map(|(id, _)| id).collect();
+        assert_eq!(
+            ids,
+            vec![PageId::new(0, 1), PageId::new(0, 5), PageId::new(1, 0)]
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Log sequence numbers.
+
+use std::fmt;
+
+/// A log sequence number: the address of a log record in the (conceptually
+/// infinite) log, totally ordered by append order.
+///
+/// `Lsn(0)` is [`Lsn::NULL`], which is smaller than the LSN of every real log
+/// record; a freshly formatted page carries `Lsn::NULL` so that the LSN redo
+/// test (`pageLSN < recLSN`) replays everything against it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN, smaller than every real record's LSN.
+    pub const NULL: Lsn = Lsn(0);
+    /// The largest representable LSN; useful as a scan upper bound.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// First real LSN handed out by a fresh log.
+    pub const FIRST: Lsn = Lsn(1);
+
+    /// Whether this is the null LSN.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Lsn::NULL
+    }
+
+    /// The LSN immediately after this one.
+    #[inline]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+
+    /// Raw value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "Lsn(NULL)")
+        } else {
+            write!(f, "Lsn({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for Lsn {
+    fn from(v: u64) -> Self {
+        Lsn(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_smallest() {
+        assert!(Lsn::NULL < Lsn::FIRST);
+        assert!(Lsn::NULL < Lsn(1));
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn(3).is_null());
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(Lsn(1) < Lsn(2));
+        assert!(Lsn(2) < Lsn::MAX);
+        assert_eq!(Lsn(7).next(), Lsn(8));
+    }
+
+    #[test]
+    fn default_is_null() {
+        assert_eq!(Lsn::default(), Lsn::NULL);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Lsn::NULL), "Lsn(NULL)");
+        assert_eq!(format!("{:?}", Lsn(42)), "Lsn(42)");
+        assert_eq!(format!("{}", Lsn(42)), "Lsn(42)");
+    }
+}

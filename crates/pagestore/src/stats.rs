@@ -1,0 +1,140 @@
+//! I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe I/O counters for a store.
+///
+/// The backup throughput experiments (`tab_backup_throughput`) and the
+/// logging-economy experiments (`tab_logging_economy`) read these to report
+/// how much work each strategy performed.
+#[derive(Debug, Default)]
+#[repr(align(64))] // one cache line: adjacent per-partition stats must not false-share
+pub struct IoStats {
+    page_reads: AtomicU64,
+    page_writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> IoStats {
+        IoStats::default()
+    }
+
+    /// Account one page read of `bytes` bytes.
+    pub fn record_read(&self, bytes: usize) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Account one page write of `bytes` bytes.
+    pub fn record_write(&self, bytes: usize) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Number of page reads served.
+    pub fn page_reads(&self) -> u64 {
+        self.page_reads.load(Ordering::Relaxed)
+    }
+
+    /// Number of page writes performed.
+    pub fn page_writes(&self) -> u64 {
+        self.page_writes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads(),
+            page_writes: self.page_writes(),
+            bytes_read: self.bytes_read(),
+            bytes_written: self.bytes_written(),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Number of page reads served.
+    pub page_reads: u64,
+    /// Number of page writes performed.
+    pub page_writes: u64,
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+}
+
+impl IoSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            page_reads: self.page_reads.saturating_sub(earlier.page_reads),
+            page_writes: self.page_writes.saturating_sub(earlier.page_writes),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read(100);
+        s.record_read(50);
+        s.record_write(200);
+        assert_eq!(s.page_reads(), 2);
+        assert_eq!(s.bytes_read(), 150);
+        assert_eq!(s.page_writes(), 1);
+        assert_eq!(s.bytes_written(), 200);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_write(10);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.record_write(10);
+        let a = s.snapshot();
+        s.record_write(30);
+        s.record_read(5);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.page_writes, 1);
+        assert_eq!(d.bytes_written, 30);
+        assert_eq!(d.page_reads, 1);
+        assert_eq!(d.bytes_read, 5);
+    }
+}

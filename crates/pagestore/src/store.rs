@@ -1,0 +1,434 @@
+//! The stable database `S`.
+
+use crate::id::{PageId, PartitionId};
+use crate::image::PageImage;
+use crate::page::Page;
+use crate::stats::{IoSnapshot, IoStats};
+use parking_lot::RwLock;
+use std::fmt;
+
+/// Configuration of a [`StableStore`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Size in bytes of every page payload.
+    pub page_size: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { page_size: 256 }
+    }
+}
+
+/// Size specification of one partition.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionSpec {
+    /// Number of pages in the partition.
+    pub pages: u32,
+}
+
+/// Errors from stable-store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The partition does not exist.
+    NoSuchPartition(PartitionId),
+    /// The page index is out of range for its partition.
+    NoSuchPage(PageId),
+    /// The page (or its whole partition) has suffered a media failure and
+    /// cannot be read until restored.
+    MediaFailure(PageId),
+    /// A page write supplied a payload of the wrong size.
+    PageSizeMismatch {
+        /// Target page.
+        page: PageId,
+        /// Payload size supplied.
+        got: usize,
+        /// Configured page size.
+        want: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchPartition(p) => write!(f, "no such partition {p}"),
+            StoreError::NoSuchPage(p) => write!(f, "no such page {p}"),
+            StoreError::MediaFailure(p) => write!(f, "media failure reading {p}"),
+            StoreError::PageSizeMismatch { page, got, want } => {
+                write!(f, "page {page}: payload {got}B but page size is {want}B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+struct PartitionState {
+    pages: Vec<Page>,
+    /// Whole-partition media failure.
+    failed: bool,
+    /// Failed index ranges (half-open), for partial media failures.
+    failed_ranges: Vec<(u32, u32)>,
+}
+
+impl PartitionState {
+    fn is_failed(&self, index: u32) -> bool {
+        self.failed
+            || self
+                .failed_ranges
+                .iter()
+                .any(|&(lo, hi)| index >= lo && index < hi)
+    }
+}
+
+/// The stable database `S`: a set of partitions of fixed-size pages with
+/// atomic page reads and writes.
+///
+/// Thread-safety: each partition is guarded by its own `RwLock` held only for
+/// the duration of a single page transfer. This models the paper's §1.2
+/// observation that "data contention during backup to read or write pages is
+/// resolved by disk access order": a page copied by the backup process is
+/// captured either entirely before or entirely after any concurrent flush.
+pub struct StableStore {
+    config: StoreConfig,
+    partitions: Vec<RwLock<PartitionState>>,
+    /// One counter block per partition (cache-line padded): concurrent
+    /// sweep threads account I/O without sharing a line.
+    stats: Vec<IoStats>,
+}
+
+impl StableStore {
+    /// Create a store with the given partitions, all pages formatted
+    /// (zeroed, null pageLSN).
+    pub fn new(config: StoreConfig, partitions: &[PartitionSpec]) -> StableStore {
+        let parts = partitions
+            .iter()
+            .map(|spec| {
+                RwLock::new(PartitionState {
+                    pages: (0..spec.pages)
+                        .map(|_| Page::formatted(config.page_size))
+                        .collect(),
+                    failed: false,
+                    failed_ranges: Vec::new(),
+                })
+            })
+            .collect();
+        let stats = (0..partitions.len()).map(|_| IoStats::new()).collect();
+        StableStore {
+            config,
+            partitions: parts,
+            stats,
+        }
+    }
+
+    /// Convenience: a single-partition store of `pages` pages.
+    pub fn single(config: StoreConfig, pages: u32) -> StableStore {
+        StableStore::new(config, &[PartitionSpec { pages }])
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    /// Number of pages in a partition.
+    pub fn page_count(&self, partition: PartitionId) -> Result<u32, StoreError> {
+        self.part(partition)
+            .map(|p| p.read().pages.len() as u32)
+    }
+
+    /// Aggregated I/O statistics across all partitions.
+    pub fn stats(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for s in &self.stats {
+            let p = s.snapshot();
+            total.page_reads += p.page_reads;
+            total.page_writes += p.page_writes;
+            total.bytes_read += p.bytes_read;
+            total.bytes_written += p.bytes_written;
+        }
+        total
+    }
+
+    /// Reset all I/O counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        for s in &self.stats {
+            s.reset();
+        }
+    }
+
+    fn part(&self, pid: PartitionId) -> Result<&RwLock<PartitionState>, StoreError> {
+        self.partitions
+            .get(pid.0 as usize)
+            .ok_or(StoreError::NoSuchPartition(pid))
+    }
+
+    /// Read a page. Fails with [`StoreError::MediaFailure`] if the page is in
+    /// a failed region.
+    pub fn read_page(&self, id: PageId) -> Result<Page, StoreError> {
+        let part = self.part(id.partition)?;
+        let guard = part.read();
+        if guard.is_failed(id.index) {
+            return Err(StoreError::MediaFailure(id));
+        }
+        let page = guard
+            .pages
+            .get(id.index as usize)
+            .cloned()
+            .ok_or(StoreError::NoSuchPage(id))?;
+        self.stats[id.partition.0 as usize].record_read(page.len());
+        Ok(page)
+    }
+
+    /// Atomically write a page. Writing to a failed region is permitted: it
+    /// models writing to the replacement medium during restore.
+    pub fn write_page(&self, id: PageId, page: Page) -> Result<(), StoreError> {
+        if page.len() != self.config.page_size {
+            return Err(StoreError::PageSizeMismatch {
+                page: id,
+                got: page.len(),
+                want: self.config.page_size,
+            });
+        }
+        let part = self.part(id.partition)?;
+        let mut guard = part.write();
+        let slot = guard
+            .pages
+            .get_mut(id.index as usize)
+            .ok_or(StoreError::NoSuchPage(id))?;
+        *slot = page;
+        self.stats[id.partition.0 as usize].record_write(self.config.page_size);
+        Ok(())
+    }
+
+    /// The pageLSN of a page without charging a page read (metadata access).
+    pub fn page_lsn(&self, id: PageId) -> Result<crate::Lsn, StoreError> {
+        let part = self.part(id.partition)?;
+        let guard = part.read();
+        if guard.is_failed(id.index) {
+            return Err(StoreError::MediaFailure(id));
+        }
+        guard
+            .pages
+            .get(id.index as usize)
+            .map(|p| p.lsn())
+            .ok_or(StoreError::NoSuchPage(id))
+    }
+
+    /// Inject a media failure covering a whole partition.
+    pub fn fail_partition(&self, pid: PartitionId) -> Result<(), StoreError> {
+        self.part(pid)?.write().failed = true;
+        Ok(())
+    }
+
+    /// Inject a media failure covering `lo..hi` page indexes of a partition.
+    pub fn fail_range(&self, pid: PartitionId, lo: u32, hi: u32) -> Result<(), StoreError> {
+        self.part(pid)?.write().failed_ranges.push((lo, hi));
+        Ok(())
+    }
+
+    /// Whether any part of the partition is failed.
+    pub fn has_failures(&self, pid: PartitionId) -> Result<bool, StoreError> {
+        let g = self.part(pid)?.read();
+        Ok(g.failed || !g.failed_ranges.is_empty())
+    }
+
+    /// Clear media-failure markers for a partition. Models installing a
+    /// replacement medium; the caller must then restore page contents from a
+    /// backup image and roll the state forward from the media recovery log.
+    pub fn clear_failures(&self, pid: PartitionId) -> Result<(), StoreError> {
+        let mut g = self.part(pid)?.write();
+        g.failed = false;
+        g.failed_ranges.clear();
+        Ok(())
+    }
+
+    /// Copy every page of every partition into a [`PageImage`].
+    /// (Used for off-line backups and by the shadow oracle; the on-line
+    /// backup drivers copy page-by-page so progress can be tracked.)
+    pub fn snapshot(&self) -> Result<PageImage, StoreError> {
+        let mut img = PageImage::new();
+        for (pi, part) in self.partitions.iter().enumerate() {
+            let guard = part.read();
+            if guard.failed {
+                return Err(StoreError::MediaFailure(PageId::new(pi as u32, 0)));
+            }
+            for (i, page) in guard.pages.iter().enumerate() {
+                let id = PageId::new(pi as u32, i as u32);
+                if guard.is_failed(id.index) {
+                    return Err(StoreError::MediaFailure(id));
+                }
+                self.stats[pi].record_read(page.len());
+                img.put(id, page.clone());
+            }
+        }
+        Ok(img)
+    }
+
+    /// Overwrite pages from an image (the restore step of media recovery).
+    /// Pages in failed regions are written too (replacement medium).
+    pub fn apply_image(&self, image: &PageImage) -> Result<(), StoreError> {
+        for (id, page) in image.iter() {
+            self.write_page(id, page.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Highest page index in `pid` whose pageLSN is non-null, if any.
+    /// Recovery uses this to re-seed volatile page allocators.
+    pub fn high_water(&self, pid: PartitionId) -> Result<Option<u32>, StoreError> {
+        let guard = self.part(pid)?.read();
+        Ok(guard
+            .pages
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, p)| !p.lsn().is_null())
+            .map(|(i, _)| i as u32))
+    }
+}
+
+impl fmt::Debug for StableStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StableStore({} partitions, page_size={})",
+            self.partitions.len(),
+            self.config.page_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Lsn;
+    use bytes::Bytes;
+
+    fn store() -> StableStore {
+        StableStore::new(
+            StoreConfig { page_size: 8 },
+            &[PartitionSpec { pages: 4 }, PartitionSpec { pages: 2 }],
+        )
+    }
+
+    fn page(lsn: u64, fill: u8) -> Page {
+        Page::new(Lsn(lsn), Bytes::from(vec![fill; 8]))
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let s = store();
+        let id = PageId::new(0, 2);
+        s.write_page(id, page(3, 0xAB)).unwrap();
+        let p = s.read_page(id).unwrap();
+        assert_eq!(p.lsn(), Lsn(3));
+        assert_eq!(p.data()[0], 0xAB);
+    }
+
+    #[test]
+    fn fresh_pages_are_formatted() {
+        let s = store();
+        let p = s.read_page(PageId::new(1, 1)).unwrap();
+        assert!(p.lsn().is_null());
+        assert!(p.data().iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn bounds_are_checked() {
+        let s = store();
+        assert_eq!(
+            s.read_page(PageId::new(2, 0)),
+            Err(StoreError::NoSuchPartition(PartitionId(2)))
+        );
+        assert_eq!(
+            s.read_page(PageId::new(1, 2)),
+            Err(StoreError::NoSuchPage(PageId::new(1, 2)))
+        );
+    }
+
+    #[test]
+    fn page_size_is_enforced() {
+        let s = store();
+        let bad = Page::new(Lsn(1), Bytes::from_static(b"short"));
+        match s.write_page(PageId::new(0, 0), bad) {
+            Err(StoreError::PageSizeMismatch { got: 5, want: 8, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_failure_blocks_reads_not_writes() {
+        let s = store();
+        let id = PageId::new(0, 1);
+        s.write_page(id, page(1, 1)).unwrap();
+        s.fail_partition(PartitionId(0)).unwrap();
+        assert_eq!(s.read_page(id), Err(StoreError::MediaFailure(id)));
+        // Writing to the replacement medium is allowed.
+        s.write_page(id, page(2, 2)).unwrap();
+        assert_eq!(s.read_page(id), Err(StoreError::MediaFailure(id)));
+        s.clear_failures(PartitionId(0)).unwrap();
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn range_failure_is_partial() {
+        let s = store();
+        s.fail_range(PartitionId(0), 1, 3).unwrap();
+        assert!(s.read_page(PageId::new(0, 0)).is_ok());
+        assert!(s.read_page(PageId::new(0, 1)).is_err());
+        assert!(s.read_page(PageId::new(0, 2)).is_err());
+        assert!(s.read_page(PageId::new(0, 3)).is_ok());
+        assert!(s.has_failures(PartitionId(0)).unwrap());
+    }
+
+    #[test]
+    fn snapshot_and_apply_round_trip() {
+        let s = store();
+        s.write_page(PageId::new(0, 0), page(1, 9)).unwrap();
+        s.write_page(PageId::new(1, 1), page(2, 7)).unwrap();
+        let img = s.snapshot().unwrap();
+        assert_eq!(img.len(), 6);
+
+        // Clobber and restore.
+        s.write_page(PageId::new(0, 0), page(5, 0)).unwrap();
+        s.apply_image(&img).unwrap();
+        assert_eq!(s.read_page(PageId::new(0, 0)).unwrap().lsn(), Lsn(1));
+        assert_eq!(s.read_page(PageId::new(1, 1)).unwrap().lsn(), Lsn(2));
+    }
+
+    #[test]
+    fn snapshot_of_failed_store_errors() {
+        let s = store();
+        s.fail_range(PartitionId(0), 0, 1).unwrap();
+        assert!(s.snapshot().is_err());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = store();
+        let id = PageId::new(0, 0);
+        s.write_page(id, page(1, 1)).unwrap();
+        s.read_page(id).unwrap();
+        assert_eq!(s.stats().page_writes, 1);
+        assert_eq!(s.stats().page_reads, 1);
+        assert_eq!(s.stats().bytes_written, 8);
+        s.reset_stats();
+        assert_eq!(s.stats().page_reads, 0);
+    }
+
+    #[test]
+    fn high_water_tracks_nonnull_lsn() {
+        let s = store();
+        assert_eq!(s.high_water(PartitionId(0)).unwrap(), None);
+        s.write_page(PageId::new(0, 2), page(1, 1)).unwrap();
+        assert_eq!(s.high_water(PartitionId(0)).unwrap(), Some(2));
+        s.write_page(PageId::new(0, 1), page(2, 1)).unwrap();
+        assert_eq!(s.high_water(PartitionId(0)).unwrap(), Some(2));
+    }
+}

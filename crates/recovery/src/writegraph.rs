@@ -1,0 +1,1071 @@
+//! Write graphs: translating installation order into flush order.
+//!
+//! A write-graph node `n` carries a set `ops(n)` of uninstalled operations
+//! and a set `vars(n)` of objects; atomically flushing `vars(n)` (when `n`
+//! has no predecessors) installs `ops(n)` (paper §2.4). Two constructions
+//! are provided:
+//!
+//! * **Intersecting writes (`W`)** — operations whose write sets intersect
+//!   are collapsed into one node and `vars(n) = Writes(n)`. Objects can
+//!   never leave `vars(n)`, so atomic flush sets grow monotonically — the
+//!   behaviour the paper calls "highly unsatisfactory" and the reason the
+//!   refined graph exists. Kept for the `fig2` ablation.
+//!
+//! * **Refined (`rW`)** — a *blind* write of `X` (one that does not read
+//!   `X`) moves `X` into the blind writer's node and removes it from the
+//!   previous holder's `vars`: the old value of `X` has become *unexposed* —
+//!   no future recovery needs it, provided every uninstalled reader of the
+//!   old value installs **before the holder** does. The paper's *inverse
+//!   write-read edges* (§2.4) — reader → holder, deliberately not
+//!   installation-graph edges — enforce that; the ordinary read-write
+//!   edges reader → blind-writer are added as well. Cache-manager identity
+//!   writes (`W_IP`) are blind writes that do not change the value, so the
+//!   reader edges are provably unnecessary and are skipped — this is what
+//!   lets Iw/oF (installing without flushing, §3.2) drain `vars(n)` to
+//!   empty without waiting on readers.
+//!
+//! Both constructions keep the graph acyclic by collapsing strongly
+//! connected components after every insertion (the paper's "second
+//! collapse").
+
+use lob_ops::OpBody;
+use lob_pagestore::{Lsn, PageId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Which write-graph construction to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphMode {
+    /// The paper's `W`: merge on intersecting write sets, `vars = Writes`.
+    Intersecting,
+    /// The paper's `rW`: blind writes un-expose old values and shrink
+    /// `vars`; required for Iw/oF and hence for the backup protocol.
+    Refined,
+}
+
+/// Stable handle of a write-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+/// Errors from write-graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteGraphError {
+    /// The node id is not (or no longer) present.
+    NoSuchNode(NodeId),
+    /// The node cannot be removed because it still has predecessors.
+    HasPredecessors(NodeId),
+    /// Internal invariant violation (only from [`WriteGraph::check_invariants`]).
+    Invariant(String),
+}
+
+impl fmt::Display for WriteGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteGraphError::NoSuchNode(n) => write!(f, "no such write-graph node {n:?}"),
+            WriteGraphError::HasPredecessors(n) => {
+                write!(f, "node {n:?} still has predecessors")
+            }
+            WriteGraphError::Invariant(msg) => write!(f, "write-graph invariant: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteGraphError {}
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    ops: Vec<Lsn>,
+    vars: BTreeSet<PageId>,
+    writes: BTreeSet<PageId>,
+    reads: BTreeSet<PageId>,
+    preds: BTreeSet<NodeId>,
+    succs: BTreeSet<NodeId>,
+    /// Installing this node is only crash-safe once the log is durable up
+    /// to here. Set when a blind write *steals* an object from this node's
+    /// `vars`: the steal's promise — "the thief's logged operation will
+    /// regenerate the object" — must survive a crash *before* this node's
+    /// remaining vars reach `S` (or the node installs free), or recovery
+    /// is left with neither the object's value nor a way to recompute it.
+    wal_floor: Lsn,
+}
+
+/// The write graph a cache manager consults before flushing.
+pub struct WriteGraph {
+    mode: GraphMode,
+    nodes: BTreeMap<NodeId, Node>,
+    /// Node currently responsible for flushing each page (`X ∈ vars(n)`).
+    by_var: HashMap<PageId, NodeId>,
+    /// Nodes with an uninstalled op that read each page.
+    readers: HashMap<PageId, BTreeSet<NodeId>>,
+    next_id: u64,
+    /// Largest `|vars(n)|` ever observed (ablation statistic).
+    max_vars: usize,
+    installed_ops: u64,
+}
+
+impl WriteGraph {
+    /// An empty graph in the given mode.
+    pub fn new(mode: GraphMode) -> WriteGraph {
+        WriteGraph {
+            mode,
+            nodes: BTreeMap::new(),
+            by_var: HashMap::new(),
+            readers: HashMap::new(),
+            next_id: 0,
+            max_vars: 0,
+            installed_ops: 0,
+        }
+    }
+
+    /// The construction mode.
+    pub fn mode(&self) -> GraphMode {
+        self.mode
+    }
+
+    fn fresh_id(&mut self) -> NodeId {
+        self.next_id += 1;
+        NodeId(self.next_id)
+    }
+
+    /// Register a logged operation. `lsn` is the operation's log record LSN;
+    /// the read/write sets and blindness are derived from `body`. Returns
+    /// the node that now carries the operation.
+    pub fn add_op(&mut self, lsn: Lsn, body: &OpBody) -> NodeId {
+        let reads: BTreeSet<PageId> = body.readset().into_iter().collect();
+        let writes: BTreeSet<PageId> = body.writeset().into_iter().collect();
+        let identity = matches!(body, OpBody::IdentityWrite { .. });
+
+        // 1. Decide which existing nodes merge with the new operation.
+        let merge_with: BTreeSet<NodeId> = match self.mode {
+            GraphMode::Intersecting => {
+                // Writes intersect (vars == writes in this mode).
+                writes
+                    .iter()
+                    .filter_map(|w| self.by_var.get(w).copied())
+                    .collect()
+            }
+            GraphMode::Refined => {
+                // Only non-blind shared writes force a merge; blind writes
+                // steal the object instead (refinement below).
+                writes
+                    .iter()
+                    .filter(|w| reads.contains(*w))
+                    .filter_map(|w| self.by_var.get(w).copied())
+                    .collect()
+            }
+        };
+
+        // 2. Build the new node, folding in the merged nodes.
+        let merged_any = !merge_with.is_empty();
+        let id = self.fresh_id();
+        let mut node = Node {
+            ops: vec![lsn],
+            vars: writes.clone(),
+            writes: writes.clone(),
+            reads: reads.clone(),
+            preds: BTreeSet::new(),
+            succs: BTreeSet::new(),
+            wal_floor: Lsn::NULL,
+        };
+        for m in &merge_with {
+            let old = self.detach(*m);
+            node.ops.extend(old.ops);
+            node.vars.extend(old.vars);
+            node.writes.extend(old.writes);
+            node.reads.extend(old.reads);
+            node.preds.extend(old.preds);
+            node.succs.extend(old.succs);
+            node.wal_floor = node.wal_floor.max(old.wal_floor);
+        }
+        node.preds.retain(|p| !merge_with.contains(p));
+        node.succs.retain(|s| !merge_with.contains(s));
+
+        // 3. Refined mode: blind writes steal their target from the current
+        //    holder — the old value becomes unexposed there, PROVIDED every
+        //    uninstalled reader of the old value installs before the holder
+        //    does. The paper's *inverse write-read edges* (§2.4) enforce
+        //    exactly that: reader → holder. (They are extra edges — not
+        //    installation-graph edges; the genuine read-write edges from
+        //    the same readers to this new node are added in step 4.)
+        //    Identity writes change no value, so the old readers are
+        //    unaffected and no inverse edges are needed (§2.5) — that is
+        //    what keeps Iw/oF from cascading.
+        let mut inverse_edges_added = false;
+        if self.mode == GraphMode::Refined {
+            for w in &writes {
+                if reads.contains(w) {
+                    continue; // not blind
+                }
+                if let Some(&holder) = self.by_var.get(w) {
+                    if let Some(h) = self.nodes.get_mut(&holder) {
+                        h.vars.remove(w);
+                        h.wal_floor = h.wal_floor.max(lsn);
+                    }
+                    if !identity {
+                        let readers: Vec<NodeId> = self
+                            .readers
+                            .get(w)
+                            .map(|rs| rs.iter().copied().collect())
+                            .unwrap_or_default();
+                        for r in readers {
+                            if r != holder && self.nodes.contains_key(&r) {
+                                self.nodes.get_mut(&r).unwrap().succs.insert(holder);
+                                self.nodes.get_mut(&holder).unwrap().preds.insert(r);
+                                inverse_edges_added = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Read-write edges into the new node: every node with an
+        //    uninstalled op that read a page this op writes must install
+        //    first. (For blind writes these are the paper's inverse
+        //    write-read edges.) Identity writes change no value, so the old
+        //    readers are unaffected and the edges are skipped — this is what
+        //    lets Iw/oF proceed without cascading flushes.
+        if !identity {
+            for w in &writes {
+                if let Some(rs) = self.readers.get(w) {
+                    for &r in rs {
+                        if r != id && !merge_with.contains(&r) {
+                            node.preds.insert(r);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 5. Install the node and fix up indexes.
+        for w in node.vars.iter() {
+            self.by_var.insert(*w, id);
+        }
+        for r in node.reads.iter() {
+            self.readers.entry(*r).or_default().insert(id);
+        }
+        let preds = node.preds.clone();
+        let succs = node.succs.clone();
+        self.max_vars = self.max_vars.max(node.vars.len());
+        self.nodes.insert(id, node);
+        for p in preds {
+            if let Some(pn) = self.nodes.get_mut(&p) {
+                pn.succs.insert(id);
+            }
+        }
+        for s in succs {
+            if let Some(sn) = self.nodes.get_mut(&s) {
+                sn.preds.insert(id);
+            }
+        }
+
+        // 6. Second collapse: merge any strongly connected component the new
+        //    edges created, keeping the graph a feasible flush order. A
+        //    cycle is only possible when this insertion merged existing
+        //    nodes (the merged node inherits outgoing edges) or added
+        //    inverse edges between existing nodes; a fresh node has no
+        //    successors, so plain insertions cannot close a cycle and the
+        //    (full-graph) Tarjan pass is skipped.
+        if merged_any || inverse_edges_added {
+            self.collapse_sccs(id)
+        } else {
+            id
+        }
+    }
+
+    /// Remove `m` from the graph entirely (for merging), returning its data.
+    fn detach(&mut self, m: NodeId) -> Node {
+        let node = self.nodes.remove(&m).expect("detach of absent node");
+        for v in &node.vars {
+            self.by_var.remove(v);
+        }
+        for r in &node.reads {
+            if let Some(rs) = self.readers.get_mut(r) {
+                rs.remove(&m);
+            }
+        }
+        for p in &node.preds {
+            if let Some(pn) = self.nodes.get_mut(p) {
+                pn.succs.remove(&m);
+            }
+        }
+        for s in &node.succs {
+            if let Some(sn) = self.nodes.get_mut(s) {
+                sn.preds.remove(&m);
+            }
+        }
+        node
+    }
+
+    /// Collapse every SCC of size > 1. Returns the surviving id of the node
+    /// that (transitively) contains `track`.
+    fn collapse_sccs(&mut self, track: NodeId) -> NodeId {
+        let sccs = self.tarjan();
+        let mut result = track;
+        for scc in sccs {
+            if scc.len() <= 1 {
+                continue;
+            }
+            let keep = scc[0];
+            let rest: Vec<NodeId> = scc[1..].to_vec();
+            let mut merged = self.detach(keep);
+            for m in &rest {
+                let old = self.detach(*m);
+                merged.ops.extend(old.ops);
+                merged.vars.extend(old.vars);
+                merged.writes.extend(old.writes);
+                merged.reads.extend(old.reads);
+                merged.preds.extend(old.preds);
+                merged.succs.extend(old.succs);
+                merged.wal_floor = merged.wal_floor.max(old.wal_floor);
+            }
+            let members: BTreeSet<NodeId> = scc.iter().copied().collect();
+            merged.preds.retain(|p| !members.contains(p));
+            merged.succs.retain(|s| !members.contains(s));
+            for v in merged.vars.iter() {
+                self.by_var.insert(*v, keep);
+            }
+            for r in merged.reads.iter() {
+                self.readers.entry(*r).or_default().insert(keep);
+            }
+            let preds = merged.preds.clone();
+            let succs = merged.succs.clone();
+            self.max_vars = self.max_vars.max(merged.vars.len());
+            self.nodes.insert(keep, merged);
+            for p in preds {
+                if let Some(pn) = self.nodes.get_mut(&p) {
+                    pn.succs.insert(keep);
+                }
+            }
+            for s in succs {
+                if let Some(sn) = self.nodes.get_mut(&s) {
+                    sn.preds.insert(keep);
+                }
+            }
+            if members.contains(&result) {
+                result = keep;
+            }
+        }
+        result
+    }
+
+    /// Iterative Tarjan SCC; returns components (each a vector of ids).
+    fn tarjan(&self) -> Vec<Vec<NodeId>> {
+        #[derive(Clone, Copy)]
+        struct Meta {
+            index: u32,
+            lowlink: u32,
+            on_stack: bool,
+        }
+        let mut meta: HashMap<NodeId, Meta> = HashMap::new();
+        let mut index = 0u32;
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut out = Vec::new();
+
+        // Explicit DFS stack of (node, iterator position over succs).
+        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        for start in ids {
+            if meta.contains_key(&start) {
+                continue;
+            }
+            let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+            let succs: Vec<NodeId> = self.nodes[&start].succs.iter().copied().collect();
+            meta.insert(
+                start,
+                Meta {
+                    index,
+                    lowlink: index,
+                    on_stack: true,
+                },
+            );
+            index += 1;
+            stack.push(start);
+            call.push((start, succs, 0));
+
+            while let Some((v, succs, mut i)) = call.pop() {
+                let mut descended = false;
+                while i < succs.len() {
+                    let w = succs[i];
+                    i += 1;
+                    match meta.get(&w).copied() {
+                        None => {
+                            // Descend into w.
+                            meta.insert(
+                                w,
+                                Meta {
+                                    index,
+                                    lowlink: index,
+                                    on_stack: true,
+                                },
+                            );
+                            index += 1;
+                            stack.push(w);
+                            let wsuccs: Vec<NodeId> =
+                                self.nodes[&w].succs.iter().copied().collect();
+                            call.push((v, succs, i));
+                            call.push((w, wsuccs, 0));
+                            descended = true;
+                            break;
+                        }
+                        Some(mw) if mw.on_stack => {
+                            let lv = meta.get_mut(&v).unwrap();
+                            lv.lowlink = lv.lowlink.min(mw.index);
+                        }
+                        Some(_) => {}
+                    }
+                }
+                if descended {
+                    continue;
+                }
+                // v finished: pop SCC if root, propagate lowlink to parent.
+                let mv = meta[&v];
+                if mv.lowlink == mv.index {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        meta.get_mut(&w).unwrap().on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+                if let Some((parent, _, _)) = call.last() {
+                    let low_v = meta[&v].lowlink;
+                    let lp = meta.get_mut(parent).unwrap();
+                    lp.lowlink = lp.lowlink.min(low_v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Node currently responsible for flushing `page`, if any.
+    pub fn node_of(&self, page: PageId) -> Option<NodeId> {
+        self.by_var.get(&page).copied()
+    }
+
+    /// Atomic flush set of a node.
+    pub fn vars(&self, id: NodeId) -> Result<&BTreeSet<PageId>, WriteGraphError> {
+        self.nodes
+            .get(&id)
+            .map(|n| &n.vars)
+            .ok_or(WriteGraphError::NoSuchNode(id))
+    }
+
+    /// The LSN the log must be durable to before this node may be
+    /// installed (see the field documentation on the steal semantics).
+    /// `Lsn::NULL` when nothing was ever stolen from the node.
+    pub fn wal_floor(&self, id: NodeId) -> Result<Lsn, WriteGraphError> {
+        self.nodes
+            .get(&id)
+            .map(|n| n.wal_floor)
+            .ok_or(WriteGraphError::NoSuchNode(id))
+    }
+
+    /// Uninstalled operations carried by a node.
+    pub fn ops(&self, id: NodeId) -> Result<&[Lsn], WriteGraphError> {
+        self.nodes
+            .get(&id)
+            .map(|n| n.ops.as_slice())
+            .ok_or(WriteGraphError::NoSuchNode(id))
+    }
+
+    /// Whether the node still has write-graph predecessors.
+    pub fn has_preds(&self, id: NodeId) -> Result<bool, WriteGraphError> {
+        self.nodes
+            .get(&id)
+            .map(|n| !n.preds.is_empty())
+            .ok_or(WriteGraphError::NoSuchNode(id))
+    }
+
+    /// All nodes with no predecessors (candidates for flushing/installing).
+    pub fn frontier(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.preds.is_empty())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// The ancestors of `id` (nodes that must install first), topologically
+    /// ordered, followed by `id` itself: a valid install schedule for `id`.
+    pub fn flush_plan(&self, id: NodeId) -> Result<Vec<NodeId>, WriteGraphError> {
+        if !self.nodes.contains_key(&id) {
+            return Err(WriteGraphError::NoSuchNode(id));
+        }
+        // Gather ancestors by reverse BFS.
+        let mut anc: BTreeSet<NodeId> = BTreeSet::new();
+        let mut work = vec![id];
+        while let Some(v) = work.pop() {
+            for &p in &self.nodes[&v].preds {
+                if anc.insert(p) {
+                    work.push(p);
+                }
+            }
+        }
+        anc.insert(id);
+        // Kahn over the induced subgraph.
+        let mut indeg: BTreeMap<NodeId, usize> = anc
+            .iter()
+            .map(|v| {
+                (
+                    *v,
+                    self.nodes[v].preds.iter().filter(|p| anc.contains(p)).count(),
+                )
+            })
+            .collect();
+        let mut ready: Vec<NodeId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(v, _)| *v)
+            .collect();
+        let mut plan = Vec::with_capacity(anc.len());
+        while let Some(v) = ready.pop() {
+            plan.push(v);
+            for &s in &self.nodes[&v].succs {
+                if let Some(d) = indeg.get_mut(&s) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.push(s);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(plan.len(), anc.len(), "ancestor subgraph must be acyclic");
+        Ok(plan)
+    }
+
+    /// Remove a node whose operations are now installed (its `vars` were
+    /// flushed, or drained to empty by identity writes). Fails if the node
+    /// still has predecessors — installing it would violate installation
+    /// order. Returns the installed operations' LSNs.
+    pub fn install_node(&mut self, id: NodeId) -> Result<Vec<Lsn>, WriteGraphError> {
+        match self.nodes.get(&id) {
+            None => return Err(WriteGraphError::NoSuchNode(id)),
+            Some(n) if !n.preds.is_empty() => {
+                return Err(WriteGraphError::HasPredecessors(id))
+            }
+            Some(_) => {}
+        }
+        let node = self.detach(id);
+        self.installed_ops += node.ops.len() as u64;
+        Ok(node.ops)
+    }
+
+    /// Smallest LSN among uninstalled operations — the crash-recovery log
+    /// truncation bound.
+    pub fn min_uninstalled_lsn(&self) -> Option<Lsn> {
+        self.nodes
+            .values()
+            .flat_map(|n| n.ops.iter().copied())
+            .min()
+    }
+
+    /// Number of live (uninstalled) nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether every operation has been installed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Largest atomic flush set ever observed (the `fig2` ablation metric).
+    pub fn max_vars_seen(&self) -> usize {
+        self.max_vars
+    }
+
+    /// Total operations installed so far.
+    pub fn installed_ops(&self) -> u64 {
+        self.installed_ops
+    }
+
+    /// Iterate over live node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Verify internal invariants; used by tests.
+    pub fn check_invariants(&self) -> Result<(), WriteGraphError> {
+        let inv = |msg: String| Err(WriteGraphError::Invariant(msg));
+        // by_var: bijective with vars membership.
+        let mut seen_vars: BTreeSet<PageId> = BTreeSet::new();
+        for (id, n) in &self.nodes {
+            for v in &n.vars {
+                if !seen_vars.insert(*v) {
+                    return inv(format!("page {v} in vars of two nodes"));
+                }
+                if self.by_var.get(v) != Some(id) {
+                    return inv(format!("by_var[{v}] does not point at holder {id:?}"));
+                }
+                if !n.writes.contains(v) {
+                    return inv(format!("var {v} of {id:?} not in its writes"));
+                }
+            }
+            // Edge symmetry.
+            for p in &n.preds {
+                match self.nodes.get(p) {
+                    Some(pn) if pn.succs.contains(id) => {}
+                    _ => return inv(format!("pred edge {p:?}->{id:?} not mirrored")),
+                }
+            }
+            for s in &n.succs {
+                match self.nodes.get(s) {
+                    Some(sn) if sn.preds.contains(id) => {}
+                    _ => return inv(format!("succ edge {id:?}->{s:?} not mirrored")),
+                }
+            }
+            if n.preds.contains(id) || n.succs.contains(id) {
+                return inv(format!("self loop at {id:?}"));
+            }
+        }
+        for (v, id) in &self.by_var {
+            match self.nodes.get(id) {
+                Some(n) if n.vars.contains(v) => {}
+                _ => return inv(format!("stale by_var entry {v} -> {id:?}")),
+            }
+        }
+        for (r, rs) in &self.readers {
+            for id in rs {
+                match self.nodes.get(id) {
+                    Some(n) if n.reads.contains(r) => {}
+                    _ => return inv(format!("stale reader entry {r} -> {id:?}")),
+                }
+            }
+        }
+        // Acyclicity.
+        if self.tarjan().iter().any(|scc| scc.len() > 1) {
+            return inv("graph contains a cycle".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for WriteGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "WriteGraph({:?}, {} nodes):", self.mode, self.nodes.len())?;
+        for (id, n) in &self.nodes {
+            writeln!(
+                f,
+                "  {id:?}: ops={:?} vars={:?} preds={:?}",
+                n.ops, n.vars, n.preds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lob_ops::{LogicalOp, PhysioOp};
+
+    fn pid(i: u32) -> PageId {
+        PageId::new(0, i)
+    }
+
+    fn physio(target: u32) -> OpBody {
+        OpBody::Physio(PhysioOp::SetBytes {
+            target: pid(target),
+            offset: 0,
+            bytes: Bytes::from_static(b"x"),
+        })
+    }
+
+    fn copy(src: u32, dst: u32) -> OpBody {
+        OpBody::Logical(LogicalOp::Copy {
+            src: pid(src),
+            dst: pid(dst),
+        })
+    }
+
+    fn mix(reads: &[u32], writes: &[u32]) -> OpBody {
+        OpBody::Logical(LogicalOp::Mix {
+            reads: reads.iter().map(|&i| pid(i)).collect(),
+            writes: writes.iter().map(|&i| pid(i)).collect(),
+            salt: 0,
+        })
+    }
+
+    fn identity(target: u32) -> OpBody {
+        OpBody::IdentityWrite {
+            target: pid(target),
+            value: Bytes::from_static(b"v"),
+        }
+    }
+
+    #[test]
+    fn page_oriented_ops_have_free_flush_order() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        g.add_op(Lsn(1), &physio(1));
+        g.add_op(Lsn(2), &physio(2));
+        g.add_op(Lsn(3), &physio(3));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.frontier().len(), 3, "no edges between page-oriented ops");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn repeated_updates_accumulate_in_one_node() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let a = g.add_op(Lsn(1), &physio(1));
+        let b = g.add_op(Lsn(2), &physio(1));
+        assert_eq!(
+            g.node_of(pid(1)),
+            Some(b),
+            "same-page physiological ops share a node (id may be refreshed by the merge)"
+        );
+        assert!(!g.nodes.contains_key(&a) || a == b, "old id absorbed");
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.ops(b).unwrap().len(), 2);
+        assert_eq!(g.vars(b).unwrap().len(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn copy_creates_flush_dependency() {
+        // copy(X, Y): Y must flush before a subsequent update of X.
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let ny = g.add_op(Lsn(1), &copy(1, 2)); // reads 1 writes 2
+        let nx = g.add_op(Lsn(2), &physio(1)); // updates X=1
+        assert_ne!(ny, nx);
+        assert!(g.has_preds(nx).unwrap(), "X's node waits on Y's node");
+        assert!(!g.has_preds(ny).unwrap());
+        assert_eq!(g.frontier(), vec![ny]);
+        let plan = g.flush_plan(nx).unwrap();
+        assert_eq!(plan, vec![ny, nx]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn install_respects_predecessors() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let ny = g.add_op(Lsn(1), &copy(1, 2));
+        let nx = g.add_op(Lsn(2), &physio(1));
+        assert!(matches!(
+            g.install_node(nx),
+            Err(WriteGraphError::HasPredecessors(_))
+        ));
+        let ops = g.install_node(ny).unwrap();
+        assert_eq!(ops, vec![Lsn(1)]);
+        assert!(!g.has_preds(nx).unwrap(), "edge released");
+        g.install_node(nx).unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.installed_ops(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn intersecting_mode_merges_and_grows() {
+        let mut g = WriteGraph::new(GraphMode::Intersecting);
+        g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        g.add_op(Lsn(2), &mix(&[4], &[3, 5]));
+        // Write sets {2,3} and {3,5} intersect → one node with vars {2,3,5}.
+        assert_eq!(g.node_count(), 1);
+        let id = g.node_ids().next().unwrap();
+        assert_eq!(g.vars(id).unwrap().len(), 3);
+        assert_eq!(g.max_vars_seen(), 3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn intersecting_mode_never_shrinks_vars() {
+        let mut g = WriteGraph::new(GraphMode::Intersecting);
+        g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        // Blind physical write of 2 merges rather than stealing.
+        g.add_op(
+            Lsn(2),
+            &OpBody::PhysicalWrite {
+                target: pid(2),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert_eq!(g.node_count(), 1);
+        let id = g.node_ids().next().unwrap();
+        assert_eq!(g.vars(id).unwrap().len(), 2, "vars stay {{2,3}}");
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn refined_mode_blind_write_shrinks_vars() {
+        // Figure 2 of the paper: A writes {X=2, Y=3}; blind write C of X
+        // leaves node(A) with vars {Y} and node(C) with vars {X}.
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let a = g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        assert_eq!(g.vars(a).unwrap().len(), 2);
+        let c = g.add_op(
+            Lsn(2),
+            &OpBody::PhysicalWrite {
+                target: pid(2),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert_ne!(a, c);
+        assert_eq!(
+            g.vars(a).unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![pid(3)],
+            "X removed from node A's flush set"
+        );
+        assert_eq!(
+            g.vars(c).unwrap().iter().copied().collect::<Vec<_>>(),
+            vec![pid(2)]
+        );
+        assert_eq!(g.node_of(pid(2)), Some(c));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blind_write_gets_edges_from_readers_of_old_value() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        // B reads X(=1) and writes 5: B's node reads 1.
+        let b = g.add_op(Lsn(1), &copy(1, 5));
+        // C blind-writes X: inverse write-read edge B -> C.
+        let c = g.add_op(
+            Lsn(2),
+            &OpBody::PhysicalWrite {
+                target: pid(1),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert!(g.has_preds(c).unwrap());
+        assert_eq!(g.flush_plan(c).unwrap(), vec![b, c]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn identity_write_steals_without_reader_edges() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let b = g.add_op(Lsn(1), &copy(1, 5)); // reads 1
+        let m = g.add_op(Lsn(2), &identity(1)); // identity write of 1
+        assert_ne!(b, m);
+        assert!(
+            !g.has_preds(m).unwrap(),
+            "identity write does not wait on readers — Iw/oF must not cascade"
+        );
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn iwof_drains_vars_to_empty() {
+        // Multi-object node; identity writes drain vars; node installs free.
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let n = g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        let m2 = g.add_op(Lsn(2), &identity(2));
+        let m3 = g.add_op(Lsn(3), &identity(3));
+        assert!(g.vars(n).unwrap().is_empty(), "vars drained by W_IP");
+        assert_eq!(g.vars(m2).unwrap().len(), 1);
+        assert_eq!(g.vars(m3).unwrap().len(), 1);
+        // n has no preds → installable without flushing anything.
+        let ops = g.install_node(n).unwrap();
+        assert_eq!(ops, vec![Lsn(1)]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cycles_are_collapsed() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        // op1 reads 1 writes 2; op2 reads 2 writes 1 (physio-style non-blind
+        // via Mix reading both targets is cleaner: craft a genuine cycle).
+        // n1: reads{1} writes{2}; n2: reads{2} writes{1}: edge n1->n2
+        // (n1 read 1? no — n1 reads 1, n2 writes 1 → edge n1->n2).
+        let n1 = g.add_op(Lsn(1), &mix(&[1], &[2]));
+        let n2 = g.add_op(Lsn(2), &mix(&[2], &[1]));
+        // Edge n1 -> n2 exists (n1 read 1, n2 writes 1).
+        assert!(g.has_preds(n2).unwrap());
+        // op3 reads 3, writes 2 — blind write of 2 steals from n1 and gets
+        // an edge from readers of 2 (n2) → n2 -> n3.
+        let n3 = g.add_op(Lsn(3), &mix(&[3], &[2]));
+        assert_ne!(n3, n1);
+        // op4 reads 2 (current = n3's), writes 3 — blind write of 3; edge
+        // from readers of 3 (n3) → n3 -> n4; plus n4 reads 2.
+        let n4 = g.add_op(Lsn(4), &mix(&[2], &[3]));
+        // op5 reads 4, writes 1: blind write of 1, readers of 1 = n1 → n1 -> n5.
+        // (no cycle yet; now force one:)
+        // op6 reads 1, writes 4... we just need *some* op set that cycles;
+        // instead verify global acyclicity holds after all insertions.
+        let _ = (n4, n3);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn genuine_cycle_collapses_to_single_node() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        // n_a: reads{1} writes{1,2}: physio-ish multi-write (non-blind on 1,
+        // blind on 2).
+        let a = g.add_op(Lsn(1), &mix(&[1, 2], &[1, 2]));
+        // a reads {1,2} writes {1,2} — non-blind both.
+        // n_b: reads{2} ... wait, 2 ∈ vars(a) non-blind → merges into a.
+        // Use disjoint pages to build a 2-cycle across two nodes:
+        // n1: reads{10} writes{11}; n2: reads{11} writes{10}:
+        let n1 = g.add_op(Lsn(2), &mix(&[10, 11], &[11])); // reads 10,11 writes 11 (non-blind 11)
+        let n2 = g.add_op(Lsn(3), &mix(&[11, 10], &[10])); // reads both, writes 10 (non-blind 10)
+        // Edges: n1 reads 10, n2 writes 10 → n1 -> n2.
+        //        n2 reads 11, and n1 writes 11, but n1 < n2 so that is a
+        //        write-read (no edge). To get the back edge, a later op in
+        //        n1's node must write 11 — physio on 11 merges into n1's
+        //        node and reads... n2 reads 11 → edge n2 -> (n1 node).
+        let n3 = g.add_op(Lsn(4), &mix(&[11], &[11])); // physio on 11, merges into n1
+        // Now n1 -> n2 and n2 -> n1 → collapsed.
+        assert_eq!(n3, g.node_of(pid(11)).unwrap());
+        let holder_10 = g.node_of(pid(10)).unwrap();
+        let holder_11 = g.node_of(pid(11)).unwrap();
+        assert_eq!(
+            holder_10, holder_11,
+            "cycle members collapsed into one node"
+        );
+        let _ = (a, n1, n2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn btree_split_shape_is_a_tree() {
+        // MovRec(old=1, new=2) then RmvRec(old=1): node(new) -> node(old).
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let mov = OpBody::Logical(LogicalOp::MovRec {
+            old: pid(1),
+            sep: Bytes::from_static(b"k"),
+            new: pid(2),
+        });
+        let n_new = g.add_op(Lsn(1), &mov);
+        let rmv = OpBody::Physio(PhysioOp::RmvRec {
+            target: pid(1),
+            sep: Bytes::from_static(b"k"),
+        });
+        let n_old = g.add_op(Lsn(2), &rmv);
+        assert_ne!(n_new, n_old);
+        assert_eq!(g.vars(n_new).unwrap().len(), 1);
+        assert_eq!(g.vars(n_old).unwrap().len(), 1);
+        assert_eq!(g.flush_plan(n_old).unwrap(), vec![n_new, n_old]);
+        assert_eq!(g.frontier(), vec![n_new]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn min_uninstalled_lsn_tracks_truncation_bound() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        assert_eq!(g.min_uninstalled_lsn(), None);
+        let a = g.add_op(Lsn(5), &physio(1));
+        g.add_op(Lsn(9), &physio(2));
+        assert_eq!(g.min_uninstalled_lsn(), Some(Lsn(5)));
+        g.install_node(a).unwrap();
+        assert_eq!(g.min_uninstalled_lsn(), Some(Lsn(9)));
+    }
+
+    #[test]
+    fn node_of_absent_page_is_none() {
+        let g = WriteGraph::new(GraphMode::Refined);
+        assert_eq!(g.node_of(pid(7)), None);
+        assert!(matches!(
+            g.vars(NodeId(99)),
+            Err(WriteGraphError::NoSuchNode(_))
+        ));
+    }
+
+    #[test]
+    fn blind_steal_sets_wal_floor_on_holder() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let n = g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        assert_eq!(g.wal_floor(n).unwrap(), Lsn::NULL);
+        // Blind write of 2 steals it; the holder may not install until the
+        // thief's record (LSN 5) is durable.
+        g.add_op(
+            Lsn(5),
+            &OpBody::PhysicalWrite {
+                target: pid(2),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert_eq!(g.wal_floor(n).unwrap(), Lsn(5));
+        // A second steal raises the floor.
+        g.add_op(
+            Lsn(9),
+            &OpBody::PhysicalWrite {
+                target: pid(3),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        assert_eq!(g.wal_floor(n).unwrap(), Lsn(9));
+        assert!(g.vars(n).unwrap().is_empty());
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn identity_steal_also_sets_wal_floor() {
+        // The engine forces identity records before installing anyway, but
+        // the graph reports the requirement uniformly.
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let n = g.add_op(Lsn(1), &mix(&[1], &[2]));
+        g.add_op(Lsn(4), &identity(2));
+        assert_eq!(g.wal_floor(n).unwrap(), Lsn(4));
+    }
+
+    #[test]
+    fn inverse_edges_target_the_holder() {
+        // A writes {2}; R reads 2 (uninstalled); thief T blind-writes 2.
+        // §2.4: R must install before A (the holder) — edge R → A — in
+        // addition to the ordinary read-write edge R → T.
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        let a = g.add_op(Lsn(1), &mix(&[1], &[2]));
+        let r = g.add_op(Lsn(2), &mix(&[2], &[5]));
+        let t = g.add_op(
+            Lsn(3),
+            &OpBody::PhysicalWrite {
+                target: pid(2),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        // Holder A lost var 2 but now waits on reader R.
+        assert!(g.vars(a).unwrap().is_empty());
+        assert!(g.has_preds(a).unwrap(), "inverse write-read edge R -> A");
+        assert!(g.has_preds(t).unwrap(), "ordinary read-write edge R -> T");
+        assert!(!g.has_preds(r).unwrap());
+        // Installing R releases both.
+        let plan = g.flush_plan(a).unwrap();
+        assert_eq!(plan, vec![r, a]);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn wal_floor_survives_merges() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        g.add_op(Lsn(1), &mix(&[1], &[2, 3]));
+        g.add_op(
+            Lsn(5),
+            &OpBody::PhysicalWrite {
+                target: pid(2),
+                value: Bytes::from_static(b"v"),
+            },
+        );
+        // A physiological op on 3 merges into the (floored) holder.
+        let merged = g.add_op(Lsn(6), &mix(&[3], &[3]));
+        assert_eq!(g.wal_floor(merged).unwrap(), Lsn(5));
+    }
+
+    #[test]
+    fn deep_chain_flush_plan_is_topological() {
+        let mut g = WriteGraph::new(GraphMode::Refined);
+        // copy(1,2), update 1; copy(1,3) ... build a chain:
+        // copy(k, k+1) then physio(k): node(k+1) -> node(k).
+        let mut last = None;
+        for k in 0..10u32 {
+            g.add_op(Lsn(2 * k as u64 + 1), &copy(k, k + 1));
+            last = Some(g.add_op(Lsn(2 * k as u64 + 2), &physio(k)));
+        }
+        let plan = g.flush_plan(last.unwrap()).unwrap();
+        // The plan respects edges: every node appears after its preds.
+        let pos: HashMap<NodeId, usize> =
+            plan.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        for &n in &plan {
+            for p in &g.nodes[&n].preds {
+                if let Some(pi) = pos.get(p) {
+                    assert!(pi < &pos[&n], "pred before successor");
+                }
+            }
+        }
+        g.check_invariants().unwrap();
+    }
+}

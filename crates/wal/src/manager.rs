@@ -1,0 +1,356 @@
+//! The log manager: append / force / scan / truncate.
+
+use crate::codec::{decode_record, encode_record, CodecError};
+use crate::record::{LogRecord, RecordBody};
+use crate::stats::LogStats;
+use crate::store::{LogStore, MemLogStore};
+use bytes::Bytes;
+use lob_pagestore::Lsn;
+use std::fmt;
+
+/// Errors from log operations.
+#[derive(Debug)]
+pub enum LogError {
+    /// Underlying store I/O failure.
+    Io(std::io::Error),
+    /// A durable frame failed to decode (corruption past the tail — should
+    /// never happen; torn tails are handled by the store).
+    Codec(CodecError),
+    /// Attempted to scan from an LSN that has been truncated away.
+    Truncated {
+        /// Requested scan start.
+        requested: Lsn,
+        /// Current truncation point.
+        truncation: Lsn,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "log I/O error: {e}"),
+            LogError::Codec(e) => write!(f, "log decode error: {e}"),
+            LogError::Truncated {
+                requested,
+                truncation,
+            } => write!(
+                f,
+                "scan from {requested} but log truncated to {truncation}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e)
+    }
+}
+
+impl From<CodecError> for LogError {
+    fn from(e: CodecError) -> Self {
+        LogError::Codec(e)
+    }
+}
+
+/// The log manager.
+///
+/// Appends are **volatile** until forced: [`LogManager::crash`] discards the
+/// unforced tail, which is how the test harness verifies that the engine
+/// obeys the write-ahead-log protocol (force the log up to an operation's
+/// LSN before flushing any page that operation wrote).
+///
+/// Truncation models recovery checkpointing: records below the truncation
+/// point are discarded. A **media barrier** (paper §3.2: identity-write
+/// records "permit the truncation of the log in the same way that flushing
+/// does" — but records an active backup's roll-forward will need must be
+/// retained) caps how far truncation may advance.
+pub struct LogManager {
+    store: Box<dyn LogStore>,
+    tail: Vec<(Lsn, Bytes)>,
+    next: Lsn,
+    durable: Lsn,
+    truncation: Lsn,
+    media_barrier: Option<Lsn>,
+    stats: LogStats,
+}
+
+impl LogManager {
+    /// A log manager over the given durable store.
+    pub fn new(store: Box<dyn LogStore>) -> LogManager {
+        LogManager {
+            store,
+            tail: Vec::new(),
+            next: Lsn::FIRST,
+            durable: Lsn::NULL,
+            truncation: Lsn::NULL,
+            media_barrier: None,
+            stats: LogStats::new(),
+        }
+    }
+
+    /// A log manager over a fresh in-memory store.
+    pub fn in_memory() -> LogManager {
+        LogManager::new(Box::new(MemLogStore::new()))
+    }
+
+    /// A log manager resuming over an existing durable store (e.g. a log
+    /// file surviving a process restart): the durable LSN and the LSN
+    /// counter are recovered from the store's frames.
+    pub fn from_existing(store: Box<dyn LogStore>) -> Result<LogManager, LogError> {
+        let frames = store.frames_from(Lsn::NULL)?;
+        let durable = frames.last().map(|(l, _)| *l).unwrap_or(Lsn::NULL);
+        Ok(LogManager {
+            store,
+            tail: Vec::new(),
+            next: durable.next().max(Lsn::FIRST),
+            durable,
+            truncation: Lsn::NULL,
+            media_barrier: None,
+            stats: LogStats::new(),
+        })
+    }
+
+    /// Append a record; returns its LSN. The record is volatile until
+    /// [`force`](Self::force)d.
+    pub fn append(&mut self, body: RecordBody) -> Lsn {
+        let lsn = self.next;
+        self.next = self.next.next();
+        let rec = LogRecord::new(lsn, body);
+        let frame = encode_record(&rec);
+        self.stats.record(rec.body.label(), frame.len());
+        self.tail.push((lsn, frame));
+        lsn
+    }
+
+    /// Durably persist all appended records with `lsn <= upto`.
+    pub fn force(&mut self, upto: Lsn) -> Result<(), LogError> {
+        let n = self.tail.partition_point(|(l, _)| *l <= upto);
+        for (lsn, frame) in self.tail.drain(..n) {
+            self.store.append(lsn, frame)?;
+            self.durable = lsn;
+        }
+        Ok(())
+    }
+
+    /// Durably persist every appended record.
+    pub fn force_all(&mut self) -> Result<(), LogError> {
+        self.force(Lsn::MAX)
+    }
+
+    /// LSN of the last durable record.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable
+    }
+
+    /// LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.next
+    }
+
+    /// Simulate a crash: the unforced tail is lost. The LSN counter is
+    /// *not* rewound — recovery continues with fresh LSNs above every LSN
+    /// ever issued, preserving LSN monotonicity across the crash.
+    pub fn crash(&mut self) {
+        self.tail.clear();
+    }
+
+    /// Number of appended-but-unforced records.
+    pub fn unforced(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// All records with `lsn >= from` (durable first, then the volatile
+    /// tail), decoded.
+    pub fn scan_from(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
+        if from < self.truncation {
+            return Err(LogError::Truncated {
+                requested: from,
+                truncation: self.truncation,
+            });
+        }
+        let mut out = Vec::new();
+        for (_, frame) in self.store.frames_from(from)? {
+            out.push(decode_record(&frame)?);
+        }
+        for (lsn, frame) in &self.tail {
+            if *lsn >= from {
+                out.push(decode_record(frame)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Pin the log from `lsn` onward for media recovery; `None` releases the
+    /// barrier (no backup exists whose roll-forward could need old records).
+    pub fn set_media_barrier(&mut self, barrier: Option<Lsn>) {
+        self.media_barrier = barrier;
+    }
+
+    /// Current media barrier.
+    pub fn media_barrier(&self) -> Option<Lsn> {
+        self.media_barrier
+    }
+
+    /// Advance the truncation point toward `before`, clamped so that records
+    /// at or above the media barrier are retained. Returns the effective new
+    /// truncation point.
+    pub fn truncate(&mut self, before: Lsn) -> Result<Lsn, LogError> {
+        let effective = match self.media_barrier {
+            Some(b) => before.min(b),
+            None => before,
+        };
+        if effective > self.truncation {
+            self.truncation = effective;
+            self.store.truncate(effective)?;
+        }
+        Ok(self.truncation)
+    }
+
+    /// Current truncation point (records below it are gone).
+    pub fn truncation(&self) -> Lsn {
+        self.truncation
+    }
+
+    /// Logging statistics (includes volatile appends).
+    pub fn stats(&self) -> &LogStats {
+        &self.stats
+    }
+
+    /// Bytes held by the durable store.
+    pub fn durable_bytes(&self) -> u64 {
+        self.store.durable_bytes()
+    }
+}
+
+impl fmt::Debug for LogManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "LogManager{{next={:?}, durable={:?}, trunc={:?}, tail={}}}",
+            self.next,
+            self.durable,
+            self.truncation,
+            self.tail.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lob_ops::OpBody;
+    use lob_pagestore::PageId;
+
+    fn phys(i: u32) -> RecordBody {
+        RecordBody::Op(OpBody::PhysicalWrite {
+            target: PageId::new(0, i),
+            value: Bytes::from_static(b"v"),
+        })
+    }
+
+    #[test]
+    fn lsns_are_sequential() {
+        let mut log = LogManager::in_memory();
+        assert_eq!(log.append(phys(0)), Lsn(1));
+        assert_eq!(log.append(phys(1)), Lsn(2));
+        assert_eq!(log.next_lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn crash_loses_unforced_tail_only() {
+        let mut log = LogManager::in_memory();
+        log.append(phys(0));
+        log.append(phys(1));
+        log.force(Lsn(1)).unwrap();
+        log.append(phys(2));
+        assert_eq!(log.unforced(), 2);
+        log.crash();
+        let recs = log.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].lsn, Lsn(1));
+        assert_eq!(log.durable_lsn(), Lsn(1));
+        // LSNs continue above everything ever issued.
+        assert_eq!(log.append(phys(3)), Lsn(4));
+    }
+
+    #[test]
+    fn scan_sees_volatile_tail_before_crash() {
+        let mut log = LogManager::in_memory();
+        log.append(phys(0));
+        log.append(phys(1));
+        assert_eq!(log.scan_from(Lsn::NULL).unwrap().len(), 2);
+        assert_eq!(log.scan_from(Lsn(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn force_all_then_scan() {
+        let mut log = LogManager::in_memory();
+        for i in 0..5 {
+            log.append(phys(i));
+        }
+        log.force_all().unwrap();
+        assert_eq!(log.durable_lsn(), Lsn(5));
+        assert_eq!(log.unforced(), 0);
+        assert_eq!(log.scan_from(Lsn(3)).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn truncation_respects_media_barrier() {
+        let mut log = LogManager::in_memory();
+        for i in 0..6 {
+            log.append(phys(i));
+        }
+        log.force_all().unwrap();
+        log.set_media_barrier(Some(Lsn(3)));
+        assert_eq!(log.truncate(Lsn(5)).unwrap(), Lsn(3));
+        // Records 3.. survive.
+        assert_eq!(log.scan_from(Lsn(3)).unwrap().len(), 4);
+        // Releasing the barrier lets truncation proceed.
+        log.set_media_barrier(None);
+        assert_eq!(log.truncate(Lsn(5)).unwrap(), Lsn(5));
+        assert_eq!(log.scan_from(Lsn(5)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scan_below_truncation_errors() {
+        let mut log = LogManager::in_memory();
+        for i in 0..3 {
+            log.append(phys(i));
+        }
+        log.force_all().unwrap();
+        log.truncate(Lsn(2)).unwrap();
+        assert!(matches!(
+            log.scan_from(Lsn(1)),
+            Err(LogError::Truncated { .. })
+        ));
+        assert!(log.scan_from(Lsn(2)).is_ok());
+    }
+
+    #[test]
+    fn truncation_never_regresses() {
+        let mut log = LogManager::in_memory();
+        for i in 0..4 {
+            log.append(phys(i));
+        }
+        log.force_all().unwrap();
+        log.truncate(Lsn(3)).unwrap();
+        assert_eq!(log.truncate(Lsn(2)).unwrap(), Lsn(3));
+    }
+
+    #[test]
+    fn stats_track_labels() {
+        let mut log = LogManager::in_memory();
+        log.append(phys(0));
+        log.append(RecordBody::BackupBegin {
+            backup_id: 1,
+            start_lsn: Lsn(1),
+        });
+        assert_eq!(log.stats().records, 2);
+        assert_eq!(log.stats().label("W_P").0, 1);
+        assert_eq!(log.stats().label("BkBegin").0, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Application recovery meets backup ordering (paper §6.2): with
+//! applications placed *last* in the backup order, application reads
+//! (`R(X, A)`) never need Iw/oF logging during a backup — the † ordering
+//! property always holds. With applications first, the same workload pays
+//! identity writes. Both orderings recover exactly.
+//!
+//! ```sh
+//! cargo run -p lob-harness --example application_recovery
+//! ```
+
+use bytes::Bytes;
+use lob_apprec::{
+    apps_first_config, apps_last_config, Application, APP_PARTITION, DATA_PARTITION,
+};
+use lob_core::{Engine, EngineConfig, OpBody, PartitionId};
+
+fn run(label: &str, config: EngineConfig) -> Result<u64, Box<dyn std::error::Error>> {
+    let mut engine = Engine::new(config)?;
+    let app = Application::launch(&mut engine, APP_PARTITION)?;
+
+    // Input pages spread over the data partition.
+    let inputs: Vec<_> = (0..16)
+        .map(|_| engine.alloc_page(DATA_PARTITION))
+        .collect::<Result<_, _>>()?;
+    for (i, &p) in inputs.iter().enumerate() {
+        engine.execute(OpBody::PhysicalWrite {
+            target: p,
+            value: Bytes::from(vec![i as u8 + 1; 128]),
+        })?;
+    }
+    engine.flush_all()?;
+
+    // On-line backup racing the application's read/execute loop; the
+    // application state page is flushed mid-backup each round.
+    let mut backup = engine.begin_backup(4)?;
+    let mut round = 0u64;
+    loop {
+        for &input in &inputs[..4] {
+            app.read(&mut engine, input)?;
+            app.exec(&mut engine, round)?;
+            round += 1;
+        }
+        engine.flush_page(app.state_page())?;
+        if engine.backup_step(&mut backup)? {
+            break;
+        }
+    }
+    let image = engine.complete_backup(backup)?;
+    let iwof = engine.stats().iwof_records;
+
+    // Prove the backup recovers the application state exactly.
+    let want = engine.read_page(app.state_page())?.data().clone();
+    engine.store().fail_partition(APP_PARTITION)?;
+    engine.store().fail_partition(PartitionId(0))?;
+    engine.media_recover(&image)?;
+    assert_eq!(
+        engine.read_page(app.state_page())?.data(),
+        &want,
+        "application state recovered exactly"
+    );
+    println!("{label}: {iwof} identity writes, recovery exact");
+    Ok(iwof)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("§6.2 — the same application workload under two backup orders:\n");
+    let last = run(
+        "applications LAST in the backup order (paper's design)",
+        apps_last_config(64, 4, 128),
+    )?;
+    let first = run(
+        "applications FIRST in the backup order (adversarial)  ",
+        apps_first_config(64, 4, 128),
+    )?;
+    assert_eq!(last, 0, "apps-last must need zero identity writes");
+    assert!(first > 0, "apps-first must pay for the bad ordering");
+    println!(
+        "\nordering the backup so applications come last eliminates all \
+extra logging — 'yet another example of how constraining operations can \
+increase efficiency.' done"
+    );
+    Ok(())
+}

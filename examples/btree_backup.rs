@@ -1,0 +1,101 @@
+//! The paper's motivating database scenario: a B-tree whose node splits are
+//! logged *logically* (`MovRec`/`RmvRec` — identifiers only), under a
+//! continuous insert load, with an on-line backup racing the splits — the
+//! exact situation where a conventional fuzzy dump silently loses data
+//! (paper Figure 1) and the protocol does not.
+//!
+//! ```sh
+//! cargo run -p lob-harness --example btree_backup
+//! ```
+
+use lob_btree::{BTree, SplitLogging};
+use lob_core::{BackupPolicy, Discipline, Engine, EngineConfig, PartitionId};
+
+fn key(i: u32) -> Vec<u8> {
+    format!("user:{i:07}").into_bytes()
+}
+
+fn val(i: u32) -> Vec<u8> {
+    format!("{{\"id\":{i},\"balance\":{}}}", i * 13 % 9973).into_bytes()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        policy: BackupPolicy::Protocol,
+        ..EngineConfig::single(2048, 512)
+    })?;
+    let tree = BTree::create(&mut engine, PartitionId(0), SplitLogging::Logical)?;
+
+    // Load a first batch and start an on-line backup.
+    for i in 0..400 {
+        tree.insert(&mut engine, &key(i), &val(i))?;
+    }
+    let mut run = engine.begin_backup(8)?;
+    println!("backup started; inserting (and splitting) while it sweeps…");
+
+    // Keep inserting while the sweep progresses: splits allocate fresh
+    // nodes whose positions race the sweep cursor.
+    let mut i = 400u32;
+    while !engine.backup_step(&mut run)? {
+        for _ in 0..120 {
+            tree.insert(&mut engine, &key(i), &val(i))?;
+            i += 1;
+        }
+        // A background flusher keeps the dirty set bounded; the engine's
+        // coordinator takes the backup latch and decides Iw/oF per page.
+        let dirty = engine.cache().dirty_pages();
+        for page in dirty.into_iter().take(16) {
+            engine.flush_page(page)?;
+        }
+    }
+    let image = engine.complete_backup(run)?;
+    println!(
+        "backup complete: {} pages captured, {} identity writes logged, \
+log volume {} bytes",
+        image.page_count(),
+        engine.stats().iwof_records,
+        engine.log().stats().bytes,
+    );
+
+    // More inserts after the backup…
+    for j in i..i + 200 {
+        tree.insert(&mut engine, &key(j), &val(j))?;
+    }
+    let total = i + 200;
+
+    // Crash! The unforced log tail is lost; recover and check.
+    engine.force_log()?;
+    engine.crash();
+    engine.recover()?;
+    let tree = BTree::open(PartitionId(0), tree.meta_page(), SplitLogging::Logical);
+    println!("crash recovery done; verifying {total} records…");
+    for j in 0..total {
+        assert_eq!(
+            tree.get(&mut engine, &key(j))?,
+            Some(val(j)),
+            "record {j} after crash recovery"
+        );
+    }
+    tree.check(&mut engine)?;
+
+    // Now the medium fails; restore from the on-line backup and roll
+    // forward to the current state.
+    engine.store().fail_partition(PartitionId(0))?;
+    engine.media_recover(&image)?;
+    println!("media recovery done; verifying {total} records…");
+    for j in 0..total {
+        assert_eq!(
+            tree.get(&mut engine, &key(j))?,
+            Some(val(j)),
+            "record {j} after media recovery"
+        );
+    }
+    let nodes = tree.check(&mut engine)?;
+    let (_, height) = tree.root(&mut engine)?;
+    println!(
+        "all {total} records intact across crash + media failure \
+(tree height {height}, {nodes} nodes). done"
+    );
+    Ok(())
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: crash recovery, the WAL protocol, and crashes
+//! interacting with backups.
+
+use bytes::Bytes;
+use lob_core::{
+    BackupPolicy, Discipline, Engine, EngineConfig, LogicalOp, OpBody, PageId, PartitionId,
+};
+use lob_harness::{random_session, SessionConfig, ShadowOracle, WorkloadGen};
+
+fn engine(pages: u32) -> Engine {
+    Engine::new(EngineConfig {
+        discipline: Discipline::General,
+        ..EngineConfig::single(pages, 128)
+    })
+    .unwrap()
+}
+
+#[test]
+fn unforced_operations_are_lost_forced_ones_survive() {
+    let mut e = engine(16);
+    let mut o = ShadowOracle::new(128);
+    let mut g = WorkloadGen::new(3, 128);
+    for i in 0..8 {
+        let op = g.physical(PageId::new(0, i));
+        o.execute(&mut e, op).unwrap();
+    }
+    e.force_log().unwrap();
+    let durable = e.log().durable_lsn();
+    // Two more, unforced — these vanish at the crash.
+    for i in 8..10 {
+        let op = g.physical(PageId::new(0, i));
+        o.execute(&mut e, op).unwrap();
+    }
+    e.crash();
+    e.recover().unwrap();
+    o.verify_store(&e, durable).unwrap();
+    assert!(
+        e.store().read_page(PageId::new(0, 9)).unwrap().lsn().is_null(),
+        "unforced op is gone"
+    );
+}
+
+#[test]
+fn repeated_crashes_converge() {
+    let mut e = engine(32);
+    let mut o = ShadowOracle::new(128);
+    let mut g = WorkloadGen::new(5, 128);
+    let pages: Vec<PageId> = (0..32).map(|i| PageId::new(0, i)).collect();
+    for round in 0..5 {
+        for _ in 0..20 {
+            let op = if g.chance(0.5) {
+                g.mix(&pages, 2, 2)
+            } else {
+                let p = pages[g.below(pages.len())];
+                g.physio(p)
+            };
+            o.execute(&mut e, op).unwrap();
+        }
+        e.force_log().unwrap();
+        let durable = e.log().durable_lsn();
+        e.crash();
+        e.recover().unwrap();
+        o.verify_store(&e, durable).unwrap();
+        let _ = round;
+    }
+}
+
+#[test]
+fn crash_immediately_after_recovery_is_harmless() {
+    let mut e = engine(16);
+    e.execute(OpBody::PhysicalWrite {
+        target: PageId::new(0, 1),
+        value: Bytes::from(vec![7u8; 128]),
+    })
+    .unwrap();
+    e.force_log().unwrap();
+    e.crash();
+    e.recover().unwrap();
+    e.crash();
+    e.recover().unwrap();
+    assert_eq!(e.store().read_page(PageId::new(0, 1)).unwrap().data()[0], 7);
+}
+
+#[test]
+fn crash_mid_backup_recovers_and_next_backup_succeeds() {
+    for seed in [40u64, 41, 42] {
+        let mut cfg = SessionConfig::protocol(seed, Discipline::General);
+        cfg.crash_after = Some(cfg.backup_start_after + 30); // mid-backup
+        cfg.media_drill = false;
+        let rep = random_session(&cfg).unwrap();
+        assert!(rep.verified, "seed {seed}: {:?}", rep.failure);
+    }
+}
+
+#[test]
+fn crash_mid_backup_then_fresh_backup_supports_media_recovery() {
+    let mut e = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        policy: BackupPolicy::Protocol,
+        ..EngineConfig::single(64, 128)
+    })
+    .unwrap();
+    let mut o = ShadowOracle::new(128);
+    let mut g = WorkloadGen::new(8, 128);
+    for i in 0..16 {
+        let op = g.physical(PageId::new(0, i));
+        o.execute(&mut e, op).unwrap();
+    }
+    e.flush_all().unwrap();
+
+    // Start a backup, crash halfway.
+    let mut run = e.begin_backup(4).unwrap();
+    e.backup_step(&mut run).unwrap();
+    let op = OpBody::Logical(LogicalOp::Copy {
+        src: PageId::new(0, 0),
+        dst: PageId::new(0, 30),
+    });
+    o.execute(&mut e, op).unwrap();
+    e.force_log().unwrap();
+    let backup_id = run.backup_id();
+    run.abort(e.coordinator());
+    e.release_backup(backup_id);
+    e.crash();
+    e.recover().unwrap();
+    o.verify_store(&e, e.log().durable_lsn()).unwrap();
+
+    // A fresh backup after recovery still protects against media failure.
+    let mut run = e.begin_backup(2).unwrap();
+    while !e.backup_step(&mut run).unwrap() {}
+    let image = e.complete_backup(run).unwrap();
+    let op = OpBody::Logical(LogicalOp::Copy {
+        src: PageId::new(0, 30),
+        dst: PageId::new(0, 31),
+    });
+    o.execute(&mut e, op).unwrap();
+    e.flush_all().unwrap();
+    e.store().fail_partition(PartitionId(0)).unwrap();
+    e.media_recover(&image).unwrap();
+    o.verify_store(&e, lob_core::Lsn::MAX).unwrap();
+}
+
+#[test]
+fn log_truncation_never_breaks_crash_recovery() {
+    let mut e = engine(32);
+    let mut o = ShadowOracle::new(128);
+    let mut g = WorkloadGen::new(13, 128);
+    let pages: Vec<PageId> = (0..32).map(|i| PageId::new(0, i)).collect();
+    for _ in 0..30 {
+        let op = g.mix(&pages, 2, 2);
+        o.execute(&mut e, op).unwrap();
+        // Aggressive flushing + truncation after every op.
+        let dirty = e.cache().dirty_pages();
+        for p in dirty {
+            e.flush_page(p).unwrap();
+        }
+        e.truncate_log().unwrap();
+    }
+    e.force_log().unwrap();
+    let durable = e.log().durable_lsn();
+    e.crash();
+    e.recover().unwrap();
+    o.verify_store(&e, durable).unwrap();
+}
+
+#[test]
+fn allocator_reseeds_after_recovery() {
+    let mut e = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        ..EngineConfig::single(32, 128)
+    })
+    .unwrap();
+    let a = e.alloc_page(PartitionId(0)).unwrap();
+    e.execute(OpBody::PhysicalWrite {
+        target: a,
+        value: Bytes::from(vec![1u8; 128]),
+    })
+    .unwrap();
+    e.flush_all().unwrap();
+    e.crash();
+    e.recover().unwrap();
+    let b = e.alloc_page(PartitionId(0)).unwrap();
+    assert!(b.index > a.index, "allocator must not reuse recovered pages");
+}

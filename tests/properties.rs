@@ -1,0 +1,241 @@
+//! Property-based tests over the core invariants.
+//!
+//! * write-graph invariants (acyclicity, var ownership, edge symmetry)
+//!   hold after every insertion, for arbitrary operation sequences, in both
+//!   graph modes;
+//! * any greedy frontier-install schedule installs operations in a prefix
+//!   of the installation graph (the central Lomet–Tuttle safety property);
+//! * the record-page codec and the log-record codec round-trip arbitrary
+//!   values;
+//! * the backup order's position map inverts exactly;
+//! * randomized end-to-end sessions (ops + flush pressure + on-line backup
+//!   + media recovery) always match the shadow oracle under the protocol.
+
+use bytes::Bytes;
+use lob_core::{Discipline, GraphMode, Lsn, OpBody, PageId};
+use lob_harness::{random_session, SessionConfig};
+use lob_ops::{LogicalOp, PhysioOp, RecPage};
+use lob_recovery::{InstallGraph, WriteGraph};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const UNIVERSE: u32 = 10;
+
+#[derive(Debug, Clone)]
+enum OpSpec {
+    Physical(u32),
+    Physio(u32),
+    Copy(u32, u32),
+    Mix(Vec<u32>, Vec<u32>),
+    Identity(u32),
+}
+
+fn page(i: u32) -> PageId {
+    PageId::new(0, i % UNIVERSE)
+}
+
+impl OpSpec {
+    fn body(&self) -> Option<OpBody> {
+        match self {
+            OpSpec::Physical(t) => Some(OpBody::PhysicalWrite {
+                target: page(*t),
+                value: Bytes::from_static(b"v"),
+            }),
+            OpSpec::Identity(t) => Some(OpBody::IdentityWrite {
+                target: page(*t),
+                value: Bytes::from_static(b"v"),
+            }),
+            OpSpec::Physio(t) => Some(OpBody::Physio(PhysioOp::SetBytes {
+                target: page(*t),
+                offset: 0,
+                bytes: Bytes::from_static(b"x"),
+            })),
+            OpSpec::Copy(s, d) => {
+                let (s, d) = (page(*s), page(*d));
+                (s != d).then(|| OpBody::Logical(LogicalOp::Copy { src: s, dst: d }))
+            }
+            OpSpec::Mix(r, w) => {
+                let mut reads: Vec<PageId> = r.iter().map(|&i| page(i)).collect();
+                reads.sort();
+                reads.dedup();
+                let mut writes: Vec<PageId> = w.iter().map(|&i| page(i)).collect();
+                writes.sort();
+                writes.dedup();
+                writes.retain(|p| !reads.contains(p));
+                (!reads.is_empty() && !writes.is_empty()).then(|| {
+                    OpBody::Logical(LogicalOp::Mix {
+                        reads,
+                        writes,
+                        salt: 1,
+                    })
+                })
+            }
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (0..UNIVERSE).prop_map(OpSpec::Physical),
+        (0..UNIVERSE).prop_map(OpSpec::Physio),
+        (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| OpSpec::Copy(a, b)),
+        (
+            proptest::collection::vec(0..UNIVERSE, 1..3),
+            proptest::collection::vec(0..UNIVERSE, 1..3)
+        )
+            .prop_map(|(r, w)| OpSpec::Mix(r, w)),
+        (0..UNIVERSE).prop_map(OpSpec::Identity),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_graph_invariants_hold_for_any_history(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+        mode in prop_oneof![Just(GraphMode::Refined), Just(GraphMode::Intersecting)],
+    ) {
+        let mut graph = WriteGraph::new(mode);
+        let mut lsn = 1u64;
+        for spec in &ops {
+            if let Some(body) = spec.body() {
+                graph.add_op(Lsn(lsn), &body);
+                lsn += 1;
+                graph.check_invariants().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_installs_form_installation_prefixes(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+        order_seed in 0u64..1000,
+    ) {
+        // Build both graphs from the same history (identity writes are
+        // cache-manager artifacts, not workload ops — skip them here).
+        let mut graph = WriteGraph::new(GraphMode::Refined);
+        let mut install = InstallGraph::new();
+        let mut lsn = 1u64;
+        for spec in &ops {
+            if matches!(spec, OpSpec::Identity(_)) {
+                continue;
+            }
+            if let Some(body) = spec.body() {
+                graph.add_op(Lsn(lsn), &body);
+                install.push(Lsn(lsn), &body);
+                lsn += 1;
+            }
+        }
+        // Greedily install frontier nodes in a seed-dependent order; after
+        // every install the installed set must be a prefix of the
+        // installation graph.
+        let mut installed: HashSet<Lsn> = HashSet::new();
+        let mut tick = order_seed;
+        while !graph.is_empty() {
+            let frontier = graph.frontier();
+            prop_assert!(!frontier.is_empty(), "acyclic graph always has a frontier");
+            let pick = frontier[(tick as usize) % frontier.len()];
+            tick = tick.wrapping_mul(6364136223846793005).wrapping_add(1);
+            for l in graph.install_node(pick).unwrap() {
+                installed.insert(l);
+            }
+            if let Some((o, p)) = install.prefix_violation(&installed) {
+                // The only permitted "violations" involve ops that the
+                // refined graph installed via unexposed-object reasoning;
+                // those are still safe because the inverse write-read edges
+                // force readers first. Read-write edges must never be
+                // violated.
+                prop_assert!(false, "installed {p:?} before its reader-predecessor {o:?}");
+            }
+        }
+        prop_assert!(install.is_prefix(&installed));
+    }
+
+    #[test]
+    fn recpage_codec_round_trips(
+        entries in proptest::collection::btree_map(
+            proptest::collection::vec(1u8..255, 1..8),
+            proptest::collection::vec(any::<u8>(), 0..12),
+            0..8,
+        )
+    ) {
+        let mut page = RecPage::new();
+        for (k, v) in &entries {
+            page.insert(k.clone(), v.clone());
+        }
+        let id = PageId::new(0, 0);
+        let encoded = page.encode(id, 512).unwrap();
+        let decoded = RecPage::decode(id, &encoded).unwrap();
+        prop_assert_eq!(&page, &decoded);
+        let re = decoded.encode(id, 512).unwrap();
+        prop_assert_eq!(encoded, re);
+    }
+
+    #[test]
+    fn log_codec_round_trips_any_op(spec in op_strategy(), lsn in 1u64..u64::MAX) {
+        if let Some(body) = spec.body() {
+            let rec = lob_wal::LogRecord::new(Lsn(lsn), lob_wal::RecordBody::Op(body));
+            let enc = lob_wal::encode_record(&rec);
+            prop_assert_eq!(lob_wal::decode_record(&enc).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn backup_order_inverts(
+        sizes in proptest::collection::vec(1u32..50, 1..5),
+    ) {
+        let parts: Vec<(lob_core::PartitionId, u32)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (lob_core::PartitionId(i as u32), n))
+            .collect();
+        let order = lob_backup::BackupOrder::new(parts);
+        for pos in 0..order.total() {
+            let page = order.page_at(pos).unwrap();
+            prop_assert_eq!(order.pos(page), Some(pos));
+        }
+        prop_assert!(order.page_at(order.total()).is_none());
+    }
+}
+
+proptest! {
+    // End-to-end sessions are heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn protocol_sessions_always_verify(
+        seed in 0u64..10_000,
+        discipline in prop_oneof![
+            Just(Discipline::PageOriented),
+            Just(Discipline::Tree),
+            Just(Discipline::General),
+        ],
+        steps in 1u32..6,
+    ) {
+        let mut cfg = SessionConfig::protocol(seed, discipline);
+        cfg.ops = 150;
+        cfg.pages = 128;
+        cfg.backup_steps = steps;
+        cfg.backup_start_after = 30;
+        cfg.ops_per_backup_step = 20;
+        let rep = random_session(&cfg).unwrap();
+        prop_assert!(rep.verified, "{:?}", rep.failure);
+    }
+
+    #[test]
+    fn crash_sessions_always_verify(
+        seed in 0u64..10_000,
+        crash_at in 50u32..140,
+    ) {
+        let mut cfg = SessionConfig::protocol(seed, Discipline::General);
+        cfg.ops = 150;
+        cfg.pages = 128;
+        cfg.backup_start_after = 40;
+        cfg.ops_per_backup_step = 25;
+        cfg.crash_after = Some(crash_at);
+        cfg.media_drill = false;
+        let rep = random_session(&cfg).unwrap();
+        prop_assert!(rep.verified, "{:?}", rep.failure);
+    }
+}

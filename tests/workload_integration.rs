@@ -1,0 +1,252 @@
+//! Cross-crate integration: the three paper workloads (B-tree, file
+//! system, application recovery) driven through on-line backups and both
+//! recovery flavours.
+
+use lob_apprec::{apps_last_config, Application, APP_PARTITION, DATA_PARTITION};
+use lob_btree::{BTree, SplitLogging};
+use lob_core::{BackupPolicy, Discipline, Engine, EngineConfig, PartitionId};
+use lob_filesys::{CopyLogging, FsVolume};
+
+fn key(i: u32) -> Vec<u8> {
+    format!("k{i:06}").into_bytes()
+}
+
+fn val(i: u32) -> Vec<u8> {
+    format!("v{i:06}").into_bytes()
+}
+
+#[test]
+fn btree_inserts_race_online_backup_and_recover() {
+    for mode in [SplitLogging::Logical, SplitLogging::PageOriented] {
+        let mut e = Engine::new(EngineConfig {
+            discipline: Discipline::Tree,
+            policy: BackupPolicy::Protocol,
+            ..EngineConfig::single(1024, 256)
+        })
+        .unwrap();
+        let t = BTree::create(&mut e, PartitionId(0), mode).unwrap();
+        for i in 0..150 {
+            t.insert(&mut e, &key(i), &val(i)).unwrap();
+        }
+        let mut run = e.begin_backup(4).unwrap();
+        let mut i = 150u32;
+        while !e.backup_step(&mut run).unwrap() {
+            for _ in 0..60 {
+                t.insert(&mut e, &key(i), &val(i)).unwrap();
+                i += 1;
+            }
+            for page in e.cache().dirty_pages().into_iter().take(8) {
+                e.flush_page(page).unwrap();
+            }
+        }
+        let image = e.complete_backup(run).unwrap();
+        for j in i..i + 40 {
+            t.insert(&mut e, &key(j), &val(j)).unwrap();
+        }
+        let total = i + 40;
+
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image).unwrap();
+        for j in 0..total {
+            assert_eq!(
+                t.get(&mut e, &key(j)).unwrap(),
+                Some(val(j)),
+                "{mode:?}: record {j}"
+            );
+        }
+        t.check(&mut e).unwrap();
+    }
+}
+
+#[test]
+fn btree_scan_is_sorted_after_media_recovery() {
+    let mut e = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        ..EngineConfig::single(1024, 256)
+    })
+    .unwrap();
+    let t = BTree::create(&mut e, PartitionId(0), SplitLogging::Logical).unwrap();
+    // Interleaved inserts and deletes.
+    for i in 0..300 {
+        t.insert(&mut e, &key(i), &val(i)).unwrap();
+        if i % 3 == 0 && i > 10 {
+            t.delete(&mut e, &key(i - 10)).unwrap();
+        }
+    }
+    let mut run = e.begin_backup(2).unwrap();
+    while !e.backup_step(&mut run).unwrap() {}
+    let image = e.complete_backup(run).unwrap();
+    let before = t.scan(&mut e).unwrap();
+
+    e.store().fail_partition(PartitionId(0)).unwrap();
+    e.media_recover(&image).unwrap();
+    let after = t.scan(&mut e).unwrap();
+    assert_eq!(before, after);
+    assert!(after.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+#[test]
+fn filesystem_copy_and_sort_race_online_backup() {
+    let mut e = Engine::new(EngineConfig {
+        discipline: Discipline::General,
+        ..EngineConfig::single(256, 512)
+    })
+    .unwrap();
+    let vol = FsVolume::create(&mut e, PartitionId(0)).unwrap();
+    vol.create_file(&mut e, "a", 8).unwrap();
+    for i in 0..60u32 {
+        vol.write_record(
+            &mut e,
+            "a",
+            (i % 8) as usize,
+            format!("k{:04}", (i * 37) % 1000).as_bytes(),
+            &[i as u8; 8],
+        )
+        .unwrap();
+    }
+    e.flush_all().unwrap();
+
+    let mut run = e.begin_backup(4).unwrap();
+    e.backup_step(&mut run).unwrap();
+    vol.copy_file(&mut e, "a", "b", CopyLogging::Logical).unwrap();
+    e.backup_step(&mut run).unwrap();
+    vol.sort_file(&mut e, "a", "s").unwrap();
+    e.flush_all().unwrap();
+    while !e.backup_step(&mut run).unwrap() {}
+    let image = e.complete_backup(run).unwrap();
+
+    let want_b = vol.read_records(&mut e, "b").unwrap();
+    let want_s = vol.read_records(&mut e, "s").unwrap();
+    e.store().fail_partition(PartitionId(0)).unwrap();
+    e.media_recover(&image).unwrap();
+    assert_eq!(vol.read_records(&mut e, "b").unwrap(), want_b);
+    assert_eq!(vol.read_records(&mut e, "s").unwrap(), want_s);
+    assert_eq!(
+        vol.read_records(&mut e, "a").unwrap(),
+        vol.read_records(&mut e, "b").unwrap()
+    );
+}
+
+#[test]
+fn application_pipeline_recovers_outputs() {
+    let mut e = Engine::new(apps_last_config(64, 4, 128)).unwrap();
+    let app = Application::launch(&mut e, APP_PARTITION).unwrap();
+    let mut outputs = Vec::new();
+    let input = e.alloc_page(DATA_PARTITION).unwrap();
+    e.execute(lob_core::OpBody::PhysicalWrite {
+        target: input,
+        value: bytes::Bytes::from(vec![0x42; 128]),
+    })
+    .unwrap();
+
+    let mut run = e.begin_backup(4).unwrap();
+    loop {
+        app.read(&mut e, input).unwrap();
+        app.exec(&mut e, outputs.len() as u64).unwrap();
+        let out = app.write_output(&mut e, DATA_PARTITION).unwrap();
+        outputs.push(out);
+        e.flush_page(app.state_page()).unwrap();
+        e.flush_page(out).unwrap();
+        if e.backup_step(&mut run).unwrap() {
+            break;
+        }
+    }
+    let image = e.complete_backup(run).unwrap();
+    let want: Vec<_> = outputs
+        .iter()
+        .map(|&o| e.read_page(o).unwrap().data().clone())
+        .collect();
+
+    e.store().fail_partition(DATA_PARTITION).unwrap();
+    e.store().fail_partition(APP_PARTITION).unwrap();
+    e.media_recover(&image).unwrap();
+    for (o, w) in outputs.iter().zip(&want) {
+        assert_eq!(e.read_page(*o).unwrap().data(), w);
+    }
+}
+
+#[test]
+fn btree_model_based_random_ops_with_backup_and_recovery() {
+    // Model-based check: random inserts/deletes against a std BTreeMap,
+    // with an on-line backup mid-stream, then crash recovery and media
+    // recovery both compared to the model.
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeMap;
+
+    for seed in [1u64, 2, 3] {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut e = Engine::new(EngineConfig {
+            discipline: Discipline::Tree,
+            ..EngineConfig::single(2048, 256)
+        })
+        .unwrap();
+        let t = BTree::create(&mut e, PartitionId(0), SplitLogging::Logical).unwrap();
+
+        let mut run = None;
+        let mut image = None;
+        for step in 0..600u32 {
+            let k = key(rng.gen_range(0..200));
+            if rng.gen_bool(0.65) {
+                let v = format!("v{step}").into_bytes();
+                t.insert(&mut e, &k, &v).unwrap();
+                model.insert(k, v);
+            } else {
+                let was = t.delete(&mut e, &k).unwrap();
+                assert_eq!(was, model.remove(&k).is_some(), "seed {seed} step {step}");
+            }
+            if rng.gen_bool(0.2) {
+                for page in e.cache().dirty_pages().into_iter().take(4) {
+                    e.flush_page(page).unwrap();
+                }
+            }
+            if step == 150 {
+                run = Some(e.begin_backup(4).unwrap());
+            }
+            if step % 100 == 99 {
+                if let Some(r) = run.as_mut() {
+                    if e.backup_step(r).unwrap() {
+                        image = Some(e.complete_backup(run.take().unwrap()).unwrap());
+                    }
+                }
+            }
+        }
+        if let Some(mut r) = run.take() {
+            while !e.backup_step(&mut r).unwrap() {}
+            image = Some(e.complete_backup(r).unwrap());
+        }
+        let want: Vec<(Vec<u8>, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        assert_eq!(t.scan(&mut e).unwrap(), want, "seed {seed} live");
+
+        e.force_log().unwrap();
+        e.crash();
+        e.recover().unwrap();
+        assert_eq!(t.scan(&mut e).unwrap(), want, "seed {seed} after crash");
+        t.check(&mut e).unwrap();
+
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.media_recover(&image.unwrap()).unwrap();
+        assert_eq!(t.scan(&mut e).unwrap(), want, "seed {seed} after media recovery");
+        t.check(&mut e).unwrap();
+    }
+}
+
+#[test]
+fn tree_discipline_rejects_general_ops_but_accepts_splits() {
+    let mut e = Engine::new(EngineConfig {
+        discipline: Discipline::Tree,
+        ..EngineConfig::single(256, 512)
+    })
+    .unwrap();
+    let vol = FsVolume::create(&mut e, PartitionId(0)).unwrap();
+    vol.create_file(&mut e, "a", 4).unwrap();
+    assert!(vol.sort_file(&mut e, "a", "s").is_err(), "sort is general");
+
+    let t = BTree::create(&mut e, PartitionId(0), SplitLogging::Logical).unwrap();
+    for i in 0..80 {
+        t.insert(&mut e, &key(i), &val(i)).unwrap();
+    }
+    assert!(t.root(&mut e).unwrap().1 >= 1, "splits happened fine");
+}
