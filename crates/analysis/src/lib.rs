@@ -124,8 +124,7 @@ mod tests {
     #[test]
     fn general_average_equals_mean_of_steps() {
         for n in [1u32, 2, 3, 8, 17] {
-            let mean: f64 =
-                (1..=n).map(|m| general_prob_at_step(n, m)).sum::<f64>() / n as f64;
+            let mean: f64 = (1..=n).map(|m| general_prob_at_step(n, m)).sum::<f64>() / n as f64;
             assert!(close(mean, general_prob(n)), "n={n}");
         }
     }

@@ -189,7 +189,7 @@ mod tests {
         e.flush_all().unwrap();
         app.read(&mut e, x).unwrap();
         data_page_write(&mut e, x, 2); // blind overwrite of X
-        // Flushing X must first flush A (write-graph ancestor).
+                                       // Flushing X must first flush A (write-graph ancestor).
         e.flush_page(x).unwrap();
         assert!(
             !e.cache().is_dirty(app.state_page()),

@@ -5,7 +5,7 @@ use crate::error::BackupError;
 use crate::meta::SuccMeta;
 use crate::order::BackupOrder;
 use crate::tracker::{ProgressTracker, Region, TrackerGuard};
-use lob_pagestore::{PageId, PartitionId};
+use lob_pagestore::{FaultHook, FaultVerdict, IoEvent, PageId, PartitionId};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -73,6 +73,9 @@ pub struct BackupCoordinator {
     by_partition: HashMap<PartitionId, u32>,
     changed: Mutex<HashSet<PageId>>,
     stats: CoordinatorStats,
+    /// Optional fault hook consulted by backup sweeps before each page
+    /// copy ([`IoEvent::BackupCopy`]).
+    hook: Mutex<Option<FaultHook>>,
 }
 
 impl BackupCoordinator {
@@ -94,7 +97,37 @@ impl BackupCoordinator {
             by_partition,
             changed: Mutex::new(HashSet::new()),
             stats: CoordinatorStats::default(),
+            hook: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) the fault hook consulted before backup copies.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.hook.lock() = hook;
+    }
+
+    /// Consult the fault hook (Proceed when none is installed).
+    pub fn consult_fault(&self, ev: IoEvent, page: Option<PageId>) -> FaultVerdict {
+        match self.hook.lock().clone() {
+            Some(h) => h(ev, page),
+            None => FaultVerdict::Proceed,
+        }
+    }
+
+    /// Reset all volatile backup state after a simulated process crash:
+    /// every in-flight sweep's tracker goes inactive (the sweep process
+    /// died with the system; its partial image is garbage) and the
+    /// changed-page set empties (it is rebuilt from flush traffic; crash
+    /// recovery replays the log, and the incremental protocol covers any
+    /// gap via the media log suffix). Durable facts — completed backup
+    /// images, the media barrier, `BackupBegin` records — are unaffected.
+    pub fn reset_volatile(&self) {
+        for d in &self.domains {
+            if d.tracker.is_active() {
+                d.tracker.finish();
+            }
+        }
+        self.changed.lock().clear();
     }
 
     /// One domain sweeping all partitions in the given order (the paper's
@@ -135,10 +168,7 @@ impl BackupCoordinator {
         self.domains
             .get(domain.0 as usize)
             .map(|d| &d.order)
-            .ok_or(BackupError::BadConfig(format!(
-                "no domain {}",
-                domain.0
-            )))
+            .ok_or(BackupError::BadConfig(format!("no domain {}", domain.0)))
     }
 
     /// The tracker of a domain.
@@ -146,10 +176,7 @@ impl BackupCoordinator {
         self.domains
             .get(domain.0 as usize)
             .map(|d| &d.tracker)
-            .ok_or(BackupError::BadConfig(format!(
-                "no domain {}",
-                domain.0
-            )))
+            .ok_or(BackupError::BadConfig(format!("no domain {}", domain.0)))
     }
 
     /// Whether any domain has an active backup (unlatched peek).
@@ -290,10 +317,7 @@ mod tests {
 
     #[test]
     fn per_partition_has_independent_domains() {
-        let c = BackupCoordinator::per_partition(vec![
-            (PartitionId(0), 10),
-            (PartitionId(1), 20),
-        ]);
+        let c = BackupCoordinator::per_partition(vec![(PartitionId(0), 10), (PartitionId(1), 20)]);
         assert_eq!(c.domain_count(), 2);
         assert_eq!(c.pos(PageId::new(0, 3)), Some((0, 3)));
         assert_eq!(c.pos(PageId::new(1, 3)), Some((1, 3)));

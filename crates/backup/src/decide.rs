@@ -88,7 +88,9 @@ mod tests {
     fn tree_pend_x_never_logs() {
         let m = meta(0, 100, true, false);
         assert!(!needs_iwof_tree(Region::Pend, Some(&m), |_| Region::Doubt));
-        assert!(!needs_iwof_tree(Region::Inactive, Some(&m), |_| Region::Doubt));
+        assert!(!needs_iwof_tree(Region::Inactive, Some(&m), |_| {
+            Region::Doubt
+        }));
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub enum BackupError {
         /// The offending backup's id.
         backup_id: u64,
     },
+    /// The fault hook simulated a process crash during a backup copy.
+    InjectedCrash,
 }
 
 impl fmt::Display for BackupError {
@@ -34,6 +36,9 @@ impl fmt::Display for BackupError {
             BackupError::BadState(m) => write!(f, "backup run misused: {m}"),
             BackupError::IncompleteImage { backup_id } => {
                 write!(f, "backup {backup_id} is incomplete and cannot restore")
+            }
+            BackupError::InjectedCrash => {
+                write!(f, "injected crash during backup copy (fault hook)")
             }
         }
     }

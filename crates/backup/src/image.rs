@@ -129,7 +129,10 @@ mod tests {
     fn bare_incremental_cannot_restore() {
         let store = StableStore::single(StoreConfig { page_size: 8 }, 2);
         let b = img(2, true, true, Some(1));
-        assert!(matches!(b.restore_to(&store), Err(BackupError::BadState(_))));
+        assert!(matches!(
+            b.restore_to(&store),
+            Err(BackupError::BadState(_))
+        ));
     }
 
     #[test]

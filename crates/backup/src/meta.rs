@@ -44,7 +44,12 @@ pub struct SuccMeta {
 }
 
 impl SuccMeta {
-    fn absorb(&mut self, succ_pos: Option<u64>, succ_meta: Option<SuccMeta>, self_pos: Option<u64>) {
+    fn absorb(
+        &mut self,
+        succ_pos: Option<u64>,
+        succ_meta: Option<SuccMeta>,
+        self_pos: Option<u64>,
+    ) {
         self.links += 1;
         match (succ_pos, self_pos) {
             (Some(sp), Some(xp)) => {
@@ -108,12 +113,7 @@ impl SuccessorTable {
         }
     }
 
-    fn link(
-        &mut self,
-        writer: PageId,
-        read: PageId,
-        pos: &impl Fn(PageId) -> Option<(u32, u64)>,
-    ) {
+    fn link(&mut self, writer: PageId, read: PageId, pos: &impl Fn(PageId) -> Option<(u32, u64)>) {
         if writer == read {
             return;
         }

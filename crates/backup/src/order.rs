@@ -119,7 +119,11 @@ mod tests {
         let o = order();
         assert_eq!(o.pos(PageId::new(0, 0)), Some(0));
         assert_eq!(o.pos(PageId::new(0, 9)), Some(9));
-        assert_eq!(o.pos(PageId::new(2, 0)), Some(10), "partition 2 swept second");
+        assert_eq!(
+            o.pos(PageId::new(2, 0)),
+            Some(10),
+            "partition 2 swept second"
+        );
         assert_eq!(o.pos(PageId::new(1, 2)), Some(17));
         assert_eq!(o.pos(PageId::new(7, 0)), None);
         assert_eq!(o.total(), 18);

@@ -24,7 +24,7 @@
 use crate::coordinator::{BackupCoordinator, DomainId};
 use crate::error::BackupError;
 use crate::image::BackupImage;
-use lob_pagestore::{Lsn, PageId, PageImage, StableStore};
+use lob_pagestore::{FaultVerdict, IoEvent, Lsn, PageId, PageImage, StableStore};
 use std::collections::HashSet;
 
 /// Configuration of one sweep.
@@ -163,6 +163,19 @@ impl BackupRun {
                     continue;
                 }
             }
+            match coordinator.consult_fault(IoEvent::BackupCopy, Some(page_id)) {
+                FaultVerdict::Crash | FaultVerdict::TornWrite => {
+                    // The backup process dies with the system; its partial
+                    // image is never trusted (only complete images restore).
+                    return Err(BackupError::InjectedCrash);
+                }
+                FaultVerdict::MediaFail => {
+                    // The source medium fails under the sweep: the very
+                    // read we are about to issue errors out below.
+                    store.fail_range(page_id.partition, page_id.index, page_id.index + 1)?;
+                }
+                FaultVerdict::Proceed | FaultVerdict::CorruptWrite => {}
+            }
             let page = store.read_page(page_id)?;
             self.image.put(page_id, page);
             self.pages_copied += 1;
@@ -243,8 +256,7 @@ mod tests {
     #[test]
     fn full_sweep_copies_everything() {
         let (store, coord) = setup(16);
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
         assert!(coord.tracker(DomainId(0)).unwrap().is_active());
         let mut steps = 0;
         while !run.step(&coord, &store).unwrap() {
@@ -265,8 +277,7 @@ mod tests {
     #[test]
     fn tracker_progresses_with_steps() {
         let (store, coord) = setup(16);
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
         {
             let latch = coord.latch_for(&[PageId::new(0, 0)]);
             assert_eq!(latch.classify(PageId::new(0, 0)), Region::Doubt);
@@ -286,8 +297,7 @@ mod tests {
     #[test]
     fn one_step_run_works() {
         let (store, coord) = setup(8);
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
         assert!(run.step(&coord, &store).unwrap());
         assert_eq!(run.pages_copied(), 8);
     }
@@ -295,8 +305,7 @@ mod tests {
     #[test]
     fn concurrent_run_in_same_domain_rejected() {
         let (_store, coord) = setup(8);
-        let _run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
+        let _run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
         assert!(matches!(
             BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 2, Lsn(1)),
             Err(BackupError::BadState(_))
@@ -306,8 +315,7 @@ mod tests {
     #[test]
     fn abort_releases_tracker() {
         let (store, coord) = setup(8);
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
         run.step(&coord, &store).unwrap();
         run.abort(&coord);
         assert!(!coord.tracker(DomainId(0)).unwrap().is_active());
@@ -318,8 +326,9 @@ mod tests {
     #[test]
     fn incremental_filter_restricts_copying() {
         let (store, coord) = setup(16);
-        let changed: HashSet<PageId> =
-            [PageId::new(0, 3), PageId::new(0, 12)].into_iter().collect();
+        let changed: HashSet<PageId> = [PageId::new(0, 3), PageId::new(0, 12)]
+            .into_iter()
+            .collect();
         let mut run = BackupRun::begin(
             &coord,
             RunConfig::incremental(DomainId(0), 4, changed, 1),
@@ -343,8 +352,7 @@ mod tests {
             BackupRun::begin(&coord, RunConfig::full(DomainId(0), 0), 1, Lsn(1)),
             Err(BackupError::BadConfig(_))
         ));
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
         run.step(&coord, &store).unwrap();
         assert!(matches!(
             run.step(&coord, &store),
@@ -356,8 +364,7 @@ mod tests {
     fn media_failure_mid_sweep_surfaces() {
         let (store, coord) = setup(8);
         store.fail_range(PartitionId(0), 4, 5).unwrap();
-        let mut run =
-            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
         run.step(&coord, &store).unwrap(); // [0,4) fine
         assert!(matches!(
             run.step(&coord, &store),
@@ -369,9 +376,6 @@ mod tests {
     fn into_image_requires_completion() {
         let (_store, coord) = setup(8);
         let run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 2), 1, Lsn(1)).unwrap();
-        assert!(matches!(
-            run.into_image(),
-            Err(BackupError::BadState(_))
-        ));
+        assert!(matches!(run.into_image(), Err(BackupError::BadState(_))));
     }
 }

@@ -12,8 +12,7 @@ const PAGES: u32 = 2048;
 const PAGE_SIZE: usize = 512;
 
 fn online_backup(policy: BackupPolicy, discipline: Discipline) {
-    let (mut engine, _oracle, mut gen) =
-        prefilled_engine(PAGES, PAGE_SIZE, discipline, policy, 7);
+    let (mut engine, _oracle, mut gen) = prefilled_engine(PAGES, PAGE_SIZE, discipline, policy, 7);
     let pages: Vec<PageId> = (0..PAGES).map(|i| PageId::new(0, i)).collect();
     let mut run = engine.begin_backup(16).expect("begin");
     loop {

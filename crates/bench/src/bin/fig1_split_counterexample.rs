@@ -35,7 +35,11 @@ fn main() {
             out.records_expected.to_string(),
             out.records_found.to_string(),
             out.iwof_records.to_string(),
-            if out.data_intact { "yes".into() } else { "NO — unrecoverable".to_string() },
+            if out.data_intact {
+                "yes".into()
+            } else {
+                "NO — unrecoverable".to_string()
+            },
         ]);
     }
     println!("{t}");
@@ -43,7 +47,12 @@ fn main() {
     println!("Part 2 — randomized sessions (media recovery vs shadow oracle)");
     println!();
     let sessions = 60u64;
-    let mut t2 = Table::new(vec!["policy", "discipline", "sessions", "recovery failures"]);
+    let mut t2 = Table::new(vec![
+        "policy",
+        "discipline",
+        "sessions",
+        "recovery failures",
+    ]);
     for (pname, policy) in [
         ("naive fuzzy dump", BackupPolicy::NaiveFuzzy),
         ("paper protocol", BackupPolicy::Protocol),

@@ -18,22 +18,11 @@ fn main() {
     println!("Figure 3 — Done/Doubt/Pend fractions per backup step (measured vs model)");
     println!();
     for n in [4u32, 8] {
-        let (mut engine, _oracle, _gen) = lob_bench::prefilled_engine(
-            pages,
-            64,
-            Discipline::General,
-            BackupPolicy::Protocol,
-            7,
-        );
+        let (mut engine, _oracle, _gen) =
+            lob_bench::prefilled_engine(pages, 64, Discipline::General, BackupPolicy::Protocol, 7);
         let mut run = engine.begin_backup(n).expect("begin");
         let mut t = Table::new(vec![
-            "step m",
-            "done",
-            "(m-1)/N",
-            "doubt",
-            "1/N",
-            "pend",
-            "1-m/N",
+            "step m", "done", "(m-1)/N", "doubt", "1/N", "pend", "1-m/N",
         ]);
         for m in 1..=n {
             // Cursors are at step m (D = (m-1)/N, P = m/N of the order).

@@ -27,7 +27,16 @@ fn main() {
     println!();
     print!("      ");
     for sy in 0..total {
-        print!("{}", if sy == d { "D" } else if sy == p { "P" } else { " " });
+        print!(
+            "{}",
+            if sy == d {
+                "D"
+            } else if sy == p {
+                "P"
+            } else {
+                " "
+            }
+        );
     }
     println!();
 

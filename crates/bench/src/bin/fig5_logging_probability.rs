@@ -61,15 +61,17 @@ fn main() {
          general reduction at N=8: {:.1}%, tree: {:.1}%",
         lob_analysis::GENERAL_ASYMPTOTE,
         lob_analysis::TREE_ASYMPTOTE,
-        100.0 * lob_analysis::reduction_fraction(
-            lob_analysis::general_prob,
-            lob_analysis::GENERAL_ASYMPTOTE,
-            8
-        ),
-        100.0 * lob_analysis::reduction_fraction(
-            lob_analysis::tree_prob,
-            lob_analysis::TREE_ASYMPTOTE,
-            8
-        ),
+        100.0
+            * lob_analysis::reduction_fraction(
+                lob_analysis::general_prob,
+                lob_analysis::GENERAL_ASYMPTOTE,
+                8
+            ),
+        100.0
+            * lob_analysis::reduction_fraction(
+                lob_analysis::tree_prob,
+                lob_analysis::TREE_ASYMPTOTE,
+                8
+            ),
     );
 }

@@ -77,10 +77,8 @@ fn run(duty_pct: u32) -> (f64, f64) {
     }
 
     let measured = engine.stats().iwof_records as f64 / flushes as f64;
-    let predicted = lob_analysis::amortized_prob(
-        lob_analysis::general_prob(STEPS),
-        duty_pct as f64 / 100.0,
-    );
+    let predicted =
+        lob_analysis::amortized_prob(lob_analysis::general_prob(STEPS), duty_pct as f64 / 100.0);
     (measured, predicted)
 }
 

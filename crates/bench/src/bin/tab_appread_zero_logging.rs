@@ -99,7 +99,11 @@ fn main() {
             name.to_string(),
             decisions.to_string(),
             iwof.to_string(),
-            if ok { "ok".into() } else { "FAILED".to_string() },
+            if ok {
+                "ok".into()
+            } else {
+                "FAILED".to_string()
+            },
         ]);
     }
     println!("{t}");

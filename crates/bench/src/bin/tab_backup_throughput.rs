@@ -138,10 +138,26 @@ concurrent updates between sweep slices"
     println!();
     let rows = vec![
         run_offline(),
-        run_strategy("naive fuzzy dump", BackupPolicy::NaiveFuzzy, Discipline::General),
-        run_strategy("protocol (general ops)", BackupPolicy::Protocol, Discipline::General),
-        run_strategy("protocol (tree ops)", BackupPolicy::Protocol, Discipline::Tree),
-        run_strategy("linked flush", BackupPolicy::LinkedFlush, Discipline::General),
+        run_strategy(
+            "naive fuzzy dump",
+            BackupPolicy::NaiveFuzzy,
+            Discipline::General,
+        ),
+        run_strategy(
+            "protocol (general ops)",
+            BackupPolicy::Protocol,
+            Discipline::General,
+        ),
+        run_strategy(
+            "protocol (tree ops)",
+            BackupPolicy::Protocol,
+            Discipline::Tree,
+        ),
+        run_strategy(
+            "linked flush",
+            BackupPolicy::LinkedFlush,
+            Discipline::General,
+        ),
     ];
     let mut t = Table::new(vec![
         "strategy",

@@ -80,7 +80,11 @@ fn main() {
             bytes(incr),
             pages.to_string(),
             format!("{:.1}%", 100.0 * incr as f64 / full as f64),
-            if ok { "ok".into() } else { "FAILED".to_string() },
+            if ok {
+                "ok".into()
+            } else {
+                "FAILED".to_string()
+            },
         ]);
     }
     println!("{t}");

@@ -32,7 +32,8 @@ fn btree_volume(mode: SplitLogging) -> (u64, u64) {
     for i in 0..2000u32 {
         let key = format!("k{i:06}");
         let val = format!("value-{i:06}-{}", "x".repeat(16));
-        t.insert(&mut e, key.as_bytes(), val.as_bytes()).expect("insert");
+        t.insert(&mut e, key.as_bytes(), val.as_bytes())
+            .expect("insert");
     }
     let s = e.log().stats();
     (s.records, s.bytes)

@@ -86,9 +86,7 @@ fn main() {
         let (mut engine, _oracle, _gen) = build();
         let start = Instant::now();
         for d in 0..PARTITIONS {
-            let mut run = engine
-                .begin_backup_of(DomainId(d), 8)
-                .expect("begin");
+            let mut run = engine.begin_backup_of(DomainId(d), 8).expect("begin");
             run.run_to_completion(engine.coordinator(), engine.store())
                 .expect("sweep");
             let img = engine.complete_backup(run).expect("complete");
@@ -163,11 +161,12 @@ fn main() {
     t.row(vec![
         format!("parallel ({PARTITIONS} sweep threads)"),
         format!("{:.1}", par_wall.as_secs_f64() * 1e3),
-        format!(
-            "{:.1}x",
-            seq_wall.as_secs_f64() / par_wall.as_secs_f64()
-        ),
-        if ok { "ok".into() } else { "FAILED".to_string() },
+        format!("{:.1}x", seq_wall.as_secs_f64() / par_wall.as_secs_f64()),
+        if ok {
+            "ok".into()
+        } else {
+            "FAILED".to_string()
+        },
     ]);
     println!("{t}");
     println!("host parallelism: {cores} core(s)");

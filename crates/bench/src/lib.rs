@@ -49,9 +49,7 @@ pub fn prefilled_engine(
     let mut gen = WorkloadGen::new(seed, page_size);
     for i in 0..pages {
         let op = gen.physical(PageId::new(0, i));
-        oracle
-            .execute(&mut engine, op)
-            .expect("prefill");
+        oracle.execute(&mut engine, op).expect("prefill");
     }
     engine.flush_all().expect("prefill flush");
     engine.coordinator().stats().reset();
@@ -64,13 +62,8 @@ mod tests {
 
     #[test]
     fn prefilled_engine_is_quiesced() {
-        let (engine, oracle, _) = prefilled_engine(
-            16,
-            64,
-            Discipline::General,
-            BackupPolicy::Protocol,
-            1,
-        );
+        let (engine, oracle, _) =
+            prefilled_engine(16, 64, Discipline::General, BackupPolicy::Protocol, 1);
         assert_eq!(engine.cache().dirty_count(), 0);
         assert!(engine.graph().is_empty());
         assert_eq!(oracle.len(), 16);

@@ -151,11 +151,7 @@ impl BTree {
     }
 
     /// Re-open a tree from its meta page (e.g. after recovery).
-    pub fn open(
-        partition: PartitionId,
-        meta: PageId,
-        split_logging: SplitLogging,
-    ) -> BTree {
+    pub fn open(partition: PartitionId, meta: PageId, split_logging: SplitLogging) -> BTree {
         BTree {
             partition,
             meta,
@@ -243,12 +239,7 @@ impl BTree {
     }
 
     /// Insert (or overwrite) a record.
-    pub fn insert(
-        &self,
-        engine: &mut Engine,
-        key: &[u8],
-        value: &[u8],
-    ) -> Result<(), BTreeError> {
+    pub fn insert(&self, engine: &mut Engine, key: &[u8], value: &[u8]) -> Result<(), BTreeError> {
         self.validate_key(key)?;
         let size = self.page_size(engine);
         // A record must fit a fresh page with room for one sibling record.
@@ -457,9 +448,8 @@ impl BTree {
         let plan = if idx > 0 {
             let (left_sep, left) = &entries[idx - 1];
             let left_page = self.read_node(engine, *left)?;
-            fits(&left_page, &child_page).then(|| {
-                (child, *left, left_sep.clone(), entries[idx].0.clone())
-            })
+            fits(&left_page, &child_page)
+                .then(|| (child, *left, left_sep.clone(), entries[idx].0.clone()))
         } else {
             None
         };
@@ -647,9 +637,7 @@ impl BTree {
                     "inner node {node_id} does not cover its key range"
                 )))
             }
-            None => {
-                return Err(BTreeError::Corrupt(format!("inner node {node_id} empty")))
-            }
+            None => return Err(BTreeError::Corrupt(format!("inner node {node_id} empty"))),
         }
         let mut count = 1;
         for (k, v) in node.iter() {

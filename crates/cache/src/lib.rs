@@ -22,7 +22,7 @@
 
 use bytes::Bytes;
 use lob_ops::{OpError, PageReader};
-use lob_pagestore::{Lsn, Page, PageId, StableStore, StoreError};
+use lob_pagestore::{FaultHook, FaultVerdict, IoEvent, Lsn, Page, PageId, StableStore, StoreError};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -101,6 +101,10 @@ pub struct CacheManager {
     capacity: Option<usize>,
     tick: u64,
     stats: CacheStats,
+    /// Optional fault hook consulted ([`IoEvent::PageFlush`]) before each
+    /// page write-out, modeling a crash after the flush decision but
+    /// before the store write begins.
+    hook: Option<FaultHook>,
 }
 
 impl CacheManager {
@@ -117,7 +121,13 @@ impl CacheManager {
             capacity,
             tick: 0,
             stats: CacheStats::default(),
+            hook: None,
         }
+    }
+
+    /// Install (or clear) the fault hook.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.hook = hook;
     }
 
     fn touch(&mut self, id: PageId) {
@@ -216,10 +226,7 @@ impl CacheManager {
     ) -> Result<(), CacheError> {
         // Validate everything before writing anything (atomicity).
         for &id in ids {
-            let f = self
-                .frames
-                .get(&id)
-                .ok_or(CacheError::NotResident(id))?;
+            let f = self.frames.get(&id).ok_or(CacheError::NotResident(id))?;
             if f.page.lsn() > durable {
                 return Err(CacheError::WalViolation {
                     page: id,
@@ -229,6 +236,17 @@ impl CacheManager {
             }
         }
         for &id in ids {
+            if let Some(h) = &self.hook {
+                if matches!(
+                    h(IoEvent::PageFlush, Some(id)),
+                    FaultVerdict::Crash | FaultVerdict::TornWrite
+                ) {
+                    // Crash after the flush decision, before the store
+                    // write: pages written earlier in this call stay
+                    // written (each page write is individually atomic).
+                    return Err(CacheError::Store(StoreError::InjectedCrash));
+                }
+            }
             let f = self.frames.get_mut(&id).unwrap();
             store.write_page(id, f.page.clone())?;
             f.dirty = false;

@@ -4,9 +4,7 @@ use crate::config::{BackupPolicy, Discipline, EngineConfig, LogBacking, Tracking
 use crate::error::EngineError;
 use crate::stats::EngineStats;
 use bytes::Bytes;
-use lob_backup::{
-    BackupCoordinator, BackupImage, BackupRun, DomainId, RunConfig, SuccessorTable,
-};
+use lob_backup::{BackupCoordinator, BackupImage, BackupRun, DomainId, RunConfig, SuccessorTable};
 use lob_cache::{CacheManager, CacheReader};
 use lob_ops::{OpBody, TreeForm};
 use lob_pagestore::{Lsn, Page, PageId, PageImage, PartitionId, StableStore, StoreConfig};
@@ -57,16 +55,17 @@ impl Engine {
             },
             &config.partitions,
         ));
-        let parts_with_sizes = |ids: &[PartitionId]| -> Result<Vec<(PartitionId, u32)>, EngineError> {
-            ids.iter()
-                .map(|&p| {
-                    store
-                        .page_count(p)
-                        .map(|n| (p, n))
-                        .map_err(EngineError::Store)
-                })
-                .collect()
-        };
+        let parts_with_sizes =
+            |ids: &[PartitionId]| -> Result<Vec<(PartitionId, u32)>, EngineError> {
+                ids.iter()
+                    .map(|&p| {
+                        store
+                            .page_count(p)
+                            .map(|n| (p, n))
+                            .map_err(EngineError::Store)
+                    })
+                    .collect()
+            };
         let coordinator = match &config.tracking {
             Tracking::Sequential(order) => {
                 if order.len() != config.partitions.len() {
@@ -191,10 +190,9 @@ impl Engine {
             .store
             .page_count(partition)
             .map_err(EngineError::Store)?;
-        let next = self
-            .next_free
-            .get_mut(idx)
-            .ok_or(EngineError::Store(lob_pagestore::StoreError::NoSuchPartition(partition)))?;
+        let next = self.next_free.get_mut(idx).ok_or(EngineError::Store(
+            lob_pagestore::StoreError::NoSuchPartition(partition),
+        ))?;
         if *next >= total {
             return Err(EngineError::Internal(format!(
                 "partition {partition} is full ({total} pages)"
@@ -502,8 +500,21 @@ impl Engine {
     // Crash recovery
     // ------------------------------------------------------------------
 
+    /// Install (or clear) a fault hook on every I/O site the engine owns
+    /// or shares: the stable store (page writes), the log manager (forces
+    /// and frame appends), the cache (flush decisions), and the backup
+    /// coordinator (sweep copies). One hook observes the system-wide
+    /// deterministic I/O event stream.
+    pub fn install_fault_hook(&mut self, hook: Option<lob_pagestore::FaultHook>) {
+        self.store.set_fault_hook(hook.clone());
+        self.log.set_fault_hook(hook.clone());
+        self.cache.set_fault_hook(hook.clone());
+        self.coordinator.set_fault_hook(hook);
+    }
+
     /// Crash: all volatile state (cache, write graph, successor table, the
-    /// unforced log tail) is lost. Call [`Engine::recover`] next.
+    /// unforced log tail, in-flight backup trackers and the changed-page
+    /// set) is lost. Call [`Engine::recover`] next.
     pub fn crash(&mut self) {
         self.log.crash();
         self.cache.clear();
@@ -511,6 +522,9 @@ impl Engine {
         self.succ.clear_all();
         self.taken_changed.clear();
         self.linked_images.clear();
+        // The backup coordinator's trackers and changed set live in the
+        // same process: any in-flight sweep dies with it.
+        self.coordinator.reset_volatile();
     }
 
     /// Crash recovery: forward redo over the surviving log suffix, write-
@@ -647,7 +661,11 @@ impl Engine {
     pub fn abort_backup(&mut self, run: BackupRun) {
         let backup_id = run.backup_id();
         run.abort(&self.coordinator);
-        if let Some(i) = self.taken_changed.iter().position(|(id, _)| *id == backup_id) {
+        if let Some(i) = self
+            .taken_changed
+            .iter()
+            .position(|(id, _)| *id == backup_id)
+        {
             let (_, changed) = self.taken_changed.swap_remove(i);
             self.coordinator.restore_changed(changed);
         }
@@ -899,9 +917,7 @@ impl Engine {
             },
             &self.config.partitions,
         );
-        image
-            .restore_to(&scratch)
-            .map_err(EngineError::Backup)?;
+        image.restore_to(&scratch).map_err(EngineError::Backup)?;
         let records = self.log.scan_from(image.start_lsn)?;
         let mut target = StoreRedoTarget::new(&scratch);
         redo_scan(&records, &mut target)?;
@@ -936,9 +952,11 @@ impl Engine {
             ));
         }
         if !image.complete {
-            return Err(EngineError::Backup(lob_backup::BackupError::IncompleteImage {
-                backup_id: image.backup_id,
-            }));
+            return Err(EngineError::Backup(
+                lob_backup::BackupError::IncompleteImage {
+                    backup_id: image.backup_id,
+                },
+            ));
         }
         self.log.force_all()?;
         self.cache.clear();
@@ -1128,10 +1146,7 @@ mod tests {
             writes: vec![pid(1)],
             salt: 0,
         });
-        assert!(matches!(
-            e.execute(mix),
-            Err(EngineError::Discipline(_))
-        ));
+        assert!(matches!(e.execute(mix), Err(EngineError::Discipline(_))));
         // Copy into a fresh page is a write-new tree op → accepted.
         e.execute(phys(0, 1)).unwrap();
         e.execute(copy(0, 1)).unwrap();
@@ -1256,9 +1271,7 @@ mod tests {
         e.execute(phys(3, 2)).unwrap();
         e.flush_all().unwrap();
 
-        let mut irun = e
-            .begin_incremental_backup(DomainId(0), 2, &base)
-            .unwrap();
+        let mut irun = e.begin_incremental_backup(DomainId(0), 2, &base).unwrap();
         while !e.backup_step(&mut irun).unwrap() {}
         let incr = e.complete_backup(irun).unwrap();
         assert!(incr.incremental);
@@ -1285,9 +1298,7 @@ mod tests {
         e.execute(phys(2, 1)).unwrap();
         e.flush_all().unwrap();
         let before = e.coordinator().changed_count();
-        let irun = e
-            .begin_incremental_backup(DomainId(0), 2, &base)
-            .unwrap();
+        let irun = e.begin_incremental_backup(DomainId(0), 2, &base).unwrap();
         assert_eq!(e.coordinator().changed_count(), 0);
         e.abort_backup(irun);
         assert_eq!(e.coordinator().changed_count(), before);
@@ -1341,7 +1352,10 @@ mod tests {
         let mut run = e.begin_backup(2).unwrap();
         while !e.backup_step(&mut run).unwrap() {}
         let image = e.complete_backup(run).unwrap();
-        assert!(e.audit_backup(&image).unwrap().is_empty(), "fresh image audits clean");
+        assert!(
+            e.audit_backup(&image).unwrap().is_empty(),
+            "fresh image audits clean"
+        );
 
         // Further updates: the audit rolls the image forward over the live
         // log, so it still audits clean.

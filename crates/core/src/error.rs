@@ -47,6 +47,27 @@ impl fmt::Display for EngineError {
     }
 }
 
+impl EngineError {
+    /// Whether this error — at any nesting level — is an *injected crash*
+    /// from the fault hook rather than a genuine failure. The torture
+    /// harness uses this to distinguish "the planned crash point fired"
+    /// (expected; proceed to recovery) from real bugs (propagate).
+    pub fn is_injected_crash(&self) -> bool {
+        match self {
+            EngineError::Store(StoreError::InjectedCrash) => true,
+            EngineError::Cache(CacheError::Store(StoreError::InjectedCrash)) => true,
+            EngineError::Log(LogError::InjectedCrash) => true,
+            EngineError::Backup(BackupError::InjectedCrash) => true,
+            EngineError::Backup(BackupError::Store(StoreError::InjectedCrash)) => true,
+            // Redo targets stringify their store errors; match the marker.
+            EngineError::Redo(RedoError::Target(msg)) => {
+                msg.contains(lob_pagestore::fault::INJECTED_CRASH_MSG)
+            }
+            _ => false,
+        }
+    }
+}
+
 impl std::error::Error for EngineError {}
 
 impl From<OpError> for EngineError {

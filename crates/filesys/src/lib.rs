@@ -77,7 +77,9 @@ fn encode_extent(pages: &[PageId]) -> Vec<u8> {
 
 fn decode_extent(bytes: &[u8]) -> Result<Vec<PageId>, FsError> {
     if bytes.len() % 8 != 0 {
-        return Err(FsError::Catalog("extent record length not 8-aligned".into()));
+        return Err(FsError::Catalog(
+            "extent record length not 8-aligned".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(8)
@@ -204,16 +206,13 @@ impl FsVolume {
     }
 
     /// All records of a file, in extent order (per-page key order).
-    pub fn read_records(
-        &self,
-        engine: &mut Engine,
-        name: &str,
-    ) -> Result<Vec<Record>, FsError> {
+    pub fn read_records(&self, engine: &mut Engine, name: &str) -> Result<Vec<Record>, FsError> {
         let extent = self.extent(engine, name)?;
         let mut out = Vec::new();
         for pid in extent {
             let page = engine.read_page(pid)?;
-            let rp = RecPage::decode(pid, page.data()).map_err(|e| FsError::Catalog(e.to_string()))?;
+            let rp =
+                RecPage::decode(pid, page.data()).map_err(|e| FsError::Catalog(e.to_string()))?;
             out.extend(rp.into_entries());
         }
         Ok(out)

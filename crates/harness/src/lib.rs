@@ -16,16 +16,30 @@
 //! * [`scenarios`] — the Figure 1 B-tree-split counterexample (naive fuzzy
 //!   dump loses data; the paper's protocol does not) and randomized
 //!   end-to-end sessions with backups, crashes, and media failures.
+//! * [`fault`] — [`FaultPlan`]: seeded planning on top of the engine's
+//!   fault hook — count the I/O events of a run, then arm one crash, torn
+//!   write, silent corruption, or media failure at a chosen event index.
+//! * [`torture`] — [`TortureRunner`]: the crash-point torture harness —
+//!   re-run a seeded workload crashing at every (or a sampled set of) I/O
+//!   event(s), recover, and require byte-equality with the shadow oracle.
 //! * [`report`] — plain-text table formatting for the experiment binaries.
 
+pub mod fault;
 pub mod report;
 pub mod scenarios;
 pub mod shadow;
 pub mod sim;
+pub mod torture;
 pub mod workload;
 
+pub use fault::{sample_indices, FaultKind, FaultPlan};
 pub use report::Table;
-pub use scenarios::{fig1_split_scenario, random_session, Fig1Outcome, SessionConfig, SessionReport};
+pub use scenarios::{
+    fig1_split_scenario, random_session, Fig1Outcome, SessionConfig, SessionReport,
+};
 pub use shadow::ShadowOracle;
 pub use sim::{run_fig5, Fig5Config, Fig5Result, SimDiscipline};
+pub use torture::{
+    CaseResult, RecoveryPath, TortureConfig, TortureReport, TortureRunner, TortureWorkload,
+};
 pub use workload::WorkloadGen;

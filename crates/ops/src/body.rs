@@ -310,7 +310,9 @@ impl OpBody {
         }
         if let OpBody::Logical(LogicalOp::SortExtent { src, dst }) = self {
             if src.is_empty() || dst.is_empty() {
-                return Err(OpError::Invalid("SortExtent extents must be nonempty".into()));
+                return Err(OpError::Invalid(
+                    "SortExtent extents must be nonempty".into(),
+                ));
             }
         }
         Ok(())
@@ -466,7 +468,9 @@ fn apply_logical(
                 out.push((d, page.encode(d, size)?));
             }
             if it.peek().is_some() {
-                return Err(OpError::PageFull { page: *dst.last().unwrap() });
+                return Err(OpError::PageFull {
+                    page: *dst.last().unwrap(),
+                });
             }
             Ok(out)
         }
@@ -598,7 +602,9 @@ mod tests {
             target: pid(0),
             key: Bytes::from_static(b"b"),
         });
-        let out2 = del.apply(&mut reader(&[(pid(0), out[0].1.clone())])).unwrap();
+        let out2 = del
+            .apply(&mut reader(&[(pid(0), out[0].1.clone())]))
+            .unwrap();
         let page2 = RecPage::decode(pid(0), &out2[0].1).unwrap();
         assert_eq!(page2.len(), 1);
         assert!(page2.get(b"b").is_none());
@@ -658,10 +664,7 @@ mod tests {
         });
         assert_eq!(r.readset(), vec![pid(1), pid(2)]);
         assert_eq!(r.writeset(), vec![pid(2)]);
-        assert!(matches!(
-            r.tree_form(),
-            Some(TreeForm::ReadExtra { .. })
-        ));
+        assert!(matches!(r.tree_form(), Some(TreeForm::ReadExtra { .. })));
 
         let w = OpBody::Logical(LogicalOp::AppWrite {
             app: pid(2),
@@ -676,7 +679,10 @@ mod tests {
             })
         );
 
-        let ex = OpBody::Physio(PhysioOp::AppExec { app: pid(2), salt: 4 });
+        let ex = OpBody::Physio(PhysioOp::AppExec {
+            app: pid(2),
+            salt: 4,
+        });
         assert_eq!(
             ex.tree_form(),
             Some(TreeForm::PageOriented { target: pid(2) })
@@ -695,9 +701,7 @@ mod tests {
         let o1 = op
             .apply(&mut reader(&[(pid(1), x1), (pid(2), a.clone())]))
             .unwrap();
-        let o2 = op
-            .apply(&mut reader(&[(pid(1), x2), (pid(2), a)]))
-            .unwrap();
+        let o2 = op.apply(&mut reader(&[(pid(1), x2), (pid(2), a)])).unwrap();
         assert_ne!(o1[0].1, o2[0].1, "different inputs → different app state");
     }
 
@@ -786,9 +790,7 @@ mod tests {
         assert_eq!(o1, o2);
         assert_ne!(o1[0].1, o1[1].1, "distinct outputs per written page");
         let c = Bytes::from(vec![9u8; SIZE]);
-        let o3 = op
-            .apply(&mut reader(&[(pid(0), a), (pid(1), c)]))
-            .unwrap();
+        let o3 = op.apply(&mut reader(&[(pid(0), a), (pid(1), c)])).unwrap();
         assert_ne!(o1[0].1, o3[0].1, "output reflects read values");
     }
 

@@ -104,10 +104,8 @@ impl RecPage {
     pub fn fits_with(&self, key: &[u8], val: &[u8], page_size: usize) -> bool {
         // Replacing an existing key frees its old value first.
         let existing = self.get(key).map(|v| ENTRY_OVERHEAD + key.len() + v.len());
-        let after = self.encoded_len() - existing.unwrap_or(0)
-            + ENTRY_OVERHEAD
-            + key.len()
-            + val.len();
+        let after =
+            self.encoded_len() - existing.unwrap_or(0) + ENTRY_OVERHEAD + key.len() + val.len();
         after <= page_size
     }
 
@@ -202,7 +200,9 @@ impl RecPage {
 
     /// Iterate over records in key order.
     pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
-        self.entries.iter().map(|(k, v)| (k.as_slice(), v.as_slice()))
+        self.entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
     }
 
     /// Bulk-load from sorted unique records (panics in debug if unsorted).
@@ -279,10 +279,7 @@ mod tests {
     fn encode_respects_capacity() {
         let mut p = RecPage::new();
         p.insert(vec![b'k'; 30], vec![b'v'; 30]);
-        assert!(matches!(
-            p.encode(pid(), 32),
-            Err(OpError::PageFull { .. })
-        ));
+        assert!(matches!(p.encode(pid(), 32), Err(OpError::PageFull { .. })));
         assert!(p.encode(pid(), 128).is_ok());
     }
 

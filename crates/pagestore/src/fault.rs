@@ -1,0 +1,129 @@
+//! Deterministic fault injection.
+//!
+//! Every I/O site in the system — page flushes, stable-store page writes,
+//! log appends, log forces, backup page copies — consults an optional
+//! [`FaultHook`] before performing its transfer. The hook observes a
+//! deterministic stream of [`IoEvent`]s and answers with a [`FaultVerdict`]
+//! telling the site to proceed, to simulate a process crash at exactly this
+//! event, to tear or corrupt the write, or to fail the medium under it.
+//!
+//! The hook type lives here, at the base of the crate graph, so every layer
+//! (pagestore, wal, cache, backup, core) can share one hook without
+//! dependency cycles. The seeded planning logic that decides *which* events
+//! to fault lives in the harness (`lob_harness::fault::FaultPlan`).
+//!
+//! Only write-side events are modeled: reads cannot lose persistent state,
+//! and keeping the event stream write-only keeps crash-point enumeration
+//! small enough to be exhaustive.
+
+use crate::id::PageId;
+use std::fmt;
+use std::sync::Arc;
+
+/// One observable I/O event. The kind is reported to the hook along with
+/// the affected page (when the event concerns a specific page).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoEvent {
+    /// The cache manager is about to write out one dirty page (consulted
+    /// before the WAL check and the store write).
+    PageFlush,
+    /// A page write is about to reach the stable store (flushes, image
+    /// restores, and direct writes all pass through here).
+    PageWrite,
+    /// The log manager is about to force its volatile tail (consulted once
+    /// per force that has frames to persist).
+    LogForce,
+    /// One log frame is about to be appended to the durable log store.
+    LogAppend,
+    /// The backup sweep is about to copy one page into its image.
+    BackupCopy,
+}
+
+impl fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IoEvent::PageFlush => "page-flush",
+            IoEvent::PageWrite => "page-write",
+            IoEvent::LogForce => "log-force",
+            IoEvent::LogAppend => "log-append",
+            IoEvent::BackupCopy => "backup-copy",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the fault hook tells an I/O site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Perform the transfer normally.
+    Proceed,
+    /// Simulate a process crash at this event: the transfer does not happen
+    /// and the site returns an injected-crash error that unwinds to the
+    /// driver, which then runs crash recovery.
+    Crash,
+    /// Tear the write: persist a front-half/back-half splice of new and old
+    /// data, then crash. A later read must detect the tear by checksum.
+    /// Only meaningful for [`IoEvent::PageWrite`] and [`IoEvent::LogAppend`];
+    /// other sites treat it as [`FaultVerdict::Crash`].
+    TornWrite,
+    /// Silently corrupt the persisted bytes (bit flip) while reporting
+    /// success — models bit rot / a misdirected write. A later read must
+    /// detect it by checksum. Only meaningful for [`IoEvent::PageWrite`];
+    /// other sites treat it as [`FaultVerdict::Proceed`].
+    CorruptWrite,
+    /// Fail the medium under the affected page: subsequent reads of the
+    /// page return a media-failure error until it is restored from a
+    /// backup. The triggering transfer itself proceeds where that makes
+    /// sense (writes land on the replacement medium).
+    MediaFail,
+}
+
+/// The hook signature: `(event kind, affected page if any) -> verdict`.
+///
+/// Hooks must be cheap, deterministic, and callable from any thread (backup
+/// sweeps consult them concurrently with the engine thread).
+pub type FaultHook = Arc<dyn Fn(IoEvent, Option<PageId>) -> FaultVerdict + Send + Sync>;
+
+/// Marker text used when an injected crash must travel through an
+/// `std::io::Error` (the log store trait speaks `io::Result`).
+pub const INJECTED_CRASH_MSG: &str = "injected crash (fault hook)";
+
+/// An `io::Error` representing an injected crash at a log I/O site.
+pub fn injected_crash_io_error() -> std::io::Error {
+    std::io::Error::other(INJECTED_CRASH_MSG)
+}
+
+/// Whether an `io::Error` is an injected crash created by
+/// [`injected_crash_io_error`].
+pub fn is_injected_crash_io_error(e: &std::io::Error) -> bool {
+    e.to_string().contains(INJECTED_CRASH_MSG)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_crash_io_error_round_trips() {
+        let e = injected_crash_io_error();
+        assert!(is_injected_crash_io_error(&e));
+        let plain = std::io::Error::other("disk on fire");
+        assert!(!is_injected_crash_io_error(&plain));
+    }
+
+    #[test]
+    fn hook_is_callable_through_arc() {
+        let hook: FaultHook = Arc::new(|ev, page| {
+            if ev == IoEvent::PageWrite && page.is_some() {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        });
+        assert_eq!(
+            hook(IoEvent::PageWrite, Some(PageId::new(0, 1))),
+            FaultVerdict::Crash
+        );
+        assert_eq!(hook(IoEvent::LogForce, None), FaultVerdict::Proceed);
+    }
+}

@@ -35,7 +35,10 @@
 //! * [`image`] — [`PageImage`]: a loose bag of page copies, the raw material
 //!   of a backup `B`.
 //! * [`stats`] — I/O accounting shared by stores.
+//! * [`fault`] — deterministic fault injection: the [`FaultHook`] consulted
+//!   by every I/O site in the system.
 
+pub mod fault;
 pub mod id;
 pub mod image;
 pub mod lsn;
@@ -43,6 +46,7 @@ pub mod page;
 pub mod stats;
 pub mod store;
 
+pub use fault::{FaultHook, FaultVerdict, IoEvent};
 pub use id::{PageId, PagePos, PartitionId};
 pub use image::PageImage;
 pub use lsn::Lsn;

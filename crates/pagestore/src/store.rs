@@ -1,9 +1,11 @@
 //! The stable database `S`.
 
+use crate::fault::{FaultHook, FaultVerdict, IoEvent};
 use crate::id::{PageId, PartitionId};
 use crate::image::PageImage;
 use crate::page::Page;
 use crate::stats::{IoSnapshot, IoStats};
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::fmt;
 
@@ -46,6 +48,12 @@ pub enum StoreError {
         /// Configured page size.
         want: usize,
     },
+    /// The stored bytes of the page no longer match its recorded checksum:
+    /// a torn or corrupted write was detected on read.
+    Corrupt(PageId),
+    /// The fault hook simulated a process crash at this I/O event; the
+    /// transfer did not complete. Unwind to the driver and run recovery.
+    InjectedCrash,
 }
 
 impl fmt::Display for StoreError {
@@ -57,6 +65,8 @@ impl fmt::Display for StoreError {
             StoreError::PageSizeMismatch { page, got, want } => {
                 write!(f, "page {page}: payload {got}B but page size is {want}B")
             }
+            StoreError::Corrupt(p) => write!(f, "checksum mismatch reading {p} (torn/corrupt)"),
+            StoreError::InjectedCrash => write!(f, "injected crash (fault hook)"),
         }
     }
 }
@@ -65,6 +75,13 @@ impl std::error::Error for StoreError {}
 
 struct PartitionState {
     pages: Vec<Page>,
+    /// Expected checksum of each page slot. A normal write records the
+    /// checksum of the payload it *intended* to persist; fault injection
+    /// may then tear or corrupt the stored bytes, and every read verifies
+    /// the stored page against this table so such damage is detected
+    /// (never silently returned). Models per-sector checksums on real
+    /// storage.
+    sums: Vec<u64>,
     /// Whole-partition media failure.
     failed: bool,
     /// Failed index ranges (half-open), for partial media failures.
@@ -95,12 +112,15 @@ pub struct StableStore {
     /// One counter block per partition (cache-line padded): concurrent
     /// sweep threads account I/O without sharing a line.
     stats: Vec<IoStats>,
+    /// Optional fault hook consulted before every page write.
+    hook: RwLock<Option<FaultHook>>,
 }
 
 impl StableStore {
     /// Create a store with the given partitions, all pages formatted
     /// (zeroed, null pageLSN).
     pub fn new(config: StoreConfig, partitions: &[PartitionSpec]) -> StableStore {
+        let blank_sum = Page::formatted(config.page_size).checksum();
         let parts = partitions
             .iter()
             .map(|spec| {
@@ -108,6 +128,7 @@ impl StableStore {
                     pages: (0..spec.pages)
                         .map(|_| Page::formatted(config.page_size))
                         .collect(),
+                    sums: vec![blank_sum; spec.pages as usize],
                     failed: false,
                     failed_ranges: Vec::new(),
                 })
@@ -118,6 +139,7 @@ impl StableStore {
             config,
             partitions: parts,
             stats,
+            hook: RwLock::new(None),
         }
     }
 
@@ -138,8 +160,7 @@ impl StableStore {
 
     /// Number of pages in a partition.
     pub fn page_count(&self, partition: PartitionId) -> Result<u32, StoreError> {
-        self.part(partition)
-            .map(|p| p.read().pages.len() as u32)
+        self.part(partition).map(|p| p.read().pages.len() as u32)
     }
 
     /// Aggregated I/O statistics across all partitions.
@@ -162,6 +183,18 @@ impl StableStore {
         }
     }
 
+    /// Install (or clear) the fault hook consulted before every page write.
+    pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
+        *self.hook.write() = hook;
+    }
+
+    fn consult(&self, ev: IoEvent, page: Option<PageId>) -> FaultVerdict {
+        match self.hook.read().clone() {
+            Some(h) => h(ev, page),
+            None => FaultVerdict::Proceed,
+        }
+    }
+
     fn part(&self, pid: PartitionId) -> Result<&RwLock<PartitionState>, StoreError> {
         self.partitions
             .get(pid.0 as usize)
@@ -181,12 +214,21 @@ impl StableStore {
             .get(id.index as usize)
             .cloned()
             .ok_or(StoreError::NoSuchPage(id))?;
+        if page.checksum() != guard.sums[id.index as usize] {
+            return Err(StoreError::Corrupt(id));
+        }
         self.stats[id.partition.0 as usize].record_read(page.len());
         Ok(page)
     }
 
     /// Atomically write a page. Writing to a failed region is permitted: it
     /// models writing to the replacement medium during restore.
+    ///
+    /// The fault hook (if installed) is consulted first and may turn the
+    /// write into a crash (nothing persisted), a torn write (front half of
+    /// the new payload spliced onto the back half of the old, then crash),
+    /// a silent corruption (bit flip, reported as success), or a media
+    /// failure of the target page.
     pub fn write_page(&self, id: PageId, page: Page) -> Result<(), StoreError> {
         if page.len() != self.config.page_size {
             return Err(StoreError::PageSizeMismatch {
@@ -195,14 +237,44 @@ impl StableStore {
                 want: self.config.page_size,
             });
         }
+        let verdict = self.consult(IoEvent::PageWrite, Some(id));
+        if verdict == FaultVerdict::Crash {
+            return Err(StoreError::InjectedCrash);
+        }
         let part = self.part(id.partition)?;
         let mut guard = part.write();
-        let slot = guard
-            .pages
-            .get_mut(id.index as usize)
-            .ok_or(StoreError::NoSuchPage(id))?;
-        *slot = page;
+        let idx = id.index as usize;
+        if idx >= guard.pages.len() {
+            return Err(StoreError::NoSuchPage(id));
+        }
+        if verdict == FaultVerdict::MediaFail {
+            guard.failed_ranges.push((id.index, id.index + 1));
+        }
+        // The checksum recorded is always that of the *intended* payload;
+        // a torn or corrupted write therefore leaves a detectable mismatch.
+        let intended_sum = page.checksum();
+        let stored = match verdict {
+            FaultVerdict::TornWrite => {
+                let half = self.config.page_size / 2;
+                let mut buf = Vec::with_capacity(self.config.page_size);
+                buf.extend_from_slice(&page.data()[..half]);
+                buf.extend_from_slice(&guard.pages[idx].data()[half..]);
+                Page::new(page.lsn(), Bytes::from(buf))
+            }
+            FaultVerdict::CorruptWrite => {
+                let mut buf = page.data().to_vec();
+                let pos = buf.len() / 2;
+                buf[pos] ^= 0x40;
+                Page::new(page.lsn(), Bytes::from(buf))
+            }
+            _ => page,
+        };
+        guard.pages[idx] = stored;
+        guard.sums[idx] = intended_sum;
         self.stats[id.partition.0 as usize].record_write(self.config.page_size);
+        if verdict == FaultVerdict::TornWrite {
+            return Err(StoreError::InjectedCrash);
+        }
         Ok(())
     }
 
@@ -213,11 +285,14 @@ impl StableStore {
         if guard.is_failed(id.index) {
             return Err(StoreError::MediaFailure(id));
         }
-        guard
+        let page = guard
             .pages
             .get(id.index as usize)
-            .map(|p| p.lsn())
-            .ok_or(StoreError::NoSuchPage(id))
+            .ok_or(StoreError::NoSuchPage(id))?;
+        if page.checksum() != guard.sums[id.index as usize] {
+            return Err(StoreError::Corrupt(id));
+        }
+        Ok(page.lsn())
     }
 
     /// Inject a media failure covering a whole partition.
@@ -263,6 +338,9 @@ impl StableStore {
                 if guard.is_failed(id.index) {
                     return Err(StoreError::MediaFailure(id));
                 }
+                if page.checksum() != guard.sums[i] {
+                    return Err(StoreError::Corrupt(id));
+                }
                 self.stats[pi].record_read(page.len());
                 img.put(id, page.clone());
             }
@@ -277,6 +355,27 @@ impl StableStore {
             self.write_page(id, page.clone())?;
         }
         Ok(())
+    }
+
+    /// Scrub pass: return every readable page whose stored bytes no longer
+    /// match its recorded checksum (torn or corrupted writes). Pages in
+    /// already-failed regions are skipped — they are known-bad and blocked
+    /// from reads regardless. After a crash, the driver fails the ranges
+    /// returned here so media recovery restores them from a backup.
+    pub fn verify_pages(&self) -> Vec<PageId> {
+        let mut bad = Vec::new();
+        for (pi, part) in self.partitions.iter().enumerate() {
+            let guard = part.read();
+            for (i, page) in guard.pages.iter().enumerate() {
+                if guard.is_failed(i as u32) {
+                    continue;
+                }
+                if page.checksum() != guard.sums[i] {
+                    bad.push(PageId::new(pi as u32, i as u32));
+                }
+            }
+        }
+        bad
     }
 
     /// Highest page index in `pid` whose pageLSN is non-null, if any.
@@ -357,7 +456,9 @@ mod tests {
         let s = store();
         let bad = Page::new(Lsn(1), Bytes::from_static(b"short"));
         match s.write_page(PageId::new(0, 0), bad) {
-            Err(StoreError::PageSizeMismatch { got: 5, want: 8, .. }) => {}
+            Err(StoreError::PageSizeMismatch {
+                got: 5, want: 8, ..
+            }) => {}
             other => panic!("unexpected: {other:?}"),
         }
     }
@@ -420,6 +521,84 @@ mod tests {
         assert_eq!(s.stats().bytes_written, 8);
         s.reset_stats();
         assert_eq!(s.stats().page_reads, 0);
+    }
+
+    use crate::fault::{FaultVerdict, IoEvent};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// A hook that fires `verdict` on the first page write, then proceeds.
+    fn once_hook(verdict: FaultVerdict) -> crate::fault::FaultHook {
+        let fired = AtomicBool::new(false);
+        Arc::new(move |ev, _page| {
+            if ev == IoEvent::PageWrite && !fired.swap(true, Ordering::Relaxed) {
+                verdict
+            } else {
+                FaultVerdict::Proceed
+            }
+        })
+    }
+
+    #[test]
+    fn injected_crash_blocks_the_write() {
+        let s = store();
+        let id = PageId::new(0, 0);
+        s.write_page(id, page(1, 0xAA)).unwrap();
+        s.set_fault_hook(Some(once_hook(FaultVerdict::Crash)));
+        assert_eq!(
+            s.write_page(id, page(2, 0xBB)),
+            Err(StoreError::InjectedCrash)
+        );
+        // Nothing was persisted; the old value survives intact.
+        let p = s.read_page(id).unwrap();
+        assert_eq!(p.lsn(), Lsn(1));
+        assert_eq!(p.data()[0], 0xAA);
+    }
+
+    #[test]
+    fn torn_write_is_detected_on_read() {
+        let s = store();
+        let id = PageId::new(0, 0);
+        s.write_page(id, page(1, 0xAA)).unwrap();
+        s.set_fault_hook(Some(once_hook(FaultVerdict::TornWrite)));
+        assert_eq!(
+            s.write_page(id, page(2, 0xBB)),
+            Err(StoreError::InjectedCrash)
+        );
+        assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
+        assert_eq!(s.page_lsn(id), Err(StoreError::Corrupt(id)));
+        assert_eq!(s.verify_pages(), vec![id]);
+        assert!(s.snapshot().is_err());
+        // A clean rewrite repairs the slot.
+        s.write_page(id, page(3, 0xCC)).unwrap();
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(3));
+        assert!(s.verify_pages().is_empty());
+    }
+
+    #[test]
+    fn silent_corruption_is_detected_on_read() {
+        let s = store();
+        let id = PageId::new(0, 3);
+        s.set_fault_hook(Some(once_hook(FaultVerdict::CorruptWrite)));
+        // The corrupting write reports success (bit rot is silent)…
+        s.write_page(id, page(7, 0x11)).unwrap();
+        // …but no read path will return the damaged page.
+        assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
+        assert_eq!(s.verify_pages(), vec![id]);
+    }
+
+    #[test]
+    fn media_fail_verdict_fails_the_target_page() {
+        let s = store();
+        let id = PageId::new(1, 0);
+        s.set_fault_hook(Some(once_hook(FaultVerdict::MediaFail)));
+        s.write_page(id, page(4, 0x22)).unwrap();
+        assert_eq!(s.read_page(id), Err(StoreError::MediaFailure(id)));
+        assert!(s.has_failures(PartitionId(1)).unwrap());
+        // The write landed on the (future replacement) medium: clearing the
+        // failure exposes it, as restore will after re-copying the page.
+        s.clear_failures(PartitionId(1)).unwrap();
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(4));
     }
 
     #[test]

@@ -144,8 +144,8 @@ mod tests {
         let mut g = InstallGraph::new();
         g.push(Lsn(1), &physio(1)); // writes 1 (also reads it: physio)
         g.push(Lsn(2), &copy(1, 2)); // reads 1 — write-read w.r.t. op 1
-        // op1 reads page 1 itself, and op2 writes page 2 which nobody read:
-        // only possible edge would be (1 → x writes page1) — none here.
+                                     // op1 reads page 1 itself, and op2 writes page 2 which nobody read:
+                                     // only possible edge would be (1 → x writes page1) — none here.
         assert!(g.preds(Lsn(2)).unwrap().is_empty());
     }
 

@@ -109,10 +109,12 @@ pub fn redo_scan(
         if let RecordBody::Op(op) = &rec.body {
             if let lob_ops::OpBody::IdentityWrite { target, value } = op {
                 match last_writer.get(target) {
-                    Some(&j) => promotions
-                        .entry(j)
-                        .or_default()
-                        .push((*target, value.clone(), rec.lsn)),
+                    Some(&j) => {
+                        promotions
+                            .entry(j)
+                            .or_default()
+                            .push((*target, value.clone(), rec.lsn))
+                    }
                     None => at_start.push((*target, value.clone(), rec.lsn)),
                 }
             }
@@ -124,8 +126,8 @@ pub fn redo_scan(
 
     let mut out = RedoOutcome::default();
     let apply_identity = |target: &mut dyn RedoTarget,
-                              items: &[(PageId, Bytes, lob_pagestore::Lsn)],
-                              out: &mut RedoOutcome|
+                          items: &[(PageId, Bytes, lob_pagestore::Lsn)],
+                          out: &mut RedoOutcome|
      -> Result<(), RedoError> {
         for (pid, value, ilsn) in items {
             if target.page(*pid)?.lsn() < *ilsn {
@@ -172,12 +174,10 @@ pub fn redo_scan(
                     }),
                 }
             };
-            let outputs = body
-                .apply(&mut reader)
-                .map_err(|source| RedoError::Op {
-                    lsn: rec.lsn,
-                    source,
-                })?;
+            let outputs = body.apply(&mut reader).map_err(|source| RedoError::Op {
+                lsn: rec.lsn,
+                source,
+            })?;
             for (pid, bytes) in outputs {
                 if needs.contains(&pid) {
                     target.set_page(pid, Page::new(rec.lsn, bytes))?;
@@ -349,13 +349,13 @@ mod tests {
             salt: 5,
         });
         // Normal execution results for comparison.
-        let mut exec_reader = |id: PageId| -> Result<Bytes, OpError> {
-            Ok(s.read_page(id).unwrap().data().clone())
-        };
+        let mut exec_reader =
+            |id: PageId| -> Result<Bytes, OpError> { Ok(s.read_page(id).unwrap().data().clone()) };
         let outs = body.apply(&mut exec_reader).unwrap();
         // Install only page 2.
         let p2 = outs.iter().find(|(p, _)| *p == pid(2)).unwrap();
-        s.write_page(pid(2), Page::new(Lsn(1), p2.1.clone())).unwrap();
+        s.write_page(pid(2), Page::new(Lsn(1), p2.1.clone()))
+            .unwrap();
         // Pre-existing independent value for page 2's "future": give page 2
         // a later unrelated update to prove it is not clobbered.
         s.write_page(pid(2), Page::new(Lsn(9), Bytes::from(vec![9u8; SIZE])))
@@ -368,7 +368,11 @@ mod tests {
         assert_eq!(out.pages_written, 1, "only page 1 installed");
         let expect_p1 = outs.iter().find(|(p, _)| *p == pid(1)).unwrap();
         assert_eq!(s.read_page(pid(1)).unwrap().data(), &expect_p1.1);
-        assert_eq!(s.read_page(pid(2)).unwrap().lsn(), Lsn(9), "newer page kept");
+        assert_eq!(
+            s.read_page(pid(2)).unwrap().lsn(),
+            Lsn(9),
+            "newer page kept"
+        );
     }
 
     #[test]

@@ -512,7 +512,11 @@ impl WriteGraph {
             .map(|v| {
                 (
                     *v,
-                    self.nodes[v].preds.iter().filter(|p| anc.contains(p)).count(),
+                    self.nodes[v]
+                        .preds
+                        .iter()
+                        .filter(|p| anc.contains(p))
+                        .count(),
                 )
             })
             .collect();
@@ -544,9 +548,7 @@ impl WriteGraph {
     pub fn install_node(&mut self, id: NodeId) -> Result<Vec<Lsn>, WriteGraphError> {
         match self.nodes.get(&id) {
             None => return Err(WriteGraphError::NoSuchNode(id)),
-            Some(n) if !n.preds.is_empty() => {
-                return Err(WriteGraphError::HasPredecessors(id))
-            }
+            Some(n) if !n.preds.is_empty() => return Err(WriteGraphError::HasPredecessors(id)),
             Some(_) => {}
         }
         let node = self.detach(id);
@@ -646,7 +648,12 @@ impl WriteGraph {
 
 impl fmt::Debug for WriteGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "WriteGraph({:?}, {} nodes):", self.mode, self.nodes.len())?;
+        writeln!(
+            f,
+            "WriteGraph({:?}, {} nodes):",
+            self.mode,
+            self.nodes.len()
+        )?;
         for (id, n) in &self.nodes {
             writeln!(
                 f,
@@ -903,13 +910,13 @@ mod tests {
         // n1: reads{10} writes{11}; n2: reads{11} writes{10}:
         let n1 = g.add_op(Lsn(2), &mix(&[10, 11], &[11])); // reads 10,11 writes 11 (non-blind 11)
         let n2 = g.add_op(Lsn(3), &mix(&[11, 10], &[10])); // reads both, writes 10 (non-blind 10)
-        // Edges: n1 reads 10, n2 writes 10 → n1 -> n2.
-        //        n2 reads 11, and n1 writes 11, but n1 < n2 so that is a
-        //        write-read (no edge). To get the back edge, a later op in
-        //        n1's node must write 11 — physio on 11 merges into n1's
-        //        node and reads... n2 reads 11 → edge n2 -> (n1 node).
+                                                           // Edges: n1 reads 10, n2 writes 10 → n1 -> n2.
+                                                           //        n2 reads 11, and n1 writes 11, but n1 < n2 so that is a
+                                                           //        write-read (no edge). To get the back edge, a later op in
+                                                           //        n1's node must write 11 — physio on 11 merges into n1's
+                                                           //        node and reads... n2 reads 11 → edge n2 -> (n1 node).
         let n3 = g.add_op(Lsn(4), &mix(&[11], &[11])); // physio on 11, merges into n1
-        // Now n1 -> n2 and n2 -> n1 → collapsed.
+                                                       // Now n1 -> n2 and n2 -> n1 → collapsed.
         assert_eq!(n3, g.node_of(pid(11)).unwrap());
         let holder_10 = g.node_of(pid(10)).unwrap();
         let holder_11 = g.node_of(pid(11)).unwrap();
@@ -1057,8 +1064,7 @@ mod tests {
         }
         let plan = g.flush_plan(last.unwrap()).unwrap();
         // The plan respects edges: every node appears after its preds.
-        let pos: HashMap<NodeId, usize> =
-            plan.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let pos: HashMap<NodeId, usize> = plan.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         for &n in &plan {
             for p in &g.nodes[&n].preds {
                 if let Some(pi) = pos.get(p) {

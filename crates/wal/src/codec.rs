@@ -320,7 +320,9 @@ pub fn decode_record(data: &[u8]) -> Result<LogRecord, CodecError> {
             backup_id: c.u64()?,
             start_lsn: Lsn(c.u64()?),
         },
-        TAG_BACKUP_END => RecordBody::BackupEnd { backup_id: c.u64()? },
+        TAG_BACKUP_END => RecordBody::BackupEnd {
+            backup_id: c.u64()?,
+        },
         other => return Err(CodecError::BadTag(other)),
     };
     Ok(LogRecord { lsn, body })
@@ -476,9 +478,6 @@ mod tests {
         buf.put_u32_le(0);
         buf.put_u32_le(0);
         buf.put_u32_le(u32::MAX);
-        assert!(matches!(
-            decode_record(&buf),
-            Err(CodecError::BadLength(_))
-        ));
+        assert!(matches!(decode_record(&buf), Err(CodecError::BadLength(_))));
     }
 }

@@ -5,6 +5,7 @@ use crate::record::{LogRecord, RecordBody};
 use crate::stats::LogStats;
 use crate::store::{LogStore, MemLogStore};
 use bytes::Bytes;
+use lob_pagestore::fault::{is_injected_crash_io_error, FaultHook, FaultVerdict, IoEvent};
 use lob_pagestore::Lsn;
 use std::fmt;
 
@@ -23,6 +24,9 @@ pub enum LogError {
         /// Current truncation point.
         truncation: Lsn,
     },
+    /// The fault hook simulated a process crash during a log force; frames
+    /// not yet persisted stay in the volatile tail (lost at crash).
+    InjectedCrash,
 }
 
 impl fmt::Display for LogError {
@@ -33,10 +37,8 @@ impl fmt::Display for LogError {
             LogError::Truncated {
                 requested,
                 truncation,
-            } => write!(
-                f,
-                "scan from {requested} but log truncated to {truncation}"
-            ),
+            } => write!(f, "scan from {requested} but log truncated to {truncation}"),
+            LogError::InjectedCrash => write!(f, "injected crash during log force (fault hook)"),
         }
     }
 }
@@ -75,6 +77,10 @@ pub struct LogManager {
     truncation: Lsn,
     media_barrier: Option<Lsn>,
     stats: LogStats,
+    /// Optional fault hook: consulted once per force that has frames to
+    /// persist ([`IoEvent::LogForce`]) and once per frame appended to the
+    /// durable store ([`IoEvent::LogAppend`]).
+    hook: Option<FaultHook>,
 }
 
 impl LogManager {
@@ -88,6 +94,7 @@ impl LogManager {
             truncation: Lsn::NULL,
             media_barrier: None,
             stats: LogStats::new(),
+            hook: None,
         }
     }
 
@@ -110,6 +117,7 @@ impl LogManager {
             truncation: Lsn::NULL,
             media_barrier: None,
             stats: LogStats::new(),
+            hook: None,
         })
     }
 
@@ -125,14 +133,62 @@ impl LogManager {
         lsn
     }
 
+    /// Install (or clear) the fault hook.
+    pub fn set_fault_hook(&mut self, hook: Option<FaultHook>) {
+        self.hook = hook;
+    }
+
+    fn consult(&self, ev: IoEvent) -> FaultVerdict {
+        match &self.hook {
+            Some(h) => h(ev, None),
+            None => FaultVerdict::Proceed,
+        }
+    }
+
     /// Durably persist all appended records with `lsn <= upto`.
+    ///
+    /// With a fault hook installed, the force may crash before any frame is
+    /// persisted (verdict at [`IoEvent::LogForce`]) or between frames
+    /// (verdict at [`IoEvent::LogAppend`]). Frames persisted before the
+    /// crash point stay durable; the rest remain in the volatile tail and
+    /// are lost when the crash is completed with [`LogManager::crash`] —
+    /// exactly the "lost unforced tail" a real power failure produces.
     pub fn force(&mut self, upto: Lsn) -> Result<(), LogError> {
         let n = self.tail.partition_point(|(l, _)| *l <= upto);
-        for (lsn, frame) in self.tail.drain(..n) {
-            self.store.append(lsn, frame)?;
-            self.durable = lsn;
+        if n == 0 {
+            return Ok(());
         }
-        Ok(())
+        match self.consult(IoEvent::LogForce) {
+            FaultVerdict::Crash | FaultVerdict::TornWrite => return Err(LogError::InjectedCrash),
+            _ => {}
+        }
+        let mut persisted = 0usize;
+        let mut outcome = Ok(());
+        while persisted < n {
+            // A torn frame append never becomes durable: the store's frame
+            // checksum would reject it on scan, so it is equivalent to the
+            // frame (and everything after it) simply not reaching the disk.
+            match self.consult(IoEvent::LogAppend) {
+                FaultVerdict::Crash | FaultVerdict::TornWrite => {
+                    outcome = Err(LogError::InjectedCrash);
+                    break;
+                }
+                _ => {}
+            }
+            let (lsn, frame) = self.tail[persisted].clone();
+            if let Err(e) = self.store.append(lsn, frame) {
+                outcome = Err(if is_injected_crash_io_error(&e) {
+                    LogError::InjectedCrash
+                } else {
+                    LogError::Io(e)
+                });
+                break;
+            }
+            self.durable = lsn;
+            persisted += 1;
+        }
+        self.tail.drain(..persisted);
+        outcome
     }
 
     /// Durably persist every appended record.
@@ -339,6 +395,58 @@ mod tests {
         log.force_all().unwrap();
         log.truncate(Lsn(3)).unwrap();
         assert_eq!(log.truncate(Lsn(2)).unwrap(), Lsn(3));
+    }
+
+    #[test]
+    fn injected_force_crash_loses_exactly_the_unpersisted_tail() {
+        use lob_pagestore::fault::{FaultVerdict, IoEvent};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let mut log = LogManager::in_memory();
+        for i in 0..4 {
+            log.append(phys(i));
+        }
+        // Crash at the third LogAppend: two frames become durable.
+        let appends = AtomicU64::new(0);
+        log.set_fault_hook(Some(Arc::new(move |ev, _| {
+            if ev == IoEvent::LogAppend && appends.fetch_add(1, Ordering::Relaxed) == 2 {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        assert!(matches!(log.force_all(), Err(LogError::InjectedCrash)));
+        log.set_fault_hook(None);
+        assert_eq!(log.durable_lsn(), Lsn(2));
+        assert_eq!(log.unforced(), 2);
+        log.crash();
+        let recs = log.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs.last().unwrap().lsn, Lsn(2));
+    }
+
+    #[test]
+    fn injected_crash_at_force_event_persists_nothing() {
+        use lob_pagestore::fault::{FaultVerdict, IoEvent};
+        use std::sync::Arc;
+
+        let mut log = LogManager::in_memory();
+        log.append(phys(0));
+        log.set_fault_hook(Some(Arc::new(|ev, _| {
+            if ev == IoEvent::LogForce {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        assert!(matches!(log.force_all(), Err(LogError::InjectedCrash)));
+        assert_eq!(log.durable_lsn(), Lsn::NULL);
+        assert_eq!(log.unforced(), 1);
+        // An empty force doesn't even reach the hook.
+        let mut empty = LogManager::in_memory();
+        empty.set_fault_hook(Some(Arc::new(|_, _| FaultVerdict::Crash)));
+        assert!(empty.force_all().is_ok());
     }
 
     #[test]

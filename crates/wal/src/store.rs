@@ -26,9 +26,17 @@ pub trait LogStore {
 
 /// In-memory log store used by simulations; "durable" means it survives the
 /// simulated crash (which only discards the manager's volatile tail).
+///
+/// Like [`FileLogStore`], every frame carries a checksum recorded at append
+/// time, and a scan stops at the first frame whose stored bytes no longer
+/// match — the log is only trusted up to its last good prefix, never
+/// skipped over (see [`MemLogStore::corrupt_frame`]).
 #[derive(Debug, Default)]
 pub struct MemLogStore {
     frames: Vec<(Lsn, Bytes)>,
+    /// Checksum of each frame as appended (fault injection may corrupt the
+    /// stored bytes afterwards without updating this).
+    sums: Vec<u64>,
     bytes: u64,
 }
 
@@ -47,19 +55,47 @@ impl MemLogStore {
     pub fn is_empty(&self) -> bool {
         self.frames.is_empty()
     }
+
+    /// Corrupt the stored bytes of the `nth` frame (0-based, in store
+    /// order) by flipping one payload bit, leaving its recorded checksum
+    /// untouched. Returns the LSN of the damaged frame, or `None` if the
+    /// store has fewer frames. Scans will stop just before it.
+    pub fn corrupt_frame(&mut self, nth: usize) -> Option<Lsn> {
+        let (lsn, frame) = self.frames.get_mut(nth)?;
+        let mut buf = frame.to_vec();
+        if buf.is_empty() {
+            buf.push(0xFF); // even an empty frame can rot
+        } else {
+            let pos = buf.len() / 2;
+            buf[pos] ^= 0x01;
+        }
+        *frame = Bytes::from(buf);
+        Some(*lsn)
+    }
 }
 
 impl LogStore for MemLogStore {
     fn append(&mut self, lsn: Lsn, frame: Bytes) -> std::io::Result<()> {
         debug_assert!(self.frames.last().map_or(true, |(l, _)| *l < lsn));
         self.bytes += frame.len() as u64;
+        self.sums.push(frame_checksum(lsn, &frame));
         self.frames.push((lsn, frame));
         Ok(())
     }
 
     fn frames_from(&self, from: Lsn) -> std::io::Result<Vec<(Lsn, Bytes)>> {
-        let start = self.frames.partition_point(|(l, _)| *l < from);
-        Ok(self.frames[start..].to_vec())
+        // Verify from the front: a corrupt interior frame ends the trusted
+        // prefix — later frames are unreachable even if intact themselves.
+        let mut out = Vec::new();
+        for (i, (lsn, frame)) in self.frames.iter().enumerate() {
+            if frame_checksum(*lsn, frame) != self.sums[i] {
+                break;
+            }
+            if *lsn >= from {
+                out.push((*lsn, frame.clone()));
+            }
+        }
+        Ok(out)
     }
 
     fn truncate(&mut self, before: Lsn) -> std::io::Result<()> {
@@ -67,6 +103,7 @@ impl LogStore for MemLogStore {
         for (_, f) in self.frames.drain(..cut) {
             self.bytes -= f.len() as u64;
         }
+        self.sums.drain(..cut);
         Ok(())
     }
 
@@ -156,7 +193,9 @@ impl LogStore for FileLogStore {
         while off + 20 <= buf.len() {
             let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
             let ck = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap());
-            let lsn = Lsn(u64::from_le_bytes(buf[off + 12..off + 20].try_into().unwrap()));
+            let lsn = Lsn(u64::from_le_bytes(
+                buf[off + 12..off + 20].try_into().unwrap(),
+            ));
             let body_start = off + 20;
             if body_start + len > buf.len() {
                 break; // torn tail
@@ -261,6 +300,54 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         let s = FileLogStore::open(&path).unwrap();
         assert_eq!(s.frames_from(Lsn::NULL).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mem_store_corrupt_frame_stops_scan_at_prefix() {
+        let mut s = MemLogStore::new();
+        for i in 1..=5u64 {
+            s.append(Lsn(i), Bytes::from(vec![i as u8; 4])).unwrap();
+        }
+        // Corrupt frame 3 (LSN 3) mid-stream; frames 4 and 5 stay intact.
+        assert_eq!(s.corrupt_frame(2), Some(Lsn(3)));
+        let all = s.frames_from(Lsn::NULL).unwrap();
+        // The scan must stop at the last good prefix — returning frames
+        // 4 and 5 while silently skipping 3 would let recovery replay a
+        // history with a hole in it.
+        assert_eq!(all.len(), 2);
+        assert_eq!(all.last().unwrap().0, Lsn(2));
+        // The stop applies regardless of the scan start.
+        assert!(s.frames_from(Lsn(4)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_store_interior_corruption_stops_scan_at_prefix() {
+        // Pins the mid-stream (NOT tail) corruption behavior: a checksum-bad
+        // interior frame ends the trusted log prefix even though frames
+        // after it are individually valid. Recovery must replay `1..=2`,
+        // never `1, 2, 4, 5`.
+        let dir = std::env::temp_dir().join(format!("lob-wal-midcorrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log5.wal");
+        let mut offsets = Vec::new(); // byte offset of each frame's payload
+        {
+            let mut s = FileLogStore::create(&path).unwrap();
+            let mut off = 0u64;
+            for i in 1..=5u64 {
+                offsets.push(off + 20); // past [len][ck][lsn] header
+                s.append(Lsn(i), Bytes::from(vec![i as u8; 8])).unwrap();
+                off += 20 + 8;
+            }
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        data[offsets[2] as usize] ^= 0x01; // flip a payload bit of frame 3
+        std::fs::write(&path, &data).unwrap();
+        let s = FileLogStore::open(&path).unwrap();
+        let all = s.frames_from(Lsn::NULL).unwrap();
+        assert_eq!(all.len(), 2, "scan stops before the corrupt frame");
+        assert_eq!(all.last().unwrap().0, Lsn(2));
+        assert!(s.frames_from(Lsn(4)).unwrap().is_empty());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,9 +9,7 @@
 //! ```
 
 use bytes::Bytes;
-use lob_apprec::{
-    apps_first_config, apps_last_config, Application, APP_PARTITION, DATA_PARTITION,
-};
+use lob_apprec::{apps_first_config, apps_last_config, Application, APP_PARTITION, DATA_PARTITION};
 use lob_core::{Engine, EngineConfig, OpBody, PartitionId};
 
 fn run(label: &str, config: EngineConfig) -> Result<u64, Box<dyn std::error::Error>> {

@@ -39,7 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     engine.backup_step(&mut run)?;
 
     let log_before = engine.log().stats().bytes;
-    vol.copy_file(&mut engine, "events.log", "events.bak", CopyLogging::Logical)?;
+    vol.copy_file(
+        &mut engine,
+        "events.log",
+        "events.bak",
+        CopyLogging::Logical,
+    )?;
     vol.sort_file(&mut engine, "events.log", "events.sorted")?;
     println!(
         "copy (24 logical records) + sort (1 logical record) logged in {} bytes \
@@ -70,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = vol.read_records(&mut engine, "events.log")?;
     let sorted = vol.read_records(&mut engine, "events.sorted")?;
     assert_eq!(copy, input, "copy identical to input after recovery");
-    assert_eq!(sorted, sorted_before, "sorted output identical after recovery");
+    assert_eq!(
+        sorted, sorted_before,
+        "sorted output identical after recovery"
+    );
     assert!(sorted.windows(2).all(|w| w[0].0 < w[1].0), "still sorted");
     println!(
         "media recovery exact: {} input records, {} in copy, {} sorted. done",

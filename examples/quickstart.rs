@@ -82,8 +82,16 @@ to keep it recoverable",
         "restored + rolled forward ({} records replayed, {} skipped)",
         outcome.replayed, outcome.skipped
     );
-    assert_eq!(engine.read_page(src)?.data()[0], 0xEE, "post-backup update recovered");
-    assert_eq!(engine.read_page(dst)?.data()[0], 0xC0, "pre-backup copy recovered");
+    assert_eq!(
+        engine.read_page(src)?.data()[0],
+        0xEE,
+        "post-backup update recovered"
+    );
+    assert_eq!(
+        engine.read_page(dst)?.data()[0],
+        0xC0,
+        "pre-backup copy recovered"
+    );
     println!("current state fully recovered. done");
     Ok(())
 }

@@ -157,13 +157,21 @@ fn backup_step_counts_match_tracker_lifecycle() {
         .unwrap();
     engine.flush_all().unwrap();
     let mut run = engine.begin_backup(4).unwrap();
-    assert!(engine.coordinator().tracker(DomainId(0)).unwrap().is_active());
+    assert!(engine
+        .coordinator()
+        .tracker(DomainId(0))
+        .unwrap()
+        .is_active());
     let mut steps = 0;
     while !engine.backup_step(&mut run).unwrap() {
         steps += 1;
     }
     assert_eq!(steps + 1, 4);
-    assert!(!engine.coordinator().tracker(DomainId(0)).unwrap().is_active());
+    assert!(!engine
+        .coordinator()
+        .tracker(DomainId(0))
+        .unwrap()
+        .is_active());
     let image = engine.complete_backup(run).unwrap();
     assert_eq!(image.page_count(), 64);
 }

@@ -35,7 +35,11 @@ fn unforced_operations_are_lost_forced_ones_survive() {
     e.recover().unwrap();
     o.verify_store(&e, durable).unwrap();
     assert!(
-        e.store().read_page(PageId::new(0, 9)).unwrap().lsn().is_null(),
+        e.store()
+            .read_page(PageId::new(0, 9))
+            .unwrap()
+            .lsn()
+            .is_null(),
         "unforced op is gone"
     );
 }
@@ -179,5 +183,8 @@ fn allocator_reseeds_after_recovery() {
     e.crash();
     e.recover().unwrap();
     let b = e.alloc_page(PartitionId(0)).unwrap();
-    assert!(b.index > a.index, "allocator must not reuse recovered pages");
+    assert!(
+        b.index > a.index,
+        "allocator must not reuse recovered pages"
+    );
 }

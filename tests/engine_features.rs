@@ -190,12 +190,24 @@ fn file_backed_log_full_cycle_with_backup() {
     // backup image (its log suffix is in the file).
     let mut e2 = Engine::open_existing(config).unwrap();
     e2.recover().unwrap();
-    assert_eq!(e2.store().read_page(PageId::new(0, 2)).unwrap().data()[0], expected);
+    assert_eq!(
+        e2.store().read_page(PageId::new(0, 2)).unwrap().data()[0],
+        expected
+    );
     e2.store().fail_partition(PartitionId(0)).unwrap();
     e2.media_recover(&image).unwrap();
-    assert_eq!(e2.store().read_page(PageId::new(0, 0)).unwrap().data()[0], 7);
-    assert_eq!(e2.store().read_page(PageId::new(0, 1)).unwrap().data()[0], 7);
-    assert_eq!(e2.store().read_page(PageId::new(0, 2)).unwrap().data()[0], 9);
+    assert_eq!(
+        e2.store().read_page(PageId::new(0, 0)).unwrap().data()[0],
+        7
+    );
+    assert_eq!(
+        e2.store().read_page(PageId::new(0, 1)).unwrap().data()[0],
+        7
+    );
+    assert_eq!(
+        e2.store().read_page(PageId::new(0, 2)).unwrap().data()[0],
+        9
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

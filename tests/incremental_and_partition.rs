@@ -2,8 +2,8 @@
 //! partition-grained tracking / media recovery (§3.4, §6.3).
 
 use lob_core::{
-    BackupImage, BackupPolicy, Discipline, DomainId, Engine, EngineConfig, GraphMode, Lsn,
-    PageId, PartitionId, PartitionSpec, Tracking,
+    BackupImage, BackupPolicy, Discipline, DomainId, Engine, EngineConfig, GraphMode, Lsn, PageId,
+    PartitionId, PartitionSpec, Tracking,
 };
 use lob_harness::{ShadowOracle, WorkloadGen};
 

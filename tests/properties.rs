@@ -1,4 +1,6 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants, driven by seeded
+//! deterministic case generation (no external property-testing framework;
+//! the build is offline).
 //!
 //! * write-graph invariants (acyclicity, var ownership, edge symmetry)
 //!   hold after every insertion, for arbitrary operation sequences, in both
@@ -10,13 +12,18 @@
 //! * the backup order's position map inverts exactly;
 //! * randomized end-to-end sessions (ops + flush pressure + on-line backup
 //!   + media recovery) always match the shadow oracle under the protocol.
+//!
+//! Every case is derived from a fixed base seed, so a failure reproduces by
+//! running the same test again; the failing case index is in the panic
+//! message.
 
 use bytes::Bytes;
 use lob_core::{Discipline, GraphMode, Lsn, OpBody, PageId};
 use lob_harness::{random_session, SessionConfig};
 use lob_ops::{LogicalOp, PhysioOp, RecPage};
 use lob_recovery::{InstallGraph, WriteGraph};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 const UNIVERSE: u32 = 10;
@@ -52,7 +59,7 @@ impl OpSpec {
             })),
             OpSpec::Copy(s, d) => {
                 let (s, d) = (page(*s), page(*d));
-                (s != d).then(|| OpBody::Logical(LogicalOp::Copy { src: s, dst: d }))
+                (s != d).then_some(OpBody::Logical(LogicalOp::Copy { src: s, dst: d }))
             }
             OpSpec::Mix(r, w) => {
                 let mut reads: Vec<PageId> = r.iter().map(|&i| page(i)).collect();
@@ -62,56 +69,68 @@ impl OpSpec {
                 writes.sort();
                 writes.dedup();
                 writes.retain(|p| !reads.contains(p));
-                (!reads.is_empty() && !writes.is_empty()).then(|| {
-                    OpBody::Logical(LogicalOp::Mix {
+                (!reads.is_empty() && !writes.is_empty()).then_some(OpBody::Logical(
+                    LogicalOp::Mix {
                         reads,
                         writes,
                         salt: 1,
-                    })
-                })
+                    },
+                ))
             }
         }
     }
 }
 
-fn op_strategy() -> impl Strategy<Value = OpSpec> {
-    prop_oneof![
-        (0..UNIVERSE).prop_map(OpSpec::Physical),
-        (0..UNIVERSE).prop_map(OpSpec::Physio),
-        (0..UNIVERSE, 0..UNIVERSE).prop_map(|(a, b)| OpSpec::Copy(a, b)),
-        (
-            proptest::collection::vec(0..UNIVERSE, 1..3),
-            proptest::collection::vec(0..UNIVERSE, 1..3)
-        )
-            .prop_map(|(r, w)| OpSpec::Mix(r, w)),
-        (0..UNIVERSE).prop_map(OpSpec::Identity),
-    ]
+fn random_spec(rng: &mut SmallRng) -> OpSpec {
+    match rng.gen_range(0..5u32) {
+        0 => OpSpec::Physical(rng.gen_range(0..UNIVERSE)),
+        1 => OpSpec::Physio(rng.gen_range(0..UNIVERSE)),
+        2 => OpSpec::Copy(rng.gen_range(0..UNIVERSE), rng.gen_range(0..UNIVERSE)),
+        3 => {
+            let r: Vec<u32> = (0..rng.gen_range(1..3usize))
+                .map(|_| rng.gen_range(0..UNIVERSE))
+                .collect();
+            let w: Vec<u32> = (0..rng.gen_range(1..3usize))
+                .map(|_| rng.gen_range(0..UNIVERSE))
+                .collect();
+            OpSpec::Mix(r, w)
+        }
+        _ => OpSpec::Identity(rng.gen_range(0..UNIVERSE)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_specs(rng: &mut SmallRng, max_len: usize) -> Vec<OpSpec> {
+    let n = rng.gen_range(1..max_len);
+    (0..n).map(|_| random_spec(rng)).collect()
+}
 
-    #[test]
-    fn write_graph_invariants_hold_for_any_history(
-        ops in proptest::collection::vec(op_strategy(), 1..60),
-        mode in prop_oneof![Just(GraphMode::Refined), Just(GraphMode::Intersecting)],
-    ) {
-        let mut graph = WriteGraph::new(mode);
-        let mut lsn = 1u64;
-        for spec in &ops {
-            if let Some(body) = spec.body() {
-                graph.add_op(Lsn(lsn), &body);
-                lsn += 1;
-                graph.check_invariants().unwrap();
+#[test]
+fn write_graph_invariants_hold_for_any_history() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA11C_E000 + case);
+        let ops = random_specs(&mut rng, 60);
+        for mode in [GraphMode::Refined, GraphMode::Intersecting] {
+            let mut graph = WriteGraph::new(mode);
+            let mut lsn = 1u64;
+            for spec in &ops {
+                if let Some(body) = spec.body() {
+                    graph.add_op(Lsn(lsn), &body);
+                    lsn += 1;
+                    graph
+                        .check_invariants()
+                        .unwrap_or_else(|e| panic!("case {case} mode {mode:?}: {e}"));
+                }
             }
         }
     }
+}
 
-    #[test]
-    fn greedy_installs_form_installation_prefixes(
-        ops in proptest::collection::vec(op_strategy(), 1..50),
-        order_seed in 0u64..1000,
-    ) {
+#[test]
+fn greedy_installs_form_installation_prefixes() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xB22D_E000 + case);
+        let ops = random_specs(&mut rng, 50);
+        let order_seed: u64 = rng.gen_range(0..1000u64);
         // Build both graphs from the same history (identity writes are
         // cache-manager artifacts, not workload ops — skip them here).
         let mut graph = WriteGraph::new(GraphMode::Refined);
@@ -134,7 +153,10 @@ proptest! {
         let mut tick = order_seed;
         while !graph.is_empty() {
             let frontier = graph.frontier();
-            prop_assert!(!frontier.is_empty(), "acyclic graph always has a frontier");
+            assert!(
+                !frontier.is_empty(),
+                "case {case}: acyclic graph always has a frontier"
+            );
             let pick = frontier[(tick as usize) % frontier.len()];
             tick = tick.wrapping_mul(6364136223846793005).wrapping_add(1);
             for l in graph.install_node(pick).unwrap() {
@@ -146,45 +168,55 @@ proptest! {
                 // those are still safe because the inverse write-read edges
                 // force readers first. Read-write edges must never be
                 // violated.
-                prop_assert!(false, "installed {p:?} before its reader-predecessor {o:?}");
+                panic!("case {case}: installed {p:?} before its reader-predecessor {o:?}");
             }
         }
-        prop_assert!(install.is_prefix(&installed));
+        assert!(install.is_prefix(&installed), "case {case}");
     }
+}
 
-    #[test]
-    fn recpage_codec_round_trips(
-        entries in proptest::collection::btree_map(
-            proptest::collection::vec(1u8..255, 1..8),
-            proptest::collection::vec(any::<u8>(), 0..12),
-            0..8,
-        )
-    ) {
+#[test]
+fn recpage_codec_round_trips() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC33E_E000 + case);
         let mut page = RecPage::new();
-        for (k, v) in &entries {
-            page.insert(k.clone(), v.clone());
+        for _ in 0..rng.gen_range(0..8usize) {
+            let k: Vec<u8> = (0..rng.gen_range(1..8usize))
+                .map(|_| rng.gen_range(1..255u8))
+                .collect();
+            let v: Vec<u8> = (0..rng.gen_range(0..12usize)).map(|_| rng.gen()).collect();
+            page.insert(k, v);
         }
         let id = PageId::new(0, 0);
         let encoded = page.encode(id, 512).unwrap();
         let decoded = RecPage::decode(id, &encoded).unwrap();
-        prop_assert_eq!(&page, &decoded);
+        assert_eq!(&page, &decoded, "case {case}");
         let re = decoded.encode(id, 512).unwrap();
-        prop_assert_eq!(encoded, re);
+        assert_eq!(encoded, re, "case {case}");
     }
+}
 
-    #[test]
-    fn log_codec_round_trips_any_op(spec in op_strategy(), lsn in 1u64..u64::MAX) {
+#[test]
+fn log_codec_round_trips_any_op() {
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xD44F_E000 + case);
+        let spec = random_spec(&mut rng);
+        let lsn: u64 = rng.gen_range(1..=u64::MAX - 1);
         if let Some(body) = spec.body() {
             let rec = lob_wal::LogRecord::new(Lsn(lsn), lob_wal::RecordBody::Op(body));
             let enc = lob_wal::encode_record(&rec);
-            prop_assert_eq!(lob_wal::decode_record(&enc).unwrap(), rec);
+            assert_eq!(lob_wal::decode_record(&enc).unwrap(), rec, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn backup_order_inverts(
-        sizes in proptest::collection::vec(1u32..50, 1..5),
-    ) {
+#[test]
+fn backup_order_inverts() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xE55A_E000 + case);
+        let sizes: Vec<u32> = (0..rng.gen_range(1..5usize))
+            .map(|_| rng.gen_range(1..50u32))
+            .collect();
         let parts: Vec<(lob_core::PartitionId, u32)> = sizes
             .iter()
             .enumerate()
@@ -193,26 +225,26 @@ proptest! {
         let order = lob_backup::BackupOrder::new(parts);
         for pos in 0..order.total() {
             let page = order.page_at(pos).unwrap();
-            prop_assert_eq!(order.pos(page), Some(pos));
+            assert_eq!(order.pos(page), Some(pos), "case {case}");
         }
-        prop_assert!(order.page_at(order.total()).is_none());
+        assert!(order.page_at(order.total()).is_none(), "case {case}");
     }
 }
 
-proptest! {
-    // End-to-end sessions are heavier; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
+// End-to-end sessions are heavier; fewer cases.
 
-    #[test]
-    fn protocol_sessions_always_verify(
-        seed in 0u64..10_000,
-        discipline in prop_oneof![
-            Just(Discipline::PageOriented),
-            Just(Discipline::Tree),
-            Just(Discipline::General),
-        ],
-        steps in 1u32..6,
-    ) {
+#[test]
+fn protocol_sessions_always_verify() {
+    let disciplines = [
+        Discipline::PageOriented,
+        Discipline::Tree,
+        Discipline::General,
+    ];
+    for case in 0..9u64 {
+        let mut rng = SmallRng::seed_from_u64(0xF66B_E000 + case);
+        let seed: u64 = rng.gen_range(0..10_000u64);
+        let discipline = disciplines[(case % 3) as usize];
+        let steps: u32 = rng.gen_range(1..6u32);
         let mut cfg = SessionConfig::protocol(seed, discipline);
         cfg.ops = 150;
         cfg.pages = 128;
@@ -220,14 +252,20 @@ proptest! {
         cfg.backup_start_after = 30;
         cfg.ops_per_backup_step = 20;
         let rep = random_session(&cfg).unwrap();
-        prop_assert!(rep.verified, "{:?}", rep.failure);
+        assert!(
+            rep.verified,
+            "case {case} seed {seed} {discipline:?}: {:?}",
+            rep.failure
+        );
     }
+}
 
-    #[test]
-    fn crash_sessions_always_verify(
-        seed in 0u64..10_000,
-        crash_at in 50u32..140,
-    ) {
+#[test]
+fn crash_sessions_always_verify() {
+    for case in 0..8u64 {
+        let mut rng = SmallRng::seed_from_u64(0xAB7C_E000 + case);
+        let seed: u64 = rng.gen_range(0..10_000u64);
+        let crash_at: u32 = rng.gen_range(50..140u32);
         let mut cfg = SessionConfig::protocol(seed, Discipline::General);
         cfg.ops = 150;
         cfg.pages = 128;
@@ -236,6 +274,27 @@ proptest! {
         cfg.crash_after = Some(crash_at);
         cfg.media_drill = false;
         let rep = random_session(&cfg).unwrap();
-        prop_assert!(rep.verified, "{:?}", rep.failure);
+        assert!(
+            rep.verified,
+            "case {case} seed {seed} crash_at {crash_at}: {:?}",
+            rep.failure
+        );
     }
+}
+
+/// Regression pinned from a proptest-found failure (formerly recorded in
+/// `tests/properties.proptest-regressions`): seed = 3390, crash_at = 67.
+/// Promoted to a named deterministic test so it survives even if the
+/// regression file is lost.
+#[test]
+fn regression_crash_session_seed_3390_crash_at_67() {
+    let mut cfg = SessionConfig::protocol(3390, Discipline::General);
+    cfg.ops = 150;
+    cfg.pages = 128;
+    cfg.backup_start_after = 40;
+    cfg.ops_per_backup_step = 25;
+    cfg.crash_after = Some(67);
+    cfg.media_drill = false;
+    let rep = random_session(&cfg).unwrap();
+    assert!(rep.verified, "{:?}", rep.failure);
 }

@@ -108,7 +108,8 @@ fn filesystem_copy_and_sort_race_online_backup() {
 
     let mut run = e.begin_backup(4).unwrap();
     e.backup_step(&mut run).unwrap();
-    vol.copy_file(&mut e, "a", "b", CopyLogging::Logical).unwrap();
+    vol.copy_file(&mut e, "a", "b", CopyLogging::Logical)
+        .unwrap();
     e.backup_step(&mut run).unwrap();
     vol.sort_file(&mut e, "a", "s").unwrap();
     e.flush_all().unwrap();
@@ -228,7 +229,11 @@ fn btree_model_based_random_ops_with_backup_and_recovery() {
 
         e.store().fail_partition(PartitionId(0)).unwrap();
         e.media_recover(&image.unwrap()).unwrap();
-        assert_eq!(t.scan(&mut e).unwrap(), want, "seed {seed} after media recovery");
+        assert_eq!(
+            t.scan(&mut e).unwrap(),
+            want,
+            "seed {seed} after media recovery"
+        );
         t.check(&mut e).unwrap();
     }
 }
