@@ -44,13 +44,16 @@ pub fn prefilled_engine(
         policy,
         ..EngineConfig::single(pages, page_size)
     })
+    // lint:allow(panic) bench setup: aborting the experiment binary is correct
     .expect("engine config");
     let mut oracle = ShadowOracle::new(page_size);
     let mut gen = WorkloadGen::new(seed, page_size);
     for i in 0..pages {
         let op = gen.physical(PageId::new(0, i));
+        // lint:allow(panic) bench setup: aborting the experiment binary is correct
         oracle.execute(&mut engine, op).expect("prefill");
     }
+    // lint:allow(panic) bench setup: aborting the experiment binary is correct
     engine.flush_all().expect("prefill flush");
     engine.coordinator().stats().reset();
     (engine, oracle, gen)

@@ -95,7 +95,9 @@ fn decode_child(bytes: &[u8]) -> Result<PageId, BTreeError> {
         )));
     }
     Ok(PageId::new(
+        // lint:allow(panic) 4-byte slice follows the length-8 check above
         u32::from_le_bytes(bytes[0..4].try_into().unwrap()),
+        // lint:allow(panic) 4-byte slice follows the length-8 check above
         u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
     ))
 }
@@ -518,7 +520,9 @@ impl BTree {
             if node.len() != 1 {
                 return Ok(());
             }
-            let (_, v) = node.iter().next().unwrap();
+            let Some((_, v)) = node.iter().next() else {
+                return Ok(());
+            };
             let child = decode_child(v)?;
             self.put_meta(engine, child, height - 1)?;
         }

@@ -247,7 +247,10 @@ impl CacheManager {
                     return Err(CacheError::Store(StoreError::InjectedCrash));
                 }
             }
-            let f = self.frames.get_mut(&id).unwrap();
+            let f = self
+                .frames
+                .get_mut(&id)
+                .ok_or(CacheError::NotResident(id))?;
             store.write_page(id, f.page.clone())?;
             f.dirty = false;
             f.rlsn = Lsn::NULL;

@@ -360,7 +360,13 @@ impl Engine {
             let n = self.graph.add_op(ilsn, &body);
             // The page now carries the identity write's LSN; its redo can
             // start at the identity record (rLSN advance, §3.2).
-            let page = self.cache.peek(v).unwrap().with_lsn(ilsn);
+            let page = self
+                .cache
+                .peek(v)
+                .ok_or_else(|| {
+                    EngineError::Internal(format!("page {v} not resident at identity write"))
+                })?
+                .with_lsn(ilsn);
             self.cache.put_dirty(v, page);
             self.cache.advance_rlsn(v, ilsn);
             identity_nodes.push((v, n));
@@ -892,7 +898,13 @@ impl Engine {
             // flushed; meanwhile the logged value covers recovery and the
             // rLSN advances.
             self.graph.add_op(ilsn, &body);
-            let fresh = self.cache.peek(v).unwrap().with_lsn(ilsn);
+            let fresh = self
+                .cache
+                .peek(v)
+                .ok_or_else(|| {
+                    EngineError::Internal(format!("page {v} not resident at identity write"))
+                })?
+                .with_lsn(ilsn);
             self.cache.put_dirty(v, fresh);
             self.cache.advance_rlsn(v, ilsn);
         }

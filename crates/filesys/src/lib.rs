@@ -85,7 +85,9 @@ fn decode_extent(bytes: &[u8]) -> Result<Vec<PageId>, FsError> {
         .chunks_exact(8)
         .map(|c| {
             PageId::new(
+                // lint:allow(panic) chunks_exact(8) yields exactly 8-byte slices
                 u32::from_le_bytes(c[0..4].try_into().unwrap()),
+                // lint:allow(panic) chunks_exact(8) yields exactly 8-byte slices
                 u32::from_le_bytes(c[4..8].try_into().unwrap()),
             )
         })

@@ -12,8 +12,9 @@
 //! fault armed, recovers, and verifies against the shadow oracle.
 
 use lob_pagestore::{FaultHook, FaultVerdict, IoEvent, PageId};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Which fault a [`FaultPlan`] arms, and at which event index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,11 @@ pub enum FaultKind {
     CountOnly,
     /// Process crash at exactly event `k`.
     CrashAt(u64),
+    /// Process crash at the `k`-th occurrence (0-based) of one specific
+    /// event kind — e.g. "the first log truncation" — regardless of how
+    /// many other events interleave. Used for targeted crash points whose
+    /// events are rare in a sweep.
+    CrashAtEvent(IoEvent, u64),
     /// Tear the first page write at event index `>= k` (front half new,
     /// back half old), which also crashes the process.
     TornWriteAt(u64),
@@ -36,6 +42,8 @@ pub enum FaultKind {
 /// Shared state behind the hook closure.
 struct PlanState {
     counter: AtomicU64,
+    /// Occurrences of the targeted kind seen so far (CrashAtEvent only).
+    kind_seen: AtomicU64,
     fired: AtomicBool,
     fired_page: Mutex<Option<PageId>>,
     fired_event: Mutex<Option<(u64, IoEvent)>>,
@@ -58,6 +66,7 @@ impl FaultPlan {
             kind,
             state: Arc::new(PlanState {
                 counter: AtomicU64::new(0),
+                kind_seen: AtomicU64::new(0),
                 fired: AtomicBool::new(false),
                 fired_page: Mutex::new(None),
                 fired_event: Mutex::new(None),
@@ -76,6 +85,18 @@ impl FaultPlan {
                 FaultKind::CrashAt(k) => {
                     if idx == k {
                         FaultVerdict::Crash
+                    } else {
+                        FaultVerdict::Proceed
+                    }
+                }
+                FaultKind::CrashAtEvent(target, k) => {
+                    if ev == target {
+                        let seen = state.kind_seen.fetch_add(1, Ordering::SeqCst);
+                        if seen == k {
+                            FaultVerdict::Crash
+                        } else {
+                            FaultVerdict::Proceed
+                        }
                     } else {
                         FaultVerdict::Proceed
                     }
@@ -107,8 +128,8 @@ impl FaultPlan {
                 }
             };
             if verdict != FaultVerdict::Proceed && !state.fired.swap(true, Ordering::SeqCst) {
-                *state.fired_page.lock().unwrap() = page;
-                *state.fired_event.lock().unwrap() = Some((idx, ev));
+                *state.fired_page.lock() = page;
+                *state.fired_event.lock() = Some((idx, ev));
             }
             verdict
         })
@@ -131,12 +152,12 @@ impl FaultPlan {
 
     /// The page the fault fired on, if it fired on a page-carrying event.
     pub fn fired_page(&self) -> Option<PageId> {
-        *self.state.fired_page.lock().unwrap()
+        *self.state.fired_page.lock()
     }
 
     /// The `(event index, event kind)` the fault fired at.
     pub fn fired_event(&self) -> Option<(u64, IoEvent)> {
-        *self.state.fired_event.lock().unwrap()
+        *self.state.fired_event.lock()
     }
 }
 

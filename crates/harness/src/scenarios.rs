@@ -274,9 +274,10 @@ pub fn random_session(cfg: &SessionConfig) -> Result<SessionReport, String> {
             if since_step >= cfg.ops_per_backup_step {
                 since_step = 0;
                 if engine.backup_step(r).map_err(|e| e.to_string())? {
-                    let r = run.take().unwrap();
-                    backup_pages = r.pages_copied();
-                    image = Some(engine.complete_backup(r).map_err(|e| e.to_string())?);
+                    if let Some(r) = run.take() {
+                        backup_pages = r.pages_copied();
+                        image = Some(engine.complete_backup(r).map_err(|e| e.to_string())?);
+                    }
                 }
             }
         }

@@ -3,7 +3,7 @@
 use bytes::Bytes;
 use lob_core::{Engine, Lsn, OpBody, PageId};
 use lob_ops::OpError;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A deterministic replica of the logged operation history.
 ///
@@ -36,7 +36,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct ShadowOracle {
     page_size: usize,
-    current: HashMap<PageId, Bytes>,
+    current: BTreeMap<PageId, Bytes>,
     history: Vec<(Lsn, Vec<(PageId, Bytes)>)>,
 }
 
@@ -46,7 +46,7 @@ impl ShadowOracle {
     pub fn new(page_size: usize) -> ShadowOracle {
         ShadowOracle {
             page_size,
-            current: HashMap::new(),
+            current: BTreeMap::new(),
             history: Vec::new(),
         }
     }
@@ -60,7 +60,7 @@ impl ShadowOracle {
 
     /// Apply an operation the engine just executed (at `lsn`).
     pub fn apply(&mut self, lsn: Lsn, body: &OpBody) -> Result<(), OpError> {
-        let snapshot: HashMap<PageId, Bytes> = body
+        let snapshot: BTreeMap<PageId, Bytes> = body
             .readset()
             .into_iter()
             .map(|id| (id, self.value_of(id)))
@@ -106,8 +106,8 @@ impl ShadowOracle {
     }
 
     /// Expected page values considering only operations with `lsn <= upto`.
-    pub fn state_at(&self, upto: Lsn) -> HashMap<PageId, Bytes> {
-        let mut state = HashMap::new();
+    pub fn state_at(&self, upto: Lsn) -> BTreeMap<PageId, Bytes> {
+        let mut state = BTreeMap::new();
         for (lsn, writes) in &self.history {
             if *lsn > upto {
                 break;

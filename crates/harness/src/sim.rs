@@ -248,7 +248,9 @@ fn run_tree(cfg: &Fig5Config) -> Result<Fig5Result, String> {
                 // flush newest-first.
                 let mut chain: Vec<PageId> = Vec::with_capacity(chain_len);
                 for i in 0..chain_len {
-                    let x = fresh.pop().expect("fresh pool sized for the run");
+                    let x = fresh
+                        .pop()
+                        .ok_or("fresh page pool exhausted before the run ended")?;
                     let src = if i == 0 {
                         gen.pick(&used)
                     } else {
@@ -266,7 +268,9 @@ fn run_tree(cfg: &Fig5Config) -> Result<Fig5Result, String> {
                 }
                 used.extend(chain);
             } else {
-                let x = fresh.pop().expect("fresh pool sized for the run");
+                let x = fresh
+                    .pop()
+                    .ok_or("fresh page pool exhausted before the run ended")?;
                 let op = if gen.chance(cfg.tree_no_successor_frac) {
                     // Blind initialization of a fresh page: S(X) = ∅.
                     gen.physical(x)

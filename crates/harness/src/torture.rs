@@ -292,6 +292,7 @@ impl TortureRunner {
                         *since = 0;
                         match engine.backup_step(r) {
                             Ok(true) => {
+                                // lint:allow(panic) `run` is Some: we are inside its `as_mut` arm
                                 let (r, _) = run.take().unwrap();
                                 match engine.complete_backup(r) {
                                     Ok(img) => {

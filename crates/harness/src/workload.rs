@@ -39,6 +39,7 @@ impl WorkloadGen {
 
     /// Pick a random element.
     pub fn pick(&mut self, pages: &[PageId]) -> PageId {
+        // lint:allow(panic) caller contract: workloads draw from non-empty page sets
         *pages.choose(&mut self.rng).expect("non-empty page set")
     }
 

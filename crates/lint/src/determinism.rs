@@ -1,0 +1,91 @@
+//! Pass 3: determinism.
+//!
+//! The torture harness replays identical workloads from a seed and compares
+//! engine state bit-for-bit against the shadow oracle; the fault plan
+//! numbers I/O events and assumes run *n* and run *n+1* see the same event
+//! stream. Anything that lets wall-clock time or process entropy leak into
+//! a replay path breaks that: `SystemTime`/`Instant` timestamps,
+//! entropy-seeded RNGs, and — most insidiously — iteration over
+//! `HashMap`/`HashSet`, whose order changes per process thanks to SipHash
+//! keying (`RandomState`).
+//!
+//! The pass therefore forbids these identifiers outright in `lob-harness`
+//! and `lob-recovery` non-test code; ordered `BTreeMap`/`BTreeSet` are the
+//! sanctioned replacements. A site that provably never iterates may be
+//! kept with `// lint:allow(nondet) <reason>`.
+
+use crate::lexer::{SourceFile, Tok};
+use crate::Diagnostic;
+
+/// Forbidden identifiers and why.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("SystemTime", "wall-clock time is not replayable"),
+    ("Instant", "monotonic clock reads differ across runs"),
+    ("thread_rng", "entropy-seeded RNG"),
+    ("from_entropy", "entropy-seeded RNG"),
+    (
+        "RandomState",
+        "per-process SipHash keys randomize iteration order",
+    ),
+    ("DefaultHasher", "per-process SipHash keys randomize hashes"),
+    (
+        "HashMap",
+        "iteration order is per-process random — use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order is per-process random — use BTreeSet",
+    ),
+];
+
+/// Scope for the pass.
+pub struct Config {
+    /// Path substrings: a file is scanned if any matches.
+    pub scope: Vec<String>,
+    /// Path substrings to skip (binaries).
+    pub exclude: Vec<String>,
+}
+
+impl Config {
+    /// Workspace default: the replay crates.
+    pub fn workspace() -> Config {
+        Config {
+            scope: vec!["crates/harness/src/".into(), "crates/recovery/src/".into()],
+            exclude: vec!["/src/bin/".into()],
+        }
+    }
+}
+
+/// Run the pass.
+pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !cfg.scope.iter().any(|s| f.path.contains(s.as_str())) {
+            continue;
+        }
+        if cfg.exclude.iter().any(|e| f.path.contains(e.as_str())) {
+            continue;
+        }
+        for (idx, li) in f.lines.iter().enumerate() {
+            let line = idx + 1;
+            if li.in_test {
+                continue;
+            }
+            for t in crate::lexer::tokenize(&li.code) {
+                if let Tok::Word(w) = t {
+                    if let Some((_, why)) = FORBIDDEN.iter().find(|(id, _)| *id == w) {
+                        if !f.allowed("nondet", line) {
+                            out.push(Diagnostic::new(
+                                "nondet",
+                                &f.path,
+                                line,
+                                format!("`{w}` in a replay path: {why} — replace it, or justify with `// lint:allow(nondet) <reason>`"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,146 @@
+//! `lob-lint`: the workspace invariant checker.
+//!
+//! Four passes over a hand-rolled token scan of `crates/*/src` (see
+//! [`lexer`]), each enforcing an invariant the compiler cannot see:
+//!
+//! - [`panic_free`] — no unannotated `unwrap`/`expect`/`panic!` family in
+//!   non-test library code, slice-index sites ratcheted per file;
+//! - [`lock_order`] — the cross-crate lock acquisition graph is acyclic;
+//! - [`determinism`] — replay paths (`lob-harness`, `lob-recovery`) use no
+//!   wall clocks, entropy, or iteration-order-unstable collections;
+//! - [`fault_hook`] — every write-side I/O site consults the `FaultHook`,
+//!   diffed against the declared-site registry in [`fault_hook::REGISTRY`].
+//!
+//! The whole analyzer runs as `cargo test -p lob-lint` (tier-1) and as a
+//! dedicated CI job. Violations are justified in place with
+//! `// lint:allow(<rule>) <reason>` — the reason is mandatory.
+
+pub mod determinism;
+pub mod fault_hook;
+pub mod lexer;
+pub mod lock_order;
+pub mod panic_free;
+pub mod ratchet;
+
+use lexer::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// One finding: rule id, location, and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id: `panic`, `lock-order`, `nondet`, `fault-hook`, or
+    /// `annotation`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.msg
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(rule: &'static str, path: &str, line: usize, msg: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        // lint:allow(panic) compile-time manifest path always has two parents
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Load and sanitize every `crates/*/src/**/*.rs` file.
+///
+/// `vendor/*` is excluded by construction: the shims there are third-party
+/// stand-ins, not code this workspace vouches for. Files are returned in
+/// sorted path order so diagnostics are deterministic.
+pub fn load_workspace_sources(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text = std::fs::read_to_string(&p)?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Diagnostics for `lint:allow` directives that name a rule but give no
+/// justification — an empty escape hatch is worse than none.
+pub fn check_annotations(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        for (idx, li) in f.lines.iter().enumerate() {
+            for rule in &li.bad_allows {
+                out.push(Diagnostic::new(
+                    "annotation",
+                    &f.path,
+                    idx + 1,
+                    format!("lint:allow({rule}) without a justification — write the reason after the closing paren"),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Run every pass with its default workspace configuration (everything
+/// except the ratchet comparison, which needs filesystem access — see
+/// [`ratchet::check`]).
+pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(check_annotations(files));
+    out.extend(panic_free::check(files, &panic_free::Config::workspace()));
+    out.extend(lock_order::check(files, &lock_order::Config::workspace()));
+    out.extend(determinism::check(files, &determinism::Config::workspace()));
+    out.extend(fault_hook::check(files, &fault_hook::Config::workspace()));
+    out
+}

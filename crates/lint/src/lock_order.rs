@@ -1,0 +1,339 @@
+//! Pass 2: lock-order.
+//!
+//! For a fixed set of lock-heavy files, discover every `Mutex`/`RwLock`
+//! field, extract the acquisition sequence of each function (lexically —
+//! every `.field.lock()/.read()/.write()` on a known field plus a small
+//! alias table for guards obtained through helper methods), and build the
+//! cross-crate lock-order graph: an edge `A → B` means some function
+//! acquires `A` and later acquires `B`. A cycle is a potential deadlock —
+//! the pass fails with a witness path.
+//!
+//! This is a *lexical over-approximation*: it assumes a lock acquired
+//! earlier in a function may still be held at every later acquisition, and
+//! it cannot see through calls (a helper that acquires internally is
+//! invisible unless aliased). False positives are silenced per-acquisition
+//! with `// lint:allow(lock-order) <reason>`; self-edges are ignored
+//! because lexical branches (`if`/`else` both locking the same field)
+//! would flood them with noise.
+//!
+//! Rationale: the backup sweep (paper §5.3) takes tracker latches while
+//! the mainline takes them in domain order; a cycle between coordinator,
+//! tracker, store, and engine locks would deadlock the engine exactly
+//! during the high-speed sweep the paper is about.
+
+use crate::lexer::{SourceFile, Tok};
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A guard-producing helper call mapped to the lock it acquires.
+pub struct Alias {
+    /// Only apply in files whose path contains this substring (empty = all
+    /// scoped files).
+    pub file_contains: &'static str,
+    /// Receiver identifier (`""` = any receiver) of the call.
+    pub recv: &'static str,
+    /// Method name of the call.
+    pub method: &'static str,
+    /// The lock id acquired.
+    pub lock: &'static str,
+}
+
+/// Scope + aliases for the pass.
+pub struct Config {
+    /// Path suffixes of the files to scan.
+    pub scope: Vec<String>,
+    /// Helper-call aliases.
+    pub aliases: Vec<Alias>,
+}
+
+impl Config {
+    /// The workspace's lock-heavy files and known guard helpers.
+    pub fn workspace() -> Config {
+        Config {
+            scope: vec![
+                "backup/src/coordinator.rs".into(),
+                "backup/src/tracker.rs".into(),
+                "core/src/engine.rs".into(),
+                "pagestore/src/store.rs".into(),
+                "harness/src/fault.rs".into(),
+            ],
+            aliases: vec![
+                // Tracker latches are handed out through helpers.
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "latch",
+                    lock: "backup/tracker.state",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "latch_for",
+                    lock: "backup/tracker.state",
+                },
+                // `let part = self.part(..)?; part.read()/write()` in the
+                // store — the local aliases the `partitions` RwLock.
+                Alias {
+                    file_contains: "pagestore/src/store.rs",
+                    recv: "part",
+                    method: "read",
+                    lock: "pagestore/store.partitions",
+                },
+                Alias {
+                    file_contains: "pagestore/src/store.rs",
+                    recv: "part",
+                    method: "write",
+                    lock: "pagestore/store.partitions",
+                },
+                // Linked-backup page images locked through locals.
+                Alias {
+                    file_contains: "core/src/engine.rs",
+                    recv: "img",
+                    method: "lock",
+                    lock: "core/engine.image",
+                },
+                // Hook consults take the hook lock inside the helper; the
+                // alias surfaces that acquisition at every call site.
+                Alias {
+                    file_contains: "pagestore/src/store.rs",
+                    recv: "self",
+                    method: "consult",
+                    lock: "pagestore/store.hook",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "consult_fault",
+                    lock: "backup/coordinator.hook",
+                },
+            ],
+        }
+    }
+}
+
+/// One observed acquisition.
+#[derive(Debug, Clone)]
+struct Acq {
+    lock: String,
+    line: usize,
+}
+
+/// An edge in the lock-order graph with one witness site.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Acquired first.
+    pub from: String,
+    /// Acquired while `from` may be held.
+    pub to: String,
+    /// Witness: file, function, line of the second acquisition.
+    pub witness: (String, String, usize),
+}
+
+/// Extract the lock-order graph (exposed for tests and reporting).
+pub fn build_graph(files: &[SourceFile], cfg: &Config) -> Vec<Edge> {
+    let mut edges: BTreeMap<(String, String), (String, String, usize)> = BTreeMap::new();
+    for f in files {
+        if !cfg.scope.iter().any(|s| f.path.ends_with(s.as_str())) {
+            continue;
+        }
+        let fields = lock_fields(f);
+        for span in f.functions() {
+            if f.in_test(span.start_line) {
+                continue;
+            }
+            let seq = acquisitions(f, span.start_line, span.end_line, &fields, cfg);
+            for i in 0..seq.len() {
+                for j in (i + 1)..seq.len() {
+                    let (a, b) = (&seq[i], &seq[j]);
+                    if a.lock == b.lock {
+                        continue;
+                    }
+                    edges.entry((a.lock.clone(), b.lock.clone())).or_insert((
+                        f.path.clone(),
+                        span.name.clone(),
+                        b.line,
+                    ));
+                }
+            }
+        }
+    }
+    edges
+        .into_iter()
+        .map(|((from, to), witness)| Edge { from, to, witness })
+        .collect()
+}
+
+/// Run the pass: diagnostics for every cycle in the graph.
+pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let edges = build_graph(files, cfg);
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(e.from.as_str()).or_default().push(e);
+    }
+    // Iterative DFS with colors; report the first cycle found from each
+    // start node.
+    let mut out = Vec::new();
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let nodes: BTreeSet<&str> = edges
+        .iter()
+        .flat_map(|e| [e.from.as_str(), e.to.as_str()])
+        .collect();
+    for &start in &nodes {
+        if done.contains(start) {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        let mut path: Vec<&str> = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
+        while let Some((node, next_idx)) = stack.last_mut() {
+            let succs = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if *next_idx < succs.len() {
+                let e = succs[*next_idx];
+                *next_idx += 1;
+                let to = e.to.as_str();
+                if on_path.contains(to) {
+                    // Cycle: slice the path from `to` onward.
+                    let pos = path.iter().position(|&n| n == to).unwrap_or(0);
+                    let cycle: Vec<&str> = path[pos..].iter().copied().chain([to]).collect();
+                    let (wf, wfn, wl) = &e.witness;
+                    out.push(Diagnostic::new(
+                        "lock-order",
+                        wf,
+                        *wl,
+                        format!(
+                            "lock-order cycle: {} (second acquisition in fn `{wfn}`) — potential deadlock",
+                            cycle.join(" -> ")
+                        ),
+                    ));
+                } else if !done.contains(to) {
+                    stack.push((to, 0));
+                    path.push(to);
+                    on_path.insert(to);
+                }
+            } else {
+                done.insert(node);
+                on_path.remove(*node);
+                path.pop();
+                stack.pop();
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out.dedup();
+    out
+}
+
+/// Discover `Mutex`/`RwLock` struct fields in a file; returns
+/// `field name -> lock id`.
+fn lock_fields(f: &SourceFile) -> BTreeMap<String, String> {
+    let stem = file_lock_prefix(&f.path);
+    let mut out = BTreeMap::new();
+    for li in &f.lines {
+        if li.in_test {
+            continue;
+        }
+        let code = &li.code;
+        if !(code.contains("Mutex<") || code.contains("RwLock<")) {
+            continue;
+        }
+        // Field declaration shape: `name: …Mutex<…` — take the word right
+        // before the first `:`.
+        let toks = crate::lexer::tokenize(code);
+        for i in 0..toks.len().saturating_sub(1) {
+            if let (Tok::Word(name), Tok::Sym(':')) = (&toks[i], &toks[i + 1]) {
+                // Make sure a Mutex/RwLock token appears after the colon
+                // and before any further colon-name pair (single-line
+                // declarations only, which is all this workspace has).
+                let rest_has_lock = toks[i + 2..]
+                    .iter()
+                    .any(|t| matches!(t, Tok::Word(w) if w == "Mutex" || w == "RwLock"));
+                if rest_has_lock {
+                    out.insert(name.clone(), format!("{stem}.{name}"));
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `crates/backup/src/coordinator.rs` → `backup/coordinator`.
+fn file_lock_prefix(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    let krate = parts
+        .iter()
+        .position(|&p| p == "crates")
+        .and_then(|i| parts.get(i + 1))
+        .copied()
+        .unwrap_or("?");
+    let stem = parts
+        .last()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("?");
+    format!("{krate}/{stem}")
+}
+
+/// Acquisition sequence of one function span, in source order.
+fn acquisitions(
+    f: &SourceFile,
+    start: usize,
+    end: usize,
+    fields: &BTreeMap<String, String>,
+    cfg: &Config,
+) -> Vec<Acq> {
+    let mut out = Vec::new();
+    for line in start..=end {
+        if f.allowed("lock-order", line) {
+            continue;
+        }
+        let toks = crate::lexer::tokenize(f.code(line));
+        // `.FIELD.lock(` / `.FIELD.read(` / `.FIELD.write(`
+        for i in 0..toks.len() {
+            if i + 4 < toks.len() {
+                if let (
+                    Tok::Sym('.'),
+                    Tok::Word(field),
+                    Tok::Sym('.'),
+                    Tok::Word(m),
+                    Tok::Sym('('),
+                ) = (
+                    &toks[i],
+                    &toks[i + 1],
+                    &toks[i + 2],
+                    &toks[i + 3],
+                    &toks[i + 4],
+                ) {
+                    if (m == "lock" || m == "read" || m == "write") && fields.contains_key(field) {
+                        out.push(Acq {
+                            lock: fields[field].clone(),
+                            line,
+                        });
+                        continue;
+                    }
+                }
+            }
+            // Alias calls: `recv.method(` or `.method(` for any receiver.
+            if i + 2 < toks.len() {
+                if let (Tok::Word(recv), Tok::Sym('.'), Tok::Word(m)) =
+                    (&toks[i], &toks[i + 1], &toks[i + 2])
+                {
+                    if toks.get(i + 3) == Some(&Tok::Sym('(')) {
+                        for a in &cfg.aliases {
+                            if !a.file_contains.is_empty() && !f.path.contains(a.file_contains) {
+                                continue;
+                            }
+                            if a.method == m && (a.recv.is_empty() || a.recv == recv) {
+                                out.push(Acq {
+                                    lock: a.lock.to_string(),
+                                    line,
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}

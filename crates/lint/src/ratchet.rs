@@ -1,0 +1,131 @@
+//! The panic ratchet: per-file counts of *tolerated* panic surface —
+//! annotated (justified) panic-family sites and slice-index expressions —
+//! checked into `crates/lint/panic_ratchet.tsv`.
+//!
+//! The rule: counts may only go **down**.
+//!
+//! - A count above its baseline fails the build (new panic surface).
+//! - A count below its baseline auto-tightens: the file is rewritten with
+//!   the lower number, and CI's `git diff --exit-code` on the ratchet file
+//!   forces the tightening to be committed.
+//! - Regenerate from scratch with `LOB_LINT_UPDATE_RATCHET=1`.
+
+use crate::panic_free::FileCounts;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Location of the ratchet file, workspace-relative.
+pub const RATCHET_PATH: &str = "crates/lint/panic_ratchet.tsv";
+
+/// Parse a ratchet file: `path<TAB>allowed<TAB>index` per line.
+pub fn parse(text: &str) -> BTreeMap<String, (usize, usize)> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split('\t');
+        let (Some(path), Some(a), Some(ix)) = (it.next(), it.next(), it.next()) else {
+            continue;
+        };
+        let (Ok(a), Ok(ix)) = (a.parse::<usize>(), ix.parse::<usize>()) else {
+            continue;
+        };
+        out.insert(path.to_string(), (a, ix));
+    }
+    out
+}
+
+/// Render counts into the checked-in format.
+pub fn render(counts: &[FileCounts]) -> String {
+    let mut s = String::from(
+        "# panic ratchet: tolerated panic surface per file — counts may only go down.\n\
+         # columns: path\\tannotated-panic-sites\\tslice-index-sites\n\
+         # regenerate: LOB_LINT_UPDATE_RATCHET=1 cargo test -p lob-lint\n",
+    );
+    let mut sorted: Vec<&FileCounts> = counts.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    for c in sorted {
+        s.push_str(&format!(
+            "{}\t{}\t{}\n",
+            c.path, c.allowed_panics, c.index_sites
+        ));
+    }
+    s
+}
+
+/// Compare current counts against the checked-in baseline.
+///
+/// Increases become diagnostics. Decreases (and vanished files) rewrite the
+/// ratchet file in place so the tightening lands in the diff. A missing
+/// ratchet file is an error unless `LOB_LINT_UPDATE_RATCHET=1` is set.
+pub fn check(root: &Path, counts: &[FileCounts]) -> Vec<Diagnostic> {
+    let path = root.join(RATCHET_PATH);
+    let update = std::env::var("LOB_LINT_UPDATE_RATCHET").is_ok_and(|v| v == "1");
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(t) => parse(&t),
+        Err(_) if update => BTreeMap::new(),
+        Err(e) => return vec![Diagnostic::new(
+            "panic",
+            RATCHET_PATH,
+            0,
+            format!(
+                "cannot read ratchet file: {e} — run with LOB_LINT_UPDATE_RATCHET=1 to create it"
+            ),
+        )],
+    };
+
+    let mut out = Vec::new();
+    let mut tightened = update;
+    for c in counts {
+        let (base_a, base_ix) = baseline.get(&c.path).copied().unwrap_or((0, 0));
+        if c.allowed_panics > base_a && !update {
+            out.push(Diagnostic::new(
+                "panic",
+                &c.path,
+                0,
+                format!(
+                    "annotated panic sites grew {base_a} -> {} — the ratchet only goes down; remove a site instead of adding one",
+                    c.allowed_panics
+                ),
+            ));
+        }
+        if c.index_sites > base_ix && !update {
+            out.push(Diagnostic::new(
+                "panic",
+                &c.path,
+                0,
+                format!(
+                    "slice-index sites grew {base_ix} -> {} — prefer .get()/iterators, or shrink elsewhere in this file",
+                    c.index_sites
+                ),
+            ));
+        }
+        if c.allowed_panics < base_a || c.index_sites < base_ix {
+            tightened = true;
+        }
+    }
+    // Files that dropped out of the counts entirely are also a tightening.
+    for path in baseline.keys() {
+        if !counts.iter().any(|c| &c.path == path) {
+            tightened = true;
+        }
+    }
+
+    if out.is_empty() && tightened {
+        let rendered = render(counts);
+        if std::fs::write(&path, rendered).is_err() {
+            out.push(Diagnostic::new(
+                "panic",
+                RATCHET_PATH,
+                0,
+                "ratchet tightened but the file could not be rewritten".to_string(),
+            ));
+        } else {
+            eprintln!("lob-lint: ratchet tightened — commit the updated {RATCHET_PATH}");
+        }
+    }
+    out
+}

@@ -1,0 +1,185 @@
+//! Fixture tests: known-bad snippets under `tests/fixtures/` must produce
+//! exactly the expected `(file, line, rule)` diagnostics, and known-good
+//! ones none. This is the proof that seeding a violation fails the build
+//! with a usable file:line message.
+
+use lob_lint::lexer::SourceFile;
+use lob_lint::{determinism, fault_hook, lock_order, panic_free, Diagnostic};
+
+/// Load a fixture file under a virtual workspace-relative path.
+fn fixture(virtual_path: &str, file: &str) -> SourceFile {
+    let p = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(file);
+    let text = std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p:?}: {e}"));
+    SourceFile::parse(virtual_path, &text)
+}
+
+fn locs(diags: &[Diagnostic]) -> Vec<(String, usize, &'static str)> {
+    diags
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn bad_panic_fixture_yields_exact_diagnostics() {
+    let f = fixture("crates/fx/src/bad_panic.rs", "bad_panic.rs");
+    let diags = panic_free::check(&[f], &panic_free::Config::bare());
+    assert_eq!(
+        locs(&diags),
+        vec![
+            ("crates/fx/src/bad_panic.rs".to_string(), 4, "panic"),
+            ("crates/fx/src/bad_panic.rs".to_string(), 8, "panic"),
+            ("crates/fx/src/bad_panic.rs".to_string(), 12, "panic"),
+        ],
+        "diags: {diags:#?}"
+    );
+    assert!(diags[0].msg.contains(".unwrap()"));
+    assert!(diags[1].msg.contains(".expect("));
+    assert!(diags[2].msg.contains("panic!"));
+}
+
+#[test]
+fn good_annotated_fixture_is_clean() {
+    let f = fixture("crates/fx/src/good_annotated.rs", "good_annotated.rs");
+    let (diags, counts) = panic_free::check_with_counts(&[f], &panic_free::Config::bare());
+    assert!(diags.is_empty(), "diags: {diags:#?}");
+    // The justified unwrap is counted for the ratchet.
+    assert_eq!(counts.len(), 1);
+    assert_eq!(counts[0].allowed_panics, 1);
+}
+
+#[test]
+fn lock_cycle_fixture_is_detected() {
+    let a = fixture("crates/fx/src/lock_cycle_a.rs", "lock_cycle_a.rs");
+    let b = fixture("crates/fx/src/lock_cycle_b.rs", "lock_cycle_b.rs");
+    let cfg = lock_order::Config {
+        scope: vec!["lock_cycle_a.rs".into(), "lock_cycle_b.rs".into()],
+        aliases: vec![
+            lock_order::Alias {
+                file_contains: "lock_cycle_b.rs",
+                recv: "",
+                method: "latch_alpha",
+                lock: "fx/lock_cycle_a.alpha",
+            },
+            lock_order::Alias {
+                file_contains: "lock_cycle_b.rs",
+                recv: "",
+                method: "latch_beta",
+                lock: "fx/lock_cycle_a.beta",
+            },
+        ],
+    };
+    let edges = lock_order::build_graph(&[a, b], &cfg);
+    let pairs: Vec<(String, String)> = edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    assert!(pairs.contains(&(
+        "fx/lock_cycle_a.alpha".to_string(),
+        "fx/lock_cycle_a.beta".to_string()
+    )));
+    assert!(pairs.contains(&(
+        "fx/lock_cycle_a.beta".to_string(),
+        "fx/lock_cycle_a.alpha".to_string()
+    )));
+
+    let a = fixture("crates/fx/src/lock_cycle_a.rs", "lock_cycle_a.rs");
+    let b = fixture("crates/fx/src/lock_cycle_b.rs", "lock_cycle_b.rs");
+    let diags = lock_order::check(&[a, b], &cfg);
+    assert!(!diags.is_empty(), "cycle not reported");
+    assert!(diags[0].rule == "lock-order");
+    assert!(diags[0].msg.contains("cycle"), "msg: {}", diags[0].msg);
+    // The witness points at the second acquisition of the cycle edge.
+    assert!(diags[0].line > 0);
+}
+
+#[test]
+fn forward_only_ordering_is_clean() {
+    let a = fixture("crates/fx/src/lock_cycle_a.rs", "lock_cycle_a.rs");
+    let cfg = lock_order::Config {
+        scope: vec!["lock_cycle_a.rs".into()],
+        aliases: vec![],
+    };
+    let diags = lock_order::check(&[a], &cfg);
+    assert!(diags.is_empty(), "diags: {diags:#?}");
+}
+
+#[test]
+fn bad_nondet_fixture_yields_exact_diagnostics() {
+    let f = fixture("crates/harness/src/fx_nondet.rs", "bad_nondet.rs");
+    let diags = determinism::check(&[f], &determinism::Config::workspace());
+    let got = locs(&diags);
+    // Line 2: use HashMap; line 3: use Instant; line 6: Instant::now;
+    // line 7: HashMap twice (type + constructor); line 10 is justified.
+    let p = "crates/harness/src/fx_nondet.rs".to_string();
+    assert_eq!(
+        got,
+        vec![
+            (p.clone(), 2, "nondet"),
+            (p.clone(), 3, "nondet"),
+            (p.clone(), 6, "nondet"),
+            (p.clone(), 7, "nondet"),
+            (p.clone(), 7, "nondet"),
+        ],
+        "diags: {diags:#?}"
+    );
+}
+
+#[test]
+fn bad_fault_fixture_yields_exact_diagnostics() {
+    let f = fixture("crates/wal/src/fx_fault.rs", "bad_fault.rs");
+    let cfg = fault_hook::Config {
+        scope: vec!["crates/wal/src/".into()],
+        exempt: vec![],
+        registry: &[],
+    };
+    let diags = fault_hook::check(&[f], &cfg);
+    let got = locs(&diags);
+    let p = "crates/wal/src/fx_fault.rs".to_string();
+    assert_eq!(
+        got,
+        vec![(p.clone(), 9, "fault-hook"), (p.clone(), 13, "fault-hook")],
+        "diags: {diags:#?}"
+    );
+    assert!(diags[0].msg.contains("write_all"), "msg: {}", diags[0].msg);
+    assert!(diags[1].msg.contains("IoEvent::PageWrite"));
+}
+
+#[test]
+fn missing_justification_is_flagged() {
+    let f = SourceFile::parse(
+        "crates/fx/src/x.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(panic)\n}\n",
+    );
+    let ann = lob_lint::check_annotations(&[f]);
+    assert_eq!(
+        locs(&ann),
+        vec![("crates/fx/src/x.rs".to_string(), 2, "annotation")]
+    );
+    // And the bare directive does NOT silence the panic pass.
+    let f = SourceFile::parse(
+        "crates/fx/src/x.rs",
+        "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap() // lint:allow(panic)\n}\n",
+    );
+    let diags = panic_free::check(&[f], &panic_free::Config::bare());
+    assert_eq!(
+        locs(&diags),
+        vec![("crates/fx/src/x.rs".to_string(), 2, "panic")]
+    );
+}
+
+#[test]
+fn ratchet_flags_growth_and_tolerates_equal() {
+    use lob_lint::panic_free::FileCounts;
+    use lob_lint::ratchet;
+    let baseline = ratchet::parse("crates/a/src/x.rs\t2\t5\n");
+    assert_eq!(baseline.get("crates/a/src/x.rs"), Some(&(2, 5)));
+    let rendered = ratchet::render(&[FileCounts {
+        path: "crates/a/src/x.rs".into(),
+        allowed_panics: 2,
+        index_sites: 5,
+    }]);
+    assert!(rendered.contains("crates/a/src/x.rs\t2\t5"));
+}

@@ -1,0 +1,15 @@
+// Fixture: write-side I/O outside the declared-site registry.
+pub struct W {
+    file: std::fs::File,
+}
+
+impl W {
+    pub fn sneaky_write(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        self.file.write_all(buf)
+    }
+
+    pub fn undeclared_consult(&self) {
+        let _ = IoEvent::PageWrite;
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: nondeterminism in a replay path.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn replay() -> u64 {
+    let started = Instant::now();
+    let mut seen: HashMap<u64, u64> = HashMap::new();
+    seen.insert(1, 2);
+    // lint:allow(nondet) membership only, never iterated — justified survivor
+    let ok: std::collections::HashSet<u64> = Default::default();
+    let _ = ok;
+    started.elapsed().as_nanos() as u64 + seen.len() as u64
+}

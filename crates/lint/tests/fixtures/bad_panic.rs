@@ -1,0 +1,21 @@
+// Fixture: unannotated panic sites in non-test code. Lines matter — the
+// test asserts exact (file, line, rule) diagnostics.
+pub fn first(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn second(r: Result<u32, String>) -> u32 {
+    r.expect("nope")
+}
+
+pub fn third() {
+    panic!("boom");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        None::<u32>.unwrap();
+    }
+}

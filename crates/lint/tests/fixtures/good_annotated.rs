@@ -1,0 +1,17 @@
+// Fixture: justified panic sites and panic-looking text that must NOT be
+// flagged (string literals, comments, raw strings).
+pub fn checked(v: &[u8]) -> u8 {
+    // lint:allow(panic) length checked by the caller's contract
+    *v.first().unwrap()
+}
+
+pub fn message() -> &'static str {
+    "call unwrap() or panic! here and nothing happens"
+}
+
+pub fn raw() -> &'static str {
+    r#"todo!() inside a raw string, with "quotes""#
+}
+
+// A comment mentioning unreachable!() is not a panic site either.
+pub fn fine() {}

@@ -1,0 +1,15 @@
+// Fixture: one half of a cross-file lock-order cycle.
+use std::sync::Mutex;
+
+pub struct A {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl A {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap();
+        let b = self.beta.lock().unwrap();
+        *a + *b
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: the other half of the cycle, through guard-helper aliases
+// (the test maps `latch_beta`/`latch_alpha` to lock_cycle_a's fields,
+// mirroring how tracker latches are aliased in the real workspace).
+pub struct B {
+    a: super::A,
+}
+
+impl B {
+    pub fn backward(&self) -> u32 {
+        let b = self.a.latch_beta();
+        let a = self.a.latch_alpha();
+        a + b
+    }
+}

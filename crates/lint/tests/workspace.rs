@@ -1,0 +1,81 @@
+//! The tier-1 enforcement test: run all four passes over the real
+//! workspace sources and fail on any unjustified violation.
+
+use lob_lint::{
+    determinism, fault_hook, lexer::SourceFile, load_workspace_sources, lock_order, panic_free,
+    ratchet, workspace_root, Diagnostic,
+};
+
+fn sources() -> Vec<SourceFile> {
+    let root = workspace_root();
+    load_workspace_sources(&root).expect("workspace sources readable")
+}
+
+fn assert_clean(pass: &str, diags: Vec<Diagnostic>) {
+    if !diags.is_empty() {
+        let mut msg = format!("{pass}: {} violation(s):\n", diags.len());
+        for d in &diags {
+            msg.push_str(&format!("  {d}\n"));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[test]
+fn annotations_all_carry_justifications() {
+    assert_clean("annotation", lob_lint::check_annotations(&sources()));
+}
+
+#[test]
+fn panic_freedom_holds_and_ratchet_only_tightens() {
+    let files = sources();
+    let (diags, counts) = panic_free::check_with_counts(&files, &panic_free::Config::workspace());
+    assert_clean("panic-freedom", diags);
+    assert_clean("panic-ratchet", ratchet::check(&workspace_root(), &counts));
+}
+
+#[test]
+fn lock_order_graph_is_acyclic() {
+    let files = sources();
+    let cfg = lock_order::Config::workspace();
+    // Sanity: the scan must actually see the known acquisition edges; an
+    // empty graph would mean the scanner silently broke.
+    let edges = lock_order::build_graph(&files, &cfg);
+    assert!(
+        edges
+            .iter()
+            .any(|e| e.from == "pagestore/store.hook" && e.to == "pagestore/store.partitions"),
+        "expected store.hook -> store.partitions edge missing; graph: {:?}",
+        edges
+            .iter()
+            .map(|e| format!("{} -> {}", e.from, e.to))
+            .collect::<Vec<_>>()
+    );
+    assert_clean("lock-order", lock_order::check(&files, &cfg));
+}
+
+#[test]
+fn replay_paths_are_deterministic() {
+    assert_clean(
+        "determinism",
+        determinism::check(&sources(), &determinism::Config::workspace()),
+    );
+}
+
+#[test]
+fn fault_hook_coverage_matches_registry() {
+    let files = sources();
+    let cfg = fault_hook::Config::workspace();
+    assert_clean("fault-hook", fault_hook::check(&files, &cfg));
+}
+
+#[test]
+fn registry_declares_the_log_truncation_site() {
+    // The coverage gap this PR fixed: log truncation must stay a declared,
+    // consulting site so it can never silently regress.
+    assert!(fault_hook::REGISTRY
+        .iter()
+        .any(|s| s.file.ends_with("wal/src/manager.rs")
+            && s.func == "truncate"
+            && s.events.contains(&"LogTruncate")));
+}

@@ -457,19 +457,15 @@ fn apply_logical(
             let mut it = all.into_iter().peekable();
             for &d in dst {
                 let mut page = RecPage::new();
-                while let Some((k, v)) = it.peek() {
-                    if page.fits_with(k, v, size) {
-                        let (k, v) = it.next().unwrap();
-                        page.insert(k, v);
-                    } else {
-                        break;
-                    }
+                while let Some((k, v)) = it.next_if(|(k, v)| page.fits_with(k, v, size)) {
+                    page.insert(k, v);
                 }
                 out.push((d, page.encode(d, size)?));
             }
             if it.peek().is_some() {
-                return Err(OpError::PageFull {
-                    page: *dst.last().unwrap(),
+                return Err(match dst.last() {
+                    Some(&d) => OpError::PageFull { page: d },
+                    None => OpError::Invalid("sort with an empty destination extent".to_string()),
                 });
             }
             Ok(out)

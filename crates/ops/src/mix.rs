@@ -26,6 +26,7 @@ pub fn digest(seed: u64, bytes: &[u8]) -> u64 {
     let mut acc = mix64(seed ^ 0x01de_c0de ^ bytes.len() as u64);
     let mut chunks = bytes.chunks_exact(8);
     for c in &mut chunks {
+        // lint:allow(panic) chunks_exact(8) yields exactly 8-byte slices
         acc = mix64(acc ^ u64::from_le_bytes(c.try_into().unwrap()));
     }
     let mut tail = [0u8; 8];

@@ -37,6 +37,10 @@ pub enum IoEvent {
     LogAppend,
     /// The backup sweep is about to copy one page into its image.
     BackupCopy,
+    /// The log manager is about to advance its truncation point, discarding
+    /// durable records below it (consulted only when the point actually
+    /// moves).
+    LogTruncate,
 }
 
 impl fmt::Display for IoEvent {
@@ -47,6 +51,7 @@ impl fmt::Display for IoEvent {
             IoEvent::LogForce => "log-force",
             IoEvent::LogAppend => "log-append",
             IoEvent::BackupCopy => "backup-copy",
+            IoEvent::LogTruncate => "log-truncate",
         };
         f.write_str(s)
     }

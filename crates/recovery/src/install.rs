@@ -19,19 +19,19 @@
 
 use lob_ops::OpBody;
 use lob_pagestore::{Lsn, PageId};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An explicit installation graph over a logged operation history.
 #[derive(Debug, Default)]
 pub struct InstallGraph {
     ops: Vec<Lsn>,
-    reads: HashMap<Lsn, BTreeSet<PageId>>,
-    writes: HashMap<Lsn, BTreeSet<PageId>>,
+    reads: BTreeMap<Lsn, BTreeSet<PageId>>,
+    writes: BTreeMap<Lsn, BTreeSet<PageId>>,
     /// `edges[p]` = operations that must be installed before `p`.
-    edges: HashMap<Lsn, BTreeSet<Lsn>>,
+    edges: BTreeMap<Lsn, BTreeSet<Lsn>>,
     /// Readers seen so far, per page (to build read-write edges
     /// incrementally).
-    readers_of: HashMap<PageId, BTreeSet<Lsn>>,
+    readers_of: BTreeMap<PageId, BTreeSet<Lsn>>,
 }
 
 impl InstallGraph {
@@ -86,7 +86,7 @@ impl InstallGraph {
     /// Check that `installed` is a **prefix** of the installation graph:
     /// for every installed operation, all of its predecessors are installed.
     /// Returns the first violated edge `(pred, installed_op)` if any.
-    pub fn prefix_violation(&self, installed: &HashSet<Lsn>) -> Option<(Lsn, Lsn)> {
+    pub fn prefix_violation(&self, installed: &BTreeSet<Lsn>) -> Option<(Lsn, Lsn)> {
         for (&p, preds) in &self.edges {
             if installed.contains(&p) {
                 for &o in preds {
@@ -100,7 +100,7 @@ impl InstallGraph {
     }
 
     /// Convenience: whether `installed` is a prefix.
-    pub fn is_prefix(&self, installed: &HashSet<Lsn>) -> bool {
+    pub fn is_prefix(&self, installed: &BTreeSet<Lsn>) -> bool {
         self.prefix_violation(installed).is_none()
     }
 }
@@ -163,13 +163,13 @@ mod tests {
         let mut g = InstallGraph::new();
         g.push(Lsn(1), &copy(1, 2));
         g.push(Lsn(2), &physio(1));
-        let empty: HashSet<Lsn> = HashSet::new();
+        let empty: BTreeSet<Lsn> = BTreeSet::new();
         assert!(g.is_prefix(&empty));
-        let only_first: HashSet<Lsn> = [Lsn(1)].into_iter().collect();
+        let only_first: BTreeSet<Lsn> = [Lsn(1)].into_iter().collect();
         assert!(g.is_prefix(&only_first));
-        let only_second: HashSet<Lsn> = [Lsn(2)].into_iter().collect();
+        let only_second: BTreeSet<Lsn> = [Lsn(2)].into_iter().collect();
         assert_eq!(g.prefix_violation(&only_second), Some((Lsn(1), Lsn(2))));
-        let both: HashSet<Lsn> = [Lsn(1), Lsn(2)].into_iter().collect();
+        let both: BTreeSet<Lsn> = [Lsn(1), Lsn(2)].into_iter().collect();
         assert!(g.is_prefix(&both));
     }
 
@@ -192,7 +192,7 @@ mod tests {
                 sep: Bytes::from_static(b"k"),
             }),
         );
-        let only_rmv: HashSet<Lsn> = [Lsn(2)].into_iter().collect();
+        let only_rmv: BTreeSet<Lsn> = [Lsn(2)].into_iter().collect();
         assert!(!g.is_prefix(&only_rmv));
     }
 }

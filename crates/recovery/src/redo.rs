@@ -98,12 +98,12 @@ pub fn redo_scan(
     records: &[LogRecord],
     target: &mut dyn RedoTarget,
 ) -> Result<RedoOutcome, RedoError> {
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     // Analysis: anchor identity records. `promotions[j]` = identity writes
     // to apply right after record index `j`; `at_start` = before anything.
-    let mut last_writer: HashMap<PageId, usize> = HashMap::new();
-    let mut promotions: HashMap<usize, Vec<(PageId, Bytes, lob_pagestore::Lsn)>> = HashMap::new();
+    let mut last_writer: BTreeMap<PageId, usize> = BTreeMap::new();
+    let mut promotions: BTreeMap<usize, Vec<(PageId, Bytes, lob_pagestore::Lsn)>> = BTreeMap::new();
     let mut at_start: Vec<(PageId, Bytes, lob_pagestore::Lsn)> = Vec::new();
     for (i, rec) in records.iter().enumerate() {
         if let RecordBody::Op(op) = &rec.body {

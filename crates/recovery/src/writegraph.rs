@@ -30,7 +30,7 @@
 
 use lob_ops::OpBody;
 use lob_pagestore::{Lsn, PageId};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Which write-graph construction to use.
@@ -94,9 +94,9 @@ pub struct WriteGraph {
     mode: GraphMode,
     nodes: BTreeMap<NodeId, Node>,
     /// Node currently responsible for flushing each page (`X ∈ vars(n)`).
-    by_var: HashMap<PageId, NodeId>,
+    by_var: BTreeMap<PageId, NodeId>,
     /// Nodes with an uninstalled op that read each page.
-    readers: HashMap<PageId, BTreeSet<NodeId>>,
+    readers: BTreeMap<PageId, BTreeSet<NodeId>>,
     next_id: u64,
     /// Largest `|vars(n)|` ever observed (ablation statistic).
     max_vars: usize,
@@ -109,8 +109,8 @@ impl WriteGraph {
         WriteGraph {
             mode,
             nodes: BTreeMap::new(),
-            by_var: HashMap::new(),
-            readers: HashMap::new(),
+            by_var: BTreeMap::new(),
+            readers: BTreeMap::new(),
             next_id: 0,
             max_vars: 0,
             installed_ops: 0,
@@ -209,7 +209,9 @@ impl WriteGraph {
                             .unwrap_or_default();
                         for r in readers {
                             if r != holder && self.nodes.contains_key(&r) {
+                                // lint:allow(panic) `r` passed contains_key just above
                                 self.nodes.get_mut(&r).unwrap().succs.insert(holder);
+                                // lint:allow(panic) `holder` is a live node of this graph
                                 self.nodes.get_mut(&holder).unwrap().preds.insert(r);
                                 inverse_edges_added = true;
                             }
@@ -275,6 +277,7 @@ impl WriteGraph {
 
     /// Remove `m` from the graph entirely (for merging), returning its data.
     fn detach(&mut self, m: NodeId) -> Node {
+        // lint:allow(panic) callers pass ids drawn from the live node set
         let node = self.nodes.remove(&m).expect("detach of absent node");
         for v in &node.vars {
             self.by_var.remove(v);
@@ -357,7 +360,7 @@ impl WriteGraph {
             lowlink: u32,
             on_stack: bool,
         }
-        let mut meta: HashMap<NodeId, Meta> = HashMap::new();
+        let mut meta: BTreeMap<NodeId, Meta> = BTreeMap::new();
         let mut index = 0u32;
         let mut stack: Vec<NodeId> = Vec::new();
         let mut out = Vec::new();
@@ -408,6 +411,7 @@ impl WriteGraph {
                             break;
                         }
                         Some(mw) if mw.on_stack => {
+                            // lint:allow(panic) `v` was given meta when it was pushed
                             let lv = meta.get_mut(&v).unwrap();
                             lv.lowlink = lv.lowlink.min(mw.index);
                         }
@@ -422,7 +426,9 @@ impl WriteGraph {
                 if mv.lowlink == mv.index {
                     let mut scc = Vec::new();
                     loop {
+                        // lint:allow(panic) Tarjan invariant: root `v` is still on the stack
                         let w = stack.pop().unwrap();
+                        // lint:allow(panic) every stacked node has meta
                         meta.get_mut(&w).unwrap().on_stack = false;
                         scc.push(w);
                         if w == v {
@@ -433,6 +439,7 @@ impl WriteGraph {
                 }
                 if let Some((parent, _, _)) = call.last() {
                     let low_v = meta[&v].lowlink;
+                    // lint:allow(panic) parents on the call stack were visited first
                     let lp = meta.get_mut(parent).unwrap();
                     lp.lowlink = lp.lowlink.min(low_v);
                 }
@@ -1064,7 +1071,7 @@ mod tests {
         }
         let plan = g.flush_plan(last.unwrap()).unwrap();
         // The plan respects edges: every node appears after its preds.
-        let pos: HashMap<NodeId, usize> = plan.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        let pos: BTreeMap<NodeId, usize> = plan.iter().enumerate().map(|(i, n)| (*n, i)).collect();
         for &n in &plan {
             for p in &g.nodes[&n].preds {
                 if let Some(pi) = pos.get(p) {

@@ -24,8 +24,9 @@ pub enum LogError {
         /// Current truncation point.
         truncation: Lsn,
     },
-    /// The fault hook simulated a process crash during a log force; frames
-    /// not yet persisted stay in the volatile tail (lost at crash).
+    /// The fault hook simulated a process crash during a log force or
+    /// truncation; frames not yet persisted stay in the volatile tail (lost
+    /// at crash), and an interrupted truncation leaves the point unmoved.
     InjectedCrash,
 }
 
@@ -78,8 +79,9 @@ pub struct LogManager {
     media_barrier: Option<Lsn>,
     stats: LogStats,
     /// Optional fault hook: consulted once per force that has frames to
-    /// persist ([`IoEvent::LogForce`]) and once per frame appended to the
-    /// durable store ([`IoEvent::LogAppend`]).
+    /// persist ([`IoEvent::LogForce`]), once per frame appended to the
+    /// durable store ([`IoEvent::LogAppend`]), and once per effective
+    /// truncation-point advance ([`IoEvent::LogTruncate`]).
     hook: Option<FaultHook>,
 }
 
@@ -253,12 +255,24 @@ impl LogManager {
     /// Advance the truncation point toward `before`, clamped so that records
     /// at or above the media barrier are retained. Returns the effective new
     /// truncation point.
+    ///
+    /// With a fault hook installed, [`IoEvent::LogTruncate`] is consulted
+    /// before the point moves: a crash verdict leaves the truncation point
+    /// *and* the store untouched, so a restart simply re-truncates — log
+    /// truncation is a write-side I/O like any other (this site was the
+    /// coverage gap `lob-lint`'s fault-hook pass was built to catch).
     pub fn truncate(&mut self, before: Lsn) -> Result<Lsn, LogError> {
         let effective = match self.media_barrier {
             Some(b) => before.min(b),
             None => before,
         };
         if effective > self.truncation {
+            match self.consult(IoEvent::LogTruncate) {
+                FaultVerdict::Crash | FaultVerdict::TornWrite => {
+                    return Err(LogError::InjectedCrash)
+                }
+                _ => {}
+            }
             self.truncation = effective;
             self.store.truncate(effective)?;
         }

@@ -191,9 +191,12 @@ impl LogStore for FileLogStore {
         let mut out = Vec::new();
         let mut off = 0usize;
         while off + 20 <= buf.len() {
+            // lint:allow(panic) 4-byte slice inside the off+20 bound above
             let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
+            // lint:allow(panic) 8-byte slice inside the off+20 bound above
             let ck = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap());
             let lsn = Lsn(u64::from_le_bytes(
+                // lint:allow(panic) 8-byte slice inside the off+20 bound above
                 buf[off + 12..off + 20].try_into().unwrap(),
             ));
             let body_start = off + 20;

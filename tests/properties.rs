@@ -24,7 +24,7 @@ use lob_ops::{LogicalOp, PhysioOp, RecPage};
 use lob_recovery::{InstallGraph, WriteGraph};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 const UNIVERSE: u32 = 10;
 
@@ -149,7 +149,7 @@ fn greedy_installs_form_installation_prefixes() {
         // Greedily install frontier nodes in a seed-dependent order; after
         // every install the installed set must be a prefix of the
         // installation graph.
-        let mut installed: HashSet<Lsn> = HashSet::new();
+        let mut installed: BTreeSet<Lsn> = BTreeSet::new();
         let mut tick = order_seed;
         while !graph.is_empty() {
             let frontier = graph.frontier();

@@ -172,3 +172,58 @@ fn sweeps_are_reproducible_per_seed() {
     assert_eq!(a.crash_recoveries, b.crash_recoveries);
     assert_eq!(a.media_recoveries, b.media_recoveries);
 }
+
+/// The log-truncation crash point, found by `lob-lint`'s fault-hook
+/// coverage pass: `LogManager::truncate` mutates durable state (discards
+/// records below the truncation point) but consulted no hook before this
+/// PR, so no sweep could ever schedule a fault there. Truncation events
+/// are rare in the generic sweeps (the armed window holds a media barrier
+/// that clamps them), so this drill targets the event kind directly.
+#[test]
+fn log_truncation_is_a_faultable_crash_point() {
+    use lob_core::{Engine, EngineConfig};
+    use lob_harness::{FaultKind, FaultPlan, ShadowOracle, WorkloadGen};
+    use lob_pagestore::PageId;
+
+    let pages = 32u32;
+    let page_size = 256usize;
+    let mut engine = Engine::new(EngineConfig::single(pages, page_size)).unwrap();
+    let mut oracle = ShadowOracle::new(page_size);
+    let mut gen = WorkloadGen::new(0x70C4, page_size);
+    for i in 0..pages {
+        let op = gen.physical(PageId::new(0, i));
+        oracle.execute(&mut engine, op).unwrap();
+    }
+
+    // Arm a crash at the first truncation-point advance; every other event
+    // kind proceeds.
+    let plan = FaultPlan::new(FaultKind::CrashAtEvent(IoEvent::LogTruncate, 0));
+    engine.install_fault_hook(Some(plan.hook()));
+    let before = engine.log().truncation();
+
+    let err = engine
+        .flush_all()
+        .expect_err("flush_all must hit the armed truncation crash point");
+    assert!(err.is_injected_crash(), "unexpected error: {err}");
+    assert!(plan.fired());
+    assert_eq!(
+        plan.fired_event().map(|(_, k)| k),
+        Some(IoEvent::LogTruncate),
+        "the fault must fire on the truncation event itself"
+    );
+    // An interrupted truncation moves nothing: the point and the store are
+    // exactly as they were, so a restart simply re-truncates.
+    assert_eq!(engine.log().truncation(), before);
+
+    // Complete the crash, recover, and verify against the oracle: every
+    // operation was logged and forced before its pages flushed, so the
+    // full history survives.
+    engine.install_fault_hook(None);
+    engine.crash();
+    engine.recover().unwrap();
+    oracle.verify_store(&engine, oracle.last_lsn()).unwrap();
+
+    // The restarted engine can truncate past the old point.
+    engine.flush_all().unwrap();
+    assert!(engine.log().truncation() > before);
+}
