@@ -139,6 +139,15 @@ impl BackupRun {
         self.pages_copied
     }
 
+    /// The partial image accumulated so far. The copied bytes are real
+    /// state: two runs at the same cursor position can hold different
+    /// snapshots of the same page (the fuzzy sweep races flushes), and
+    /// only the copied bytes say which. Exhaustive checkers must fold
+    /// this into their state identity.
+    pub fn partial_image(&self) -> &PageImage {
+        &self.image
+    }
+
     /// Whether the sweep has completed.
     pub fn is_finished(&self) -> bool {
         self.finished

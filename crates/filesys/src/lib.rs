@@ -83,13 +83,13 @@ fn decode_extent(bytes: &[u8]) -> Result<Vec<PageId>, FsError> {
     }
     Ok(bytes
         .chunks_exact(8)
-        .map(|c| {
-            PageId::new(
-                // lint:allow(panic) chunks_exact(8) yields exactly 8-byte slices
-                u32::from_le_bytes(c[0..4].try_into().unwrap()),
-                // lint:allow(panic) chunks_exact(8) yields exactly 8-byte slices
-                u32::from_le_bytes(c[4..8].try_into().unwrap()),
-            )
+        .filter_map(|c| match *c {
+            [a0, a1, a2, a3, b0, b1, b2, b3] => Some(PageId::new(
+                u32::from_le_bytes([a0, a1, a2, a3]),
+                u32::from_le_bytes([b0, b1, b2, b3]),
+            )),
+            // chunks_exact(8) yields exactly 8-byte slices.
+            _ => None,
         })
         .collect())
 }

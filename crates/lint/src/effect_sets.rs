@@ -1,0 +1,700 @@
+//! The `effect-sets` pass: declared read/write sets must match `apply()`.
+//!
+//! The runtime `WriteGraph` trusts every `OpBody` variant's `readset()` /
+//! `writeset()` declaration verbatim; an under-reported read set silently
+//! corrupts `flush_plan` ordering, and an over-reported write set
+//! manufactures phantom flush dependencies. The compiler cannot see the
+//! connection between those declarations and what `apply()` actually
+//! does, so this pass cross-checks them lexically, per variant:
+//!
+//! - **declared** sets come from the match arms of `readset()` and
+//!   `writeset()` (the fields of the variant mentioned in the arm's
+//!   expression), with arms that forward through a selector method —
+//!   `Physio(p) => vec![p.target()]` — resolved through that selector's
+//!   own match arms;
+//! - **actual** reads are the fields passed to `reader.read(..)` inside
+//!   the variant's `apply*` arm (resolving `for &s in src` loop aliases
+//!   and `.iter().…(|(_, &w)| …)` closure aliases);
+//! - **actual** writes are the fields appearing as the first element of a
+//!   returned `(page, bytes)` tuple literal in that arm.
+//!
+//! Only fields typed `PageId` / `Vec<PageId>` participate. A mismatch in
+//! either direction is a diagnostic pinned to the declaration arm.
+//! Escape hatch: `// lint:allow(effect-sets) <reason>` on that line.
+//!
+//! Like every pass here this is lexical, not semantic: it assumes the
+//! file follows the workspace idiom (match-per-variant, reads through the
+//! `reader` parameter, writes as tuple literals). The recording-reader
+//! conformance test in `crates/ops` covers the dynamic side of the same
+//! contract.
+
+use crate::lexer::{SourceFile, Tok};
+use crate::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Pass configuration.
+pub struct Config {
+    /// Path suffixes of the files declaring op-effect enums.
+    pub scope: Vec<String>,
+}
+
+impl Config {
+    /// Workspace default: the operation bodies.
+    pub fn workspace() -> Config {
+        Config {
+            scope: vec!["crates/ops/src/body.rs".to_string()],
+        }
+    }
+}
+
+const RULE: &str = "effect-sets";
+
+type FieldSet = BTreeSet<String>;
+
+/// One enum variant: its `PageId`-carrying fields and, for tuple
+/// variants, the payload type word (`Physio(PhysioOp)` → `PhysioOp`).
+#[derive(Debug, Default)]
+struct Variant {
+    fields: FieldSet,
+    payload: Option<String>,
+}
+
+/// Every enum in the file, variants keyed by (file-unique) name.
+#[derive(Debug, Default)]
+struct Enums {
+    variants: BTreeMap<String, Variant>,
+    owners: BTreeMap<String, String>,
+    names: BTreeSet<String>,
+}
+
+/// One match arm: the variants its (possibly or-) pattern names, each
+/// with its source line, and the token range of the arm expression.
+struct Arm {
+    variants: Vec<(String, usize)>,
+    expr: (usize, usize),
+}
+
+fn word_at(toks: &[(Tok, usize)], i: usize) -> Option<&str> {
+    match toks.get(i) {
+        Some((Tok::Word(w), _)) => Some(w.as_str()),
+        _ => None,
+    }
+}
+
+fn sym_at(toks: &[(Tok, usize)], i: usize) -> Option<char> {
+    match toks.get(i) {
+        Some((Tok::Sym(c), _)) => Some(*c),
+        _ => None,
+    }
+}
+
+fn line_at(toks: &[(Tok, usize)], i: usize) -> usize {
+    toks.get(i).map(|t| t.1).unwrap_or(0)
+}
+
+/// Parse every `enum` declaration, recording which fields carry pages.
+fn parse_enums(toks: &[(Tok, usize)]) -> Enums {
+    let mut out = Enums::default();
+    let mut i = 0;
+    while i < toks.len() {
+        if word_at(toks, i) != Some("enum") {
+            i += 1;
+            continue;
+        }
+        let Some(enum_name) = word_at(toks, i + 1).map(str::to_string) else {
+            i += 1;
+            continue;
+        };
+        // Skip to the opening brace (generics would sit between, none do).
+        let mut j = i + 2;
+        while j < toks.len() && sym_at(toks, j) != Some('{') {
+            j += 1;
+        }
+        j += 1;
+        // Body: at depth 0 a Word starts a variant.
+        let depth = 0i64;
+        while j < toks.len() {
+            match sym_at(toks, j) {
+                Some('}') if depth == 0 => break,
+                _ => {}
+            }
+            if let Some(vname) = word_at(toks, j).map(str::to_string) {
+                let mut variant = Variant::default();
+                let mut k = j + 1;
+                match sym_at(toks, k) {
+                    Some('{') => {
+                        // Struct variant: fields `name: Type, ...`.
+                        k += 1;
+                        let mut fdepth = 0i64;
+                        let mut field: Option<String> = None;
+                        let mut field_is_page = false;
+                        while k < toks.len() {
+                            match toks.get(k) {
+                                Some((Tok::Sym('{' | '(' | '<' | '['), _)) => fdepth += 1,
+                                Some((Tok::Sym('}'), _)) if fdepth == 0 => break,
+                                Some((Tok::Sym(')' | '>' | ']' | '}'), _)) => fdepth -= 1,
+                                Some((Tok::Sym(','), _)) if fdepth == 0 => {
+                                    if field_is_page {
+                                        if let Some(fname) = field.take() {
+                                            variant.fields.insert(fname);
+                                        }
+                                    }
+                                    field = None;
+                                    field_is_page = false;
+                                }
+                                Some((Tok::Sym(':'), _)) if fdepth == 0 => {}
+                                Some((Tok::Word(w), _)) => {
+                                    if field.is_none() && fdepth == 0 {
+                                        field = Some(w.clone());
+                                        field_is_page = false;
+                                    } else if w == "PageId" {
+                                        field_is_page = true;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        if field_is_page {
+                            if let Some(fname) = field.take() {
+                                variant.fields.insert(fname);
+                            }
+                        }
+                        k += 1; // past '}'
+                    }
+                    Some('(') => {
+                        // Tuple variant: remember the payload type word.
+                        k += 1;
+                        let mut pdepth = 0i64;
+                        while k < toks.len() {
+                            match toks.get(k) {
+                                Some((Tok::Sym('('), _)) => pdepth += 1,
+                                Some((Tok::Sym(')'), _)) if pdepth == 0 => break,
+                                Some((Tok::Sym(')'), _)) => pdepth -= 1,
+                                Some((Tok::Word(w), _)) if variant.payload.is_none() => {
+                                    variant.payload = Some(w.clone());
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        k += 1; // past ')'
+                    }
+                    _ => {}
+                }
+                // Trailing comma after the variant, if any.
+                if sym_at(toks, k) == Some(',') {
+                    k += 1;
+                }
+                out.owners.insert(vname.clone(), enum_name.clone());
+                out.variants.insert(vname.clone(), variant);
+                out.names.insert(enum_name.clone());
+                j = k;
+            } else {
+                j += 1;
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// Token index range of a function span (tokens are line-sorted).
+fn fn_range(toks: &[(Tok, usize)], start_line: usize, end_line: usize) -> (usize, usize) {
+    let lo = toks.partition_point(|t| t.1 < start_line);
+    let hi = toks.partition_point(|t| t.1 <= end_line);
+    (lo, hi)
+}
+
+/// Split the tokens of one function into variant match arms. A variant
+/// occurrence is a known variant word qualified by `::`; consecutive
+/// occurrences before a `=>` form one or-pattern group sharing the
+/// following expression, which extends to the next qualified occurrence.
+fn parse_arms(toks: &[(Tok, usize)], lo: usize, hi: usize, enums: &Enums) -> Vec<Arm> {
+    let mut out = Vec::new();
+    let mut group: Vec<(String, usize)> = Vec::new();
+    let mut expr_start: Option<usize> = None;
+    let mut i = lo;
+    while i < hi {
+        let occurrence = word_at(toks, i)
+            .filter(|w| enums.variants.contains_key(*w))
+            .filter(|_| sym_at(toks, i.wrapping_sub(1)) == Some(':'))
+            .map(str::to_string);
+        if let Some(v) = occurrence {
+            // The pattern starts back at the qualifying enum word.
+            let pat_start = if i >= 3 && word_at(toks, i - 3).is_some() {
+                i - 3
+            } else {
+                i.saturating_sub(2)
+            };
+            if let Some(s) = expr_start.take() {
+                out.push(Arm {
+                    variants: std::mem::take(&mut group),
+                    expr: (s, pat_start),
+                });
+            }
+            group.push((v, line_at(toks, i)));
+        } else if sym_at(toks, i) == Some('=')
+            && sym_at(toks, i + 1) == Some('>')
+            && expr_start.is_none()
+            && !group.is_empty()
+        {
+            expr_start = Some(i + 2);
+            i += 1;
+        }
+        i += 1;
+    }
+    if let Some(s) = expr_start {
+        if !group.is_empty() {
+            out.push(Arm {
+                variants: group,
+                expr: (s, hi),
+            });
+        }
+    }
+    out
+}
+
+/// Fields of `fields` that appear as words in the token range.
+fn fields_in_expr(toks: &[(Tok, usize)], lo: usize, hi: usize, fields: &FieldSet) -> FieldSet {
+    let mut out = FieldSet::new();
+    for i in lo..hi {
+        if let Some(w) = word_at(toks, i) {
+            if fields.contains(w) {
+                out.insert(w.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Per-variant `(fields mentioned in the arm expression, arm line)` for
+/// one function — the shape shared by `readset`/`writeset` and by
+/// selector methods like `PhysioOp::target`.
+fn arm_fields(
+    toks: &[(Tok, usize)],
+    lo: usize,
+    hi: usize,
+    enums: &Enums,
+) -> BTreeMap<String, (FieldSet, usize)> {
+    let mut out = BTreeMap::new();
+    for arm in parse_arms(toks, lo, hi, enums) {
+        for (v, line) in &arm.variants {
+            let Some(variant) = enums.variants.get(v) else {
+                continue;
+            };
+            if variant.fields.is_empty() && variant.payload.is_none() {
+                continue;
+            }
+            let fields = fields_in_expr(toks, arm.expr.0, arm.expr.1, &variant.fields);
+            out.insert(v.clone(), (fields, *line));
+        }
+    }
+    out
+}
+
+/// Declared sets for one of `readset`/`writeset`: direct arms, plus
+/// tuple-variant arms forwarded through a selector method (an arm whose
+/// expression calls `.m(...)` where `m` is a sibling fn matching over the
+/// payload enum's variants).
+fn declared_sets(
+    toks: &[(Tok, usize)],
+    lo: usize,
+    hi: usize,
+    enums: &Enums,
+    selectors: &BTreeMap<String, BTreeMap<String, (FieldSet, usize)>>,
+) -> BTreeMap<String, (FieldSet, usize)> {
+    let mut out = arm_fields(toks, lo, hi, enums);
+    for arm in parse_arms(toks, lo, hi, enums) {
+        for (v, _) in &arm.variants {
+            let Some(payload) = enums.variants.get(v).and_then(|x| x.payload.clone()) else {
+                continue;
+            };
+            if !enums.names.contains(&payload) {
+                continue;
+            }
+            // Selector call in the expression: `. name (`.
+            for i in arm.expr.0..arm.expr.1 {
+                if sym_at(toks, i) != Some('.') {
+                    continue;
+                }
+                let Some(m) = word_at(toks, i + 1) else {
+                    continue;
+                };
+                if sym_at(toks, i + 2) != Some('(') {
+                    continue;
+                }
+                let Some(sel) = selectors.get(m) else {
+                    continue;
+                };
+                for (u, (fields, uline)) in sel {
+                    if enums.owners.get(u) == Some(&payload) {
+                        out.entry(u.clone())
+                            .or_insert_with(|| (fields.clone(), *uline));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Aliases introduced inside one arm expression: `for &s in src` binds
+/// `s` to `src`; `writes.iter()...(|(_, &w)| ...)` binds `w` to `writes`.
+fn collect_aliases(
+    toks: &[(Tok, usize)],
+    lo: usize,
+    hi: usize,
+    fields: &FieldSet,
+) -> BTreeMap<String, String> {
+    let mut aliases = BTreeMap::new();
+    let mut pending_iter: Option<String> = None;
+    let mut i = lo;
+    while i < hi {
+        if word_at(toks, i) == Some("for") {
+            // `for <pattern> in <expr>`: bound words alias the iterated
+            // field, if the expression starts with one.
+            let mut pat_words: Vec<String> = Vec::new();
+            let mut j = i + 1;
+            while j < hi && j < i + 10 && word_at(toks, j) != Some("in") {
+                if let Some(w) = word_at(toks, j) {
+                    pat_words.push(w.to_string());
+                }
+                j += 1;
+            }
+            let mut k = j + 1;
+            while matches!(sym_at(toks, k), Some('&' | '(')) {
+                k += 1;
+            }
+            if let Some(target) = word_at(toks, k).filter(|w| fields.contains(*w)) {
+                for w in pat_words {
+                    aliases.insert(w, target.to_string());
+                }
+            }
+            i = j;
+        } else if let Some(w) = word_at(toks, i).filter(|w| fields.contains(*w)) {
+            if sym_at(toks, i + 1) == Some('.') && word_at(toks, i + 2) == Some("iter") {
+                pending_iter = Some(w.to_string());
+            }
+        } else if matches!(
+            word_at(toks, i),
+            Some("map" | "flat_map" | "filter_map" | "for_each")
+        ) && sym_at(toks, i + 1) == Some('(')
+            && sym_at(toks, i + 2) == Some('|')
+        {
+            // Closure params: `&`-bound words alias the pending iterated
+            // field (pages iterate by reference; indices bind by value).
+            let mut j = i + 3;
+            while j < hi && j < i + 20 && sym_at(toks, j) != Some('|') {
+                if sym_at(toks, j) == Some('&') {
+                    if let (Some(w), Some(target)) = (word_at(toks, j + 1), &pending_iter) {
+                        aliases.insert(w.to_string(), target.clone());
+                    }
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    aliases
+}
+
+/// Actual `(reads, writes, line)` per variant from one `apply*` function.
+fn actual_effects(
+    toks: &[(Tok, usize)],
+    lo: usize,
+    hi: usize,
+    enums: &Enums,
+) -> BTreeMap<String, (FieldSet, FieldSet, usize)> {
+    let mut out = BTreeMap::new();
+    for arm in parse_arms(toks, lo, hi, enums) {
+        for (v, line) in &arm.variants {
+            let Some(variant) = enums.variants.get(v) else {
+                continue;
+            };
+            if variant.fields.is_empty() {
+                continue;
+            }
+            let (elo, ehi) = arm.expr;
+            let aliases = collect_aliases(toks, elo, ehi, &variant.fields);
+            let resolve = |w: &str| -> Option<String> {
+                if variant.fields.contains(w) {
+                    Some(w.to_string())
+                } else {
+                    aliases.get(w).cloned()
+                }
+            };
+            let mut reads = FieldSet::new();
+            let mut writes = FieldSet::new();
+            for i in elo..ehi {
+                // Reads: `.read( <*|&>? word`.
+                if sym_at(toks, i) == Some('.')
+                    && word_at(toks, i + 1) == Some("read")
+                    && sym_at(toks, i + 2) == Some('(')
+                {
+                    let mut j = i + 3;
+                    while matches!(sym_at(toks, j), Some('*' | '&')) {
+                        j += 1;
+                    }
+                    if let Some(fld) = word_at(toks, j).and_then(&resolve) {
+                        reads.insert(fld);
+                    }
+                }
+                // Writes: a tuple literal whose first element is a page —
+                // `( <*|&>? word ,` where the `(` does not follow a word
+                // (call), `)` (call-of-result), or `]` (index-of-result).
+                if sym_at(toks, i) == Some('(') {
+                    let preceded_by_call = i > lo
+                        && (word_at(toks, i - 1).is_some()
+                            || matches!(sym_at(toks, i - 1), Some(')' | ']')));
+                    if preceded_by_call {
+                        continue;
+                    }
+                    let mut j = i + 1;
+                    while matches!(sym_at(toks, j), Some('*' | '&')) {
+                        j += 1;
+                    }
+                    if sym_at(toks, j + 1) == Some(',') {
+                        if let Some(fld) = word_at(toks, j).and_then(&resolve) {
+                            writes.insert(fld);
+                        }
+                    }
+                }
+            }
+            let entry = out
+                .entry(v.clone())
+                .or_insert_with(|| (FieldSet::new(), FieldSet::new(), *line));
+            entry.0.extend(reads);
+            entry.1.extend(writes);
+        }
+    }
+    out
+}
+
+/// Which half of the contract a [`diff_diags`] call is checking: the
+/// declaration function's name and the verb used in messages.
+struct Contract {
+    decl_fn: &'static str,
+    verb: &'static str,
+}
+
+const READ_CONTRACT: Contract = Contract {
+    decl_fn: "readset",
+    verb: "read",
+};
+const WRITE_CONTRACT: Contract = Contract {
+    decl_fn: "writeset",
+    verb: "write",
+};
+
+fn diff_diags(
+    f: &SourceFile,
+    variant: &str,
+    declared: &FieldSet,
+    actual: &FieldSet,
+    line: usize,
+    contract: &Contract,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Contract { decl_fn, verb } = contract;
+    if f.allowed(RULE, line) {
+        return;
+    }
+    for fld in actual.difference(declared) {
+        out.push(Diagnostic::new(
+            RULE,
+            &f.path,
+            line,
+            format!("`{variant}` {verb}s `{fld}` in apply() but {decl_fn}() does not declare it"),
+        ));
+    }
+    for fld in declared.difference(actual) {
+        out.push(Diagnostic::new(
+            RULE,
+            &f.path,
+            line,
+            format!("{decl_fn}() declares `{fld}` for `{variant}` but apply() never {verb}s it"),
+        ));
+    }
+}
+
+/// Run the pass over every in-scope file.
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if !config.scope.iter().any(|s| f.path.ends_with(s.as_str())) {
+            continue;
+        }
+        let toks = f.all_tokens();
+        let enums = parse_enums(&toks);
+        if enums.variants.is_empty() {
+            continue;
+        }
+
+        // Selector methods (`target`) and the declaration/apply functions.
+        let mut selectors: BTreeMap<String, BTreeMap<String, (FieldSet, usize)>> = BTreeMap::new();
+        let mut decl_read: BTreeMap<String, (FieldSet, usize)> = BTreeMap::new();
+        let mut decl_write: BTreeMap<String, (FieldSet, usize)> = BTreeMap::new();
+        let mut actual: BTreeMap<String, (FieldSet, FieldSet, usize)> = BTreeMap::new();
+        let spans: Vec<_> = f
+            .functions()
+            .into_iter()
+            .filter(|s| !f.in_test(s.start_line))
+            .collect();
+        for span in &spans {
+            if span.name == "readset" || span.name == "writeset" || span.name.starts_with("apply") {
+                continue;
+            }
+            let (lo, hi) = fn_range(&toks, span.start_line, span.end_line);
+            let map = arm_fields(&toks, lo, hi, &enums);
+            if !map.is_empty() {
+                selectors.entry(span.name.clone()).or_insert(map);
+            }
+        }
+        for span in &spans {
+            let (lo, hi) = fn_range(&toks, span.start_line, span.end_line);
+            if span.name == "readset" {
+                decl_read = declared_sets(&toks, lo, hi, &enums, &selectors);
+            } else if span.name == "writeset" {
+                decl_write = declared_sets(&toks, lo, hi, &enums, &selectors);
+            } else if span.name.starts_with("apply") {
+                for (v, (reads, writes, line)) in actual_effects(&toks, lo, hi, &enums) {
+                    let entry = actual
+                        .entry(v)
+                        .or_insert_with(|| (FieldSet::new(), FieldSet::new(), line));
+                    entry.0.extend(reads);
+                    entry.1.extend(writes);
+                }
+            }
+        }
+
+        for (v, (areads, awrites, _)) in &actual {
+            if let Some((dreads, line)) = decl_read.get(v) {
+                diff_diags(f, v, dreads, areads, *line, &READ_CONTRACT, &mut out);
+            }
+            if let Some((dwrites, line)) = decl_write.get(v) {
+                diff_diags(f, v, dwrites, awrites, *line, &WRITE_CONTRACT, &mut out);
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, &a.msg).cmp(&(&b.path, b.line, &b.msg)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+pub enum Op {
+    Move { src: PageId, dst: PageId },
+    Fill { dst: Vec<PageId>, salt: u64 },
+}
+impl Op {
+    pub fn readset(&self) -> Vec<PageId> {
+        match self {
+            Op::Move { src, .. } => vec![*src],
+            Op::Fill { .. } => vec![],
+        }
+    }
+    pub fn writeset(&self) -> Vec<PageId> {
+        match self {
+            Op::Move { dst, .. } => vec![*dst],
+            Op::Fill { dst, .. } => dst.clone(),
+        }
+    }
+    pub fn apply(&self, reader: &mut dyn PageReader) -> Out {
+        match self {
+            Op::Move { src, dst } => {
+                let v = reader.read(*src)?;
+                Ok(vec![(*dst, v)])
+            }
+            Op::Fill { dst, salt } => {
+                let mut out = Vec::new();
+                for &d in dst {
+                    out.push((d, derive(*salt)));
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn consistent_declarations_are_clean() {
+        let f = SourceFile::parse("crates/ops/src/body.rs", GOOD);
+        let cfg = Config::workspace();
+        let diags = check(&[f], &cfg);
+        assert!(diags.is_empty(), "diags: {diags:#?}");
+    }
+
+    #[test]
+    fn under_declared_read_is_flagged() {
+        // Same as GOOD, but apply() also reads dst without declaring it.
+        let bad = GOOD.replace(
+            "let v = reader.read(*src)?;",
+            "let v = reader.read(*src)?;\n                let w = reader.read(*dst)?;",
+        );
+        let f = SourceFile::parse("crates/ops/src/body.rs", &bad);
+        let diags = check(&[f], &Config::workspace());
+        assert_eq!(diags.len(), 1, "diags: {diags:#?}");
+        let d = diags.first().expect("one diagnostic");
+        assert_eq!(d.rule, RULE);
+        assert!(d.msg.contains("`Move` reads `dst`"), "msg: {}", d.msg);
+    }
+
+    #[test]
+    fn selector_forwarding_resolves_target() {
+        let src = r#"
+pub enum P {
+    Set { target: PageId, bytes: u64 },
+}
+impl P {
+    pub fn target(&self) -> PageId {
+        match *self {
+            P::Set { target, .. } => target,
+        }
+    }
+}
+pub enum Body {
+    Phys(P),
+}
+impl Body {
+    pub fn readset(&self) -> Vec<PageId> {
+        match self {
+            Body::Phys(p) => vec![p.target()],
+        }
+    }
+    pub fn writeset(&self) -> Vec<PageId> {
+        match self {
+            Body::Phys(p) => vec![p.target()],
+        }
+    }
+}
+pub fn apply_p(p: &P, reader: &mut dyn PageReader) -> Out {
+    match p {
+        P::Set { target, bytes } => {
+            let cur = reader.read(*target)?;
+            Ok(vec![(*target, mix(cur, *bytes))])
+        }
+    }
+}
+"#;
+        let f = SourceFile::parse("crates/ops/src/body.rs", src);
+        let diags = check(&[f], &Config::workspace());
+        assert!(diags.is_empty(), "diags: {diags:#?}");
+    }
+
+    #[test]
+    fn allow_directive_silences() {
+        let bad = GOOD.replace(
+            "Op::Move { src, .. } => vec![*src],",
+            "// lint:allow(effect-sets) intentional for this test\n            Op::Move { .. } => vec![],",
+        );
+        let f = SourceFile::parse("crates/ops/src/body.rs", &bad);
+        let diags = check(&[f], &Config::workspace());
+        assert!(diags.is_empty(), "diags: {diags:#?}");
+    }
+}

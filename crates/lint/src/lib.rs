@@ -1,6 +1,6 @@
 //! `lob-lint`: the workspace invariant checker.
 //!
-//! Four passes over a hand-rolled token scan of `crates/*/src` (see
+//! Five passes over a hand-rolled token scan of `crates/*/src` (see
 //! [`lexer`]), each enforcing an invariant the compiler cannot see:
 //!
 //! - [`panic_free`] — no unannotated `unwrap`/`expect`/`panic!` family in
@@ -9,13 +9,17 @@
 //! - [`determinism`] — replay paths (`lob-harness`, `lob-recovery`) use no
 //!   wall clocks, entropy, or iteration-order-unstable collections;
 //! - [`fault_hook`] — every write-side I/O site consults the `FaultHook`,
-//!   diffed against the declared-site registry in [`fault_hook::REGISTRY`].
+//!   diffed against the declared-site registry in [`fault_hook::REGISTRY`];
+//! - [`effect_sets`] — each `OpBody` variant's declared `readset()` /
+//!   `writeset()` agrees with the pages its `apply()` actually reads
+//!   through `PageReader` and returns as writes.
 //!
 //! The whole analyzer runs as `cargo test -p lob-lint` (tier-1) and as a
 //! dedicated CI job. Violations are justified in place with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory.
 
 pub mod determinism;
+pub mod effect_sets;
 pub mod fault_hook;
 pub mod lexer;
 pub mod lock_order;
@@ -28,8 +32,8 @@ use std::path::{Path, PathBuf};
 /// One finding: rule id, location, and message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id: `panic`, `lock-order`, `nondet`, `fault-hook`, or
-    /// `annotation`.
+    /// Rule id: `panic`, `lock-order`, `nondet`, `fault-hook`,
+    /// `effect-sets`, or `annotation`.
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -142,5 +146,6 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
     out.extend(lock_order::check(files, &lock_order::Config::workspace()));
     out.extend(determinism::check(files, &determinism::Config::workspace()));
     out.extend(fault_hook::check(files, &fault_hook::Config::workspace()));
+    out.extend(effect_sets::check(files, &effect_sets::Config::workspace()));
     out
 }

@@ -1,6 +1,6 @@
 //! Pass 2: lock-order.
 //!
-//! For a fixed set of lock-heavy files, discover every `Mutex`/`RwLock`
+//! Across every workspace source file, discover every `Mutex`/`RwLock`
 //! field, extract the acquisition sequence of each function (lexically —
 //! every `.field.lock()/.read()/.write()` on a known field plus a small
 //! alias table for guards obtained through helper methods), and build the
@@ -40,23 +40,20 @@ pub struct Alias {
 
 /// Scope + aliases for the pass.
 pub struct Config {
-    /// Path suffixes of the files to scan.
+    /// Path suffixes of the files to scan. Empty means *every* file —
+    /// lock fields are discovered, not hand-listed, so a new `Mutex` in
+    /// any crate joins the graph the moment it is written.
     pub scope: Vec<String>,
     /// Helper-call aliases.
     pub aliases: Vec<Alias>,
 }
 
 impl Config {
-    /// The workspace's lock-heavy files and known guard helpers.
+    /// Scan the whole workspace (empty scope) with the known guard
+    /// helpers aliased.
     pub fn workspace() -> Config {
         Config {
-            scope: vec![
-                "backup/src/coordinator.rs".into(),
-                "backup/src/tracker.rs".into(),
-                "core/src/engine.rs".into(),
-                "pagestore/src/store.rs".into(),
-                "harness/src/fault.rs".into(),
-            ],
+            scope: vec![],
             aliases: vec![
                 // Tracker latches are handed out through helpers.
                 Alias {
@@ -106,6 +103,54 @@ impl Config {
                     method: "consult_fault",
                     lock: "backup/coordinator.hook",
                 },
+                // Tracker cursor movement acquires the state latch in
+                // exclusive mode inside the helper; surface it at the
+                // call sites the workspace-wide scope now reaches
+                // (`BackupRun` begin/advance/finish, coordinator reset).
+                Alias {
+                    file_contains: "",
+                    recv: "tracker",
+                    method: "begin",
+                    lock: "backup/tracker.state",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "tracker",
+                    method: "advance",
+                    lock: "backup/tracker.state",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "tracker",
+                    method: "finish",
+                    lock: "backup/tracker.state",
+                },
+                // The changed-page set is locked inside every coordinator
+                // helper that touches it.
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "note_flushed",
+                    lock: "backup/coordinator.changed",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "take_changed",
+                    lock: "backup/coordinator.changed",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "restore_changed",
+                    lock: "backup/coordinator.changed",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "changed_count",
+                    lock: "backup/coordinator.changed",
+                },
             ],
         }
     }
@@ -133,7 +178,7 @@ pub struct Edge {
 pub fn build_graph(files: &[SourceFile], cfg: &Config) -> Vec<Edge> {
     let mut edges: BTreeMap<(String, String), (String, String, usize)> = BTreeMap::new();
     for f in files {
-        if !cfg.scope.iter().any(|s| f.path.ends_with(s.as_str())) {
+        if !cfg.scope.is_empty() && !cfg.scope.iter().any(|s| f.path.ends_with(s.as_str())) {
             continue;
         }
         let fields = lock_fields(f);

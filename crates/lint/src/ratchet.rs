@@ -67,14 +67,16 @@ pub fn check(root: &Path, counts: &[FileCounts]) -> Vec<Diagnostic> {
     let baseline = match std::fs::read_to_string(&path) {
         Ok(t) => parse(&t),
         Err(_) if update => BTreeMap::new(),
-        Err(e) => return vec![Diagnostic::new(
-            "panic",
-            RATCHET_PATH,
-            0,
-            format!(
+        Err(e) => {
+            return vec![Diagnostic::new(
+                "panic",
+                RATCHET_PATH,
+                0,
+                format!(
                 "cannot read ratchet file: {e} — run with LOB_LINT_UPDATE_RATCHET=1 to create it"
             ),
-        )],
+            )]
+        }
     };
 
     let mut out = Vec::new();

@@ -4,7 +4,7 @@
 //! with a usable file:line message.
 
 use lob_lint::lexer::SourceFile;
-use lob_lint::{determinism, fault_hook, lock_order, panic_free, Diagnostic};
+use lob_lint::{determinism, effect_sets, fault_hook, lock_order, panic_free, Diagnostic};
 
 /// Load a fixture file under a virtual workspace-relative path.
 fn fixture(virtual_path: &str, file: &str) -> SourceFile {
@@ -145,6 +145,44 @@ fn bad_fault_fixture_yields_exact_diagnostics() {
     );
     assert!(diags[0].msg.contains("write_all"), "msg: {}", diags[0].msg);
     assert!(diags[1].msg.contains("IoEvent::PageWrite"));
+}
+
+#[test]
+fn effect_under_read_fixture_yields_exact_diagnostics() {
+    // The fixture's apply() reads `dst`; its readset() declares only
+    // `src`. The diagnostic pins to the readset arm that should have
+    // declared the read. Scope keys on the path, so the fixture is
+    // parsed under the real body.rs virtual path.
+    let f = fixture("crates/ops/src/body.rs", "effect_under_read.rs");
+    let diags = effect_sets::check(&[f], &effect_sets::Config::workspace());
+    assert_eq!(
+        locs(&diags),
+        vec![("crates/ops/src/body.rs".to_string(), 9, "effect-sets")],
+        "diags: {diags:#?}"
+    );
+    assert!(
+        diags[0].msg.contains("`Move` reads `dst`"),
+        "msg: {}",
+        diags[0].msg
+    );
+}
+
+#[test]
+fn effect_over_write_fixture_yields_exact_diagnostics() {
+    // The fixture's writeset() declares `aux`; apply() never writes it.
+    // The diagnostic pins to the over-broad writeset arm.
+    let f = fixture("crates/ops/src/body.rs", "effect_over_write.rs");
+    let diags = effect_sets::check(&[f], &effect_sets::Config::workspace());
+    assert_eq!(
+        locs(&diags),
+        vec![("crates/ops/src/body.rs".to_string(), 14, "effect-sets")],
+        "diags: {diags:#?}"
+    );
+    assert!(
+        diags[0].msg.contains("declares `aux` for `Stamp`"),
+        "msg: {}",
+        diags[0].msg
+    );
 }
 
 #[test]

@@ -1,0 +1,25 @@
+// Fixture: writeset() declares `aux` but apply() never writes it. Lines
+// matter — the test asserts exact (file, line, rule) diagnostics.
+pub enum Op {
+    Stamp { dst: PageId, aux: PageId },
+}
+impl Op {
+    pub fn readset(&self) -> Vec<PageId> {
+        match self {
+            Op::Stamp { dst, .. } => vec![*dst],
+        }
+    }
+    pub fn writeset(&self) -> Vec<PageId> {
+        match self {
+            Op::Stamp { dst, aux } => vec![*dst, *aux],
+        }
+    }
+    pub fn apply(&self, reader: &mut dyn PageReader) -> Out {
+        match self {
+            Op::Stamp { dst, .. } => {
+                let cur = reader.read(*dst)?;
+                Ok(vec![(*dst, stamp(cur))])
+            }
+        }
+    }
+}

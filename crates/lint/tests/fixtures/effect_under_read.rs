@@ -1,0 +1,26 @@
+// Fixture: apply() reads `dst` but readset() omits it. Lines matter —
+// the test asserts exact (file, line, rule) diagnostics.
+pub enum Op {
+    Move { src: PageId, dst: PageId },
+}
+impl Op {
+    pub fn readset(&self) -> Vec<PageId> {
+        match self {
+            Op::Move { src, .. } => vec![*src],
+        }
+    }
+    pub fn writeset(&self) -> Vec<PageId> {
+        match self {
+            Op::Move { dst, .. } => vec![*dst],
+        }
+    }
+    pub fn apply(&self, reader: &mut dyn PageReader) -> Out {
+        match self {
+            Op::Move { src, dst } => {
+                let old = reader.read(*src)?;
+                let cur = reader.read(*dst)?;
+                Ok(vec![(*dst, merge(old, cur))])
+            }
+        }
+    }
+}

@@ -1,9 +1,9 @@
-//! The tier-1 enforcement test: run all four passes over the real
+//! The tier-1 enforcement test: run all five passes over the real
 //! workspace sources and fail on any unjustified violation.
 
 use lob_lint::{
-    determinism, fault_hook, lexer::SourceFile, load_workspace_sources, lock_order, panic_free,
-    ratchet, workspace_root, Diagnostic,
+    determinism, effect_sets, fault_hook, lexer::SourceFile, load_workspace_sources, lock_order,
+    panic_free, ratchet, workspace_root, Diagnostic,
 };
 
 fn sources() -> Vec<SourceFile> {
@@ -51,6 +51,19 @@ fn lock_order_graph_is_acyclic() {
             .map(|e| format!("{} -> {}", e.from, e.to))
             .collect::<Vec<_>>()
     );
+    // And the workspace-wide scope must see beyond the historical
+    // hand-listed files: `BackupRun::step` consults the coordinator hook
+    // and then moves the tracker cursor, both through helpers.
+    assert!(
+        edges.iter().any(|e| e.from == "backup/coordinator.hook"
+            && e.to == "backup/tracker.state"
+            && e.witness.0.ends_with("backup/src/run.rs")),
+        "expected coordinator.hook -> tracker.state edge witnessed in run.rs; graph: {:?}",
+        edges
+            .iter()
+            .map(|e| format!("{} -> {} ({})", e.from, e.to, e.witness.0))
+            .collect::<Vec<_>>()
+    );
     assert_clean("lock-order", lock_order::check(&files, &cfg));
 }
 
@@ -67,6 +80,40 @@ fn fault_hook_coverage_matches_registry() {
     let files = sources();
     let cfg = fault_hook::Config::workspace();
     assert_clean("fault-hook", fault_hook::check(&files, &cfg));
+}
+
+#[test]
+fn effect_set_declarations_match_apply() {
+    let files = sources();
+    let cfg = effect_sets::Config::workspace();
+    assert_clean("effect-sets", effect_sets::check(&files, &cfg));
+}
+
+#[test]
+fn effect_sets_pass_bites_on_the_real_body() {
+    // Sanity against silent no-ops: strip one read declaration from the
+    // real ops/body.rs in memory and the pass must object. If the lexical
+    // scan ever stops recognizing the file's shape, this fails before a
+    // real under-declaration could slip through.
+    let root = workspace_root();
+    let path = root.join("crates/ops/src/body.rs");
+    let text = std::fs::read_to_string(&path).expect("body.rs readable");
+    let broken = text.replace(
+        "LogicalOp::MergeRec { src, dst } => vec![*src, *dst],",
+        "LogicalOp::MergeRec { dst, .. } => vec![*dst],",
+    );
+    assert_ne!(
+        broken, text,
+        "MergeRec readset arm not found — update this test"
+    );
+    let f = SourceFile::parse("crates/ops/src/body.rs", &broken);
+    let diags = effect_sets::check(&[f], &effect_sets::Config::workspace());
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "effect-sets" && d.msg.contains("`MergeRec` reads `src`")),
+        "under-declared MergeRec read not caught; diags: {diags:#?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,110 @@
+//! `model-check`: run the bounded exhaustive protocol checker.
+//!
+//! Exit status is the verdict, so CI can gate on it directly:
+//!
+//! - exit 0: with coordination **disabled** the explorer rediscovered the
+//!   paper's Figure 1 counterexample (falsifiability), and with
+//!   coordination **enforced** it exhausted the bounded space with zero
+//!   counterexamples and a state count at or above the committed floor.
+//! - exit 1: any of the three checks failed.
+//!
+//! Flags: `--enforced-only` / `--disabled-only` run one half;
+//! `--floor N` overrides the committed state floor (0 disables).
+
+use std::process::ExitCode;
+
+use lob_model::{Action, Coordination, Explorer, Scenario, FIGURE1_STATE_FLOOR};
+
+fn main() -> ExitCode {
+    let mut run_enforced = true;
+    let mut run_disabled = true;
+    let mut floor = FIGURE1_STATE_FLOOR;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--enforced-only" => run_disabled = false,
+            "--disabled-only" => run_enforced = false,
+            "--floor" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("--floor requires a number");
+                    return ExitCode::FAILURE;
+                };
+                floor = v;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut ok = true;
+
+    if run_disabled {
+        println!("== coordination DISABLED (NaiveFuzzy): expecting the Figure 1 counterexample ==");
+        match Explorer::new(Scenario::figure1(), Coordination::Disabled).run() {
+            Ok(report) => {
+                println!("{report}");
+                match report.counterexamples.first() {
+                    Some(ce) => {
+                        let media = ce.probe == lob_model::Probe::MediaRecovery;
+                        let has_flush = ce.trace.iter().any(|a| matches!(a, Action::Flush(_)));
+                        if media && has_flush {
+                            println!(
+                                "OK: minimal media-recovery counterexample of {} steps",
+                                ce.trace.len()
+                            );
+                        } else {
+                            eprintln!("FAIL: counterexample does not match Figure 1 shape");
+                            ok = false;
+                        }
+                    }
+                    None => {
+                        eprintln!(
+                            "FAIL: no counterexample found — the checker lost its ability \
+                             to detect the uncoordinated-backup bug"
+                        );
+                        ok = false;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                ok = false;
+            }
+        }
+        println!();
+    }
+
+    if run_enforced {
+        println!("== coordination ENFORCED (Protocol): expecting exhaustive pass ==");
+        match Explorer::new(Scenario::figure1(), Coordination::Enforced).run() {
+            Ok(report) => {
+                println!("{report}");
+                if !report.holds() {
+                    eprintln!("FAIL: counterexample under the enforced protocol");
+                    ok = false;
+                } else if floor > 0 && report.states < floor {
+                    eprintln!(
+                        "FAIL: explored {} states, below the committed floor {floor} — \
+                         the bounded space silently shrank",
+                        report.states
+                    );
+                    ok = false;
+                } else {
+                    println!("OK: {} states, no counterexamples", report.states);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                ok = false;
+            }
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,164 @@
+//! Miniature protocol instances for exhaustive exploration.
+
+use bytes::Bytes;
+use lob_core::{BackupPolicy, EngineConfig};
+use lob_ops::{LogicalOp, OpBody, PhysioOp};
+use lob_pagestore::PageId;
+
+/// Whether the engine runs the paper's backup coordination protocol.
+///
+/// This is the model's falsifiability switch. It maps onto the engine's
+/// [`BackupPolicy`]: `Enforced` is `BackupPolicy::Protocol` (identity
+/// writes decided under the backup latch, §3.5); `Disabled` is
+/// `BackupPolicy::NaiveFuzzy`, the conventional fuzzy dump with no
+/// flush/backup coordination. Crucially, `Disabled` leaves the write
+/// graph's flush ordering for `S` intact — crash recovery stays correct
+/// either way, and only the backup image `B` silently breaks. That is
+/// exactly the paper's point: the bug is invisible until media recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coordination {
+    /// Run the full §3.5 protocol (Iw/oF under the backup latch).
+    Enforced,
+    /// Uncoordinated fuzzy dump: the broken baseline of Figure 1.
+    Disabled,
+}
+
+impl Coordination {
+    /// The engine policy implementing this coordination mode.
+    pub fn policy(self) -> BackupPolicy {
+        match self {
+            Coordination::Enforced => BackupPolicy::Protocol,
+            Coordination::Disabled => BackupPolicy::NaiveFuzzy,
+        }
+    }
+}
+
+/// A bounded instance: a tiny store, a scripted op sequence, one sweep.
+///
+/// `setup` operations run (and are fully flushed) before exploration
+/// begins, so they are part of every schedule's common prefix; the
+/// explorer then interleaves `ops` with flushes, identity writes, backup
+/// steps, and log truncation.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Name for reports.
+    pub name: &'static str,
+    /// Pages in the single partition (the backup sweeps all of them).
+    pub pages: u32,
+    /// Page size in bytes.
+    pub page_size: usize,
+    /// Operations applied and flushed before the backup begins.
+    pub setup: Vec<OpBody>,
+    /// Operations the explorer interleaves, applied in this order.
+    pub ops: Vec<OpBody>,
+    /// Steps of the backup sweep (cursor advances per step).
+    pub backup_steps: u32,
+    /// Bound on explicit `W_IP` (install-without-flush) actions per trace.
+    /// Each one appends a fresh identity log record, so without a bound
+    /// the state space would be infinite; two per trace is enough to
+    /// cover every decision the scripted ops can force.
+    pub max_iwof: u32,
+}
+
+impl Scenario {
+    /// Engine configuration for this scenario under `coordination`.
+    pub fn config(&self, coordination: Coordination) -> EngineConfig {
+        let mut cfg = EngineConfig::single(self.pages, self.page_size);
+        cfg.policy = coordination.policy();
+        cfg
+    }
+
+    /// The paper's Figure 1 B-tree split: `MovRec(old, sep, new)` moves the
+    /// high records of `old` to the freshly allocated `new`, then
+    /// `RmvRec(old, sep)` deletes them from `old`.
+    ///
+    /// The backup sweeps pages in index order in two steps (pages 0–1,
+    /// then pages 2–3) and `new` (page 1) deliberately precedes `old`
+    /// (page 2) in backup order: the sweep can copy `new` before the split
+    /// and `old` after it, and media recovery then replays `MovRec`
+    /// against a post-split `old` whose high records are already gone.
+    pub fn figure1() -> Scenario {
+        let old = PageId::new(0, 2);
+        let new = PageId::new(0, 1);
+        let sep = Bytes::from_static(b"c");
+        let seed = [("a", "1"), ("c", "3"), ("e", "5"), ("g", "7")];
+        let setup = seed
+            .iter()
+            .map(|(k, v)| {
+                OpBody::Physio(PhysioOp::InsertRec {
+                    target: old,
+                    key: Bytes::copy_from_slice(k.as_bytes()),
+                    val: Bytes::copy_from_slice(v.as_bytes()),
+                })
+            })
+            .collect();
+        Scenario {
+            name: "figure1-split",
+            pages: 4,
+            page_size: 256,
+            setup,
+            ops: vec![
+                OpBody::Logical(LogicalOp::MovRec {
+                    old,
+                    sep: sep.clone(),
+                    new,
+                }),
+                OpBody::Physio(PhysioOp::RmvRec { target: old, sep }),
+            ],
+            backup_steps: 2,
+            max_iwof: 2,
+        }
+    }
+
+    /// A small general-discipline chain: a blind `Copy` feeding a second
+    /// `Copy`, exercising the refined graph's steal semantics without the
+    /// record-page machinery. Used by fast unit tests.
+    pub fn copy_chain() -> Scenario {
+        let a = PageId::new(0, 0);
+        let b = PageId::new(0, 1);
+        let c = PageId::new(0, 2);
+        Scenario {
+            name: "copy-chain",
+            pages: 3,
+            page_size: 128,
+            setup: vec![OpBody::PhysicalWrite {
+                target: a,
+                value: Bytes::from(vec![0xAB; 128]),
+            }],
+            ops: vec![
+                OpBody::Logical(LogicalOp::Copy { src: a, dst: b }),
+                OpBody::Logical(LogicalOp::Copy { src: b, dst: c }),
+            ],
+            backup_steps: 3,
+            max_iwof: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape_matches_the_paper() {
+        let s = Scenario::figure1();
+        assert!(s.pages <= 4 && s.ops.len() <= 3 && s.backup_steps >= 2);
+        let mov = s.ops.first().expect("MovRec present");
+        // new precedes old in backup (page-index) order — the Figure 1
+        // precondition `#new < #old`.
+        let new = mov.writeset();
+        let old = mov.readset();
+        assert!(
+            new.first() < old.first(),
+            "new must precede old in sweep order"
+        );
+    }
+
+    #[test]
+    fn coordination_maps_to_policy() {
+        assert_eq!(Coordination::Enforced.policy(), BackupPolicy::Protocol);
+        assert_eq!(Coordination::Disabled.policy(), BackupPolicy::NaiveFuzzy);
+        let cfg = Scenario::figure1().config(Coordination::Disabled);
+        assert_eq!(cfg.policy, BackupPolicy::NaiveFuzzy);
+    }
+}

@@ -168,7 +168,8 @@ impl WriteGraph {
             wal_floor: Lsn::NULL,
         };
         for m in &merge_with {
-            let old = self.detach(*m);
+            // Merge ids were drawn from `by_var`, so they are live.
+            let Some(old) = self.detach(*m) else { continue };
             node.ops.extend(old.ops);
             node.vars.extend(old.vars);
             node.writes.extend(old.writes);
@@ -208,13 +209,17 @@ impl WriteGraph {
                             .map(|rs| rs.iter().copied().collect())
                             .unwrap_or_default();
                         for r in readers {
-                            if r != holder && self.nodes.contains_key(&r) {
-                                // lint:allow(panic) `r` passed contains_key just above
-                                self.nodes.get_mut(&r).unwrap().succs.insert(holder);
-                                // lint:allow(panic) `holder` is a live node of this graph
-                                self.nodes.get_mut(&holder).unwrap().preds.insert(r);
-                                inverse_edges_added = true;
+                            if r == holder {
+                                continue;
                             }
+                            let Some(rn) = self.nodes.get_mut(&r) else {
+                                continue;
+                            };
+                            rn.succs.insert(holder);
+                            if let Some(hn) = self.nodes.get_mut(&holder) {
+                                hn.preds.insert(r);
+                            }
+                            inverse_edges_added = true;
                         }
                     }
                 }
@@ -276,9 +281,10 @@ impl WriteGraph {
     }
 
     /// Remove `m` from the graph entirely (for merging), returning its data.
-    fn detach(&mut self, m: NodeId) -> Node {
-        // lint:allow(panic) callers pass ids drawn from the live node set
-        let node = self.nodes.remove(&m).expect("detach of absent node");
+    /// `None` if the id is not live (callers draw ids from the live node
+    /// set, so they treat that as "nothing to do").
+    fn detach(&mut self, m: NodeId) -> Option<Node> {
+        let node = self.nodes.remove(&m)?;
         for v in &node.vars {
             self.by_var.remove(v);
         }
@@ -297,7 +303,7 @@ impl WriteGraph {
                 sn.preds.remove(&m);
             }
         }
-        node
+        Some(node)
     }
 
     /// Collapse every SCC of size > 1. Returns the surviving id of the node
@@ -309,11 +315,15 @@ impl WriteGraph {
             if scc.len() <= 1 {
                 continue;
             }
-            let keep = scc[0];
-            let rest: Vec<NodeId> = scc[1..].to_vec();
-            let mut merged = self.detach(keep);
+            let Some((&keep, rest)) = scc.split_first() else {
+                continue;
+            };
+            let rest = rest.to_vec();
+            let Some(mut merged) = self.detach(keep) else {
+                continue;
+            };
             for m in &rest {
-                let old = self.detach(*m);
+                let Some(old) = self.detach(*m) else { continue };
                 merged.ops.extend(old.ops);
                 merged.vars.extend(old.vars);
                 merged.writes.extend(old.writes);
@@ -372,7 +382,11 @@ impl WriteGraph {
                 continue;
             }
             let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
-            let succs: Vec<NodeId> = self.nodes[&start].succs.iter().copied().collect();
+            let succs: Vec<NodeId> = self
+                .nodes
+                .get(&start)
+                .map(|n| n.succs.iter().copied().collect())
+                .unwrap_or_default();
             meta.insert(
                 start,
                 Meta {
@@ -387,8 +401,7 @@ impl WriteGraph {
 
             while let Some((v, succs, mut i)) = call.pop() {
                 let mut descended = false;
-                while i < succs.len() {
-                    let w = succs[i];
+                while let Some(&w) = succs.get(i) {
                     i += 1;
                     match meta.get(&w).copied() {
                         None => {
@@ -403,17 +416,20 @@ impl WriteGraph {
                             );
                             index += 1;
                             stack.push(w);
-                            let wsuccs: Vec<NodeId> =
-                                self.nodes[&w].succs.iter().copied().collect();
+                            let wsuccs: Vec<NodeId> = self
+                                .nodes
+                                .get(&w)
+                                .map(|n| n.succs.iter().copied().collect())
+                                .unwrap_or_default();
                             call.push((v, succs, i));
                             call.push((w, wsuccs, 0));
                             descended = true;
                             break;
                         }
                         Some(mw) if mw.on_stack => {
-                            // lint:allow(panic) `v` was given meta when it was pushed
-                            let lv = meta.get_mut(&v).unwrap();
-                            lv.lowlink = lv.lowlink.min(mw.index);
+                            if let Some(lv) = meta.get_mut(&v) {
+                                lv.lowlink = lv.lowlink.min(mw.index);
+                            }
                         }
                         Some(_) => {}
                     }
@@ -422,14 +438,17 @@ impl WriteGraph {
                     continue;
                 }
                 // v finished: pop SCC if root, propagate lowlink to parent.
-                let mv = meta[&v];
+                let Some(mv) = meta.get(&v).copied() else {
+                    continue; // v was given meta when it was pushed
+                };
                 if mv.lowlink == mv.index {
                     let mut scc = Vec::new();
-                    loop {
-                        // lint:allow(panic) Tarjan invariant: root `v` is still on the stack
-                        let w = stack.pop().unwrap();
-                        // lint:allow(panic) every stacked node has meta
-                        meta.get_mut(&w).unwrap().on_stack = false;
+                    // Tarjan invariant: root `v` is still on the stack, so
+                    // the pop loop terminates at it (or drains the stack).
+                    while let Some(w) = stack.pop() {
+                        if let Some(mw) = meta.get_mut(&w) {
+                            mw.on_stack = false;
+                        }
                         scc.push(w);
                         if w == v {
                             break;
@@ -438,10 +457,9 @@ impl WriteGraph {
                     out.push(scc);
                 }
                 if let Some((parent, _, _)) = call.last() {
-                    let low_v = meta[&v].lowlink;
-                    // lint:allow(panic) parents on the call stack were visited first
-                    let lp = meta.get_mut(parent).unwrap();
-                    lp.lowlink = lp.lowlink.min(low_v);
+                    if let Some(lp) = meta.get_mut(parent) {
+                        lp.lowlink = lp.lowlink.min(mv.lowlink);
+                    }
                 }
             }
         }
@@ -506,7 +524,10 @@ impl WriteGraph {
         let mut anc: BTreeSet<NodeId> = BTreeSet::new();
         let mut work = vec![id];
         while let Some(v) = work.pop() {
-            for &p in &self.nodes[&v].preds {
+            let Some(n) = self.nodes.get(&v) else {
+                continue;
+            };
+            for &p in &n.preds {
                 if anc.insert(p) {
                     work.push(p);
                 }
@@ -519,11 +540,10 @@ impl WriteGraph {
             .map(|v| {
                 (
                     *v,
-                    self.nodes[v]
-                        .preds
-                        .iter()
-                        .filter(|p| anc.contains(p))
-                        .count(),
+                    self.nodes
+                        .get(v)
+                        .map(|n| n.preds.iter().filter(|p| anc.contains(p)).count())
+                        .unwrap_or(0),
                 )
             })
             .collect();
@@ -535,9 +555,12 @@ impl WriteGraph {
         let mut plan = Vec::with_capacity(anc.len());
         while let Some(v) = ready.pop() {
             plan.push(v);
-            for &s in &self.nodes[&v].succs {
+            let Some(n) = self.nodes.get(&v) else {
+                continue;
+            };
+            for &s in &n.succs {
                 if let Some(d) = indeg.get_mut(&s) {
-                    *d -= 1;
+                    *d = d.saturating_sub(1);
                     if *d == 0 {
                         ready.push(s);
                     }
@@ -553,12 +576,14 @@ impl WriteGraph {
     /// still has predecessors — installing it would violate installation
     /// order. Returns the installed operations' LSNs.
     pub fn install_node(&mut self, id: NodeId) -> Result<Vec<Lsn>, WriteGraphError> {
-        match self.nodes.get(&id) {
-            None => return Err(WriteGraphError::NoSuchNode(id)),
-            Some(n) if !n.preds.is_empty() => return Err(WriteGraphError::HasPredecessors(id)),
-            Some(_) => {}
+        if let Some(n) = self.nodes.get(&id) {
+            if !n.preds.is_empty() {
+                return Err(WriteGraphError::HasPredecessors(id));
+            }
         }
-        let node = self.detach(id);
+        let Some(node) = self.detach(id) else {
+            return Err(WriteGraphError::NoSuchNode(id));
+        };
         self.installed_ops += node.ops.len() as u64;
         Ok(node.ops)
     }

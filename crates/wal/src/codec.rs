@@ -235,8 +235,10 @@ impl<'a> Cursor<'a> {
             return Err(CodecError::BadLength(len));
         }
         let len = len as usize;
-        self.need(len)?;
-        let out = Bytes::copy_from_slice(&self.buf[..len]);
+        let Some(head) = self.buf.get(..len) else {
+            return Err(CodecError::Truncated);
+        };
+        let out = Bytes::copy_from_slice(head);
         self.buf.advance(len);
         Ok(out)
     }

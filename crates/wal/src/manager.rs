@@ -177,7 +177,9 @@ impl LogManager {
                 }
                 _ => {}
             }
-            let (lsn, frame) = self.tail[persisted].clone();
+            let Some((lsn, frame)) = self.tail.get(persisted).cloned() else {
+                break; // persisted < n <= tail.len(), so this never fires
+            };
             if let Err(e) = self.store.append(lsn, frame) {
                 outcome = Err(if is_injected_crash_io_error(&e) {
                     LogError::InjectedCrash

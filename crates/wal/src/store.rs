@@ -63,11 +63,9 @@ impl MemLogStore {
     pub fn corrupt_frame(&mut self, nth: usize) -> Option<Lsn> {
         let (lsn, frame) = self.frames.get_mut(nth)?;
         let mut buf = frame.to_vec();
-        if buf.is_empty() {
-            buf.push(0xFF); // even an empty frame can rot
-        } else {
-            let pos = buf.len() / 2;
-            buf[pos] ^= 0x01;
+        match buf.get_mut(frame.len() / 2) {
+            Some(b) => *b ^= 0x01,
+            None => buf.push(0xFF), // even an empty frame can rot
         }
         *frame = Bytes::from(buf);
         Some(*lsn)
@@ -87,8 +85,8 @@ impl LogStore for MemLogStore {
         // Verify from the front: a corrupt interior frame ends the trusted
         // prefix — later frames are unreachable even if intact themselves.
         let mut out = Vec::new();
-        for (i, (lsn, frame)) in self.frames.iter().enumerate() {
-            if frame_checksum(*lsn, frame) != self.sums[i] {
+        for ((lsn, frame), sum) in self.frames.iter().zip(&self.sums) {
+            if frame_checksum(*lsn, frame) != *sum {
                 break;
             }
             if *lsn >= from {
@@ -109,6 +107,22 @@ impl LogStore for MemLogStore {
 
     fn durable_bytes(&self) -> u64 {
         self.bytes
+    }
+}
+
+/// Checked little-endian `u32` at `off`; `None` past the end.
+fn le_u32(buf: &[u8], off: usize) -> Option<u32> {
+    match buf.get(off..off.checked_add(4)?) {
+        Some(&[a, b, c, d]) => Some(u32::from_le_bytes([a, b, c, d])),
+        _ => None,
+    }
+}
+
+/// Checked little-endian `u64` at `off`; `None` past the end.
+fn le_u64(buf: &[u8], off: usize) -> Option<u64> {
+    match buf.get(off..off.checked_add(8)?) {
+        Some(&[a, b, c, d, e, f, g, h]) => Some(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => None,
     }
 }
 
@@ -190,27 +204,24 @@ impl LogStore for FileLogStore {
         file.read_to_end(&mut buf)?;
         let mut out = Vec::new();
         let mut off = 0usize;
-        while off + 20 <= buf.len() {
-            // lint:allow(panic) 4-byte slice inside the off+20 bound above
-            let len = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap()) as usize;
-            // lint:allow(panic) 8-byte slice inside the off+20 bound above
-            let ck = u64::from_le_bytes(buf[off + 4..off + 12].try_into().unwrap());
-            let lsn = Lsn(u64::from_le_bytes(
-                // lint:allow(panic) 8-byte slice inside the off+20 bound above
-                buf[off + 12..off + 20].try_into().unwrap(),
-            ));
+        // A torn header at the tail ends the scan.
+        while let (Some(len), Some(ck), Some(raw)) = (
+            le_u32(&buf, off),
+            le_u64(&buf, off + 4),
+            le_u64(&buf, off + 12),
+        ) {
+            let lsn = Lsn(raw);
             let body_start = off + 20;
-            if body_start + len > buf.len() {
+            let Some(frame) = buf.get(body_start..body_start + len as usize) else {
                 break; // torn tail
-            }
-            let frame = &buf[body_start..body_start + len];
+            };
             if frame_checksum(lsn, frame) != ck {
                 break; // corrupt tail
             }
             if lsn >= from && lsn >= self.low_water {
                 out.push((lsn, Bytes::copy_from_slice(frame)));
             }
-            off = body_start + len;
+            off = body_start + len as usize;
         }
         Ok(out)
     }

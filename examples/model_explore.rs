@@ -1,0 +1,28 @@
+//! Bounded exhaustive exploration of the Figure 1 split scenario.
+//!
+//! Runs the model checker both ways:
+//!
+//! ```text
+//! cargo run --release -p lob-model --example model_explore
+//! ```
+//!
+//! With coordination disabled (a conventional uncoordinated fuzzy dump)
+//! the explorer prints the minimal schedule under which media recovery
+//! from the backup image diverges from the oracle — the paper's Figure 1
+//! unrecoverability, rediscovered mechanically. With the §3.5 protocol
+//! enforced it exhausts the same bounded space and finds nothing.
+
+use lob_model::{Coordination, Explorer, Scenario};
+
+fn main() {
+    for coordination in [Coordination::Disabled, Coordination::Enforced] {
+        let explorer = Explorer::new(Scenario::figure1(), coordination);
+        match explorer.run() {
+            Ok(report) => println!("{report}\n"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
