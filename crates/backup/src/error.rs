@@ -22,6 +22,32 @@ pub enum BackupError {
         /// The offending backup's id.
         backup_id: u64,
     },
+    /// No backup with this id is registered in the generation catalog.
+    UnknownBackup(u64),
+    /// A page copy in a registered backup image no longer matches the
+    /// checksum recorded at registration: the backup medium has rotted.
+    /// Repair falls back to an older generation.
+    CorruptImage {
+        /// The generation holding the bad copy.
+        backup_id: u64,
+        /// The damaged page.
+        page: PageId,
+    },
+    /// A registered backup image holds no copy of the requested page.
+    MissingPage {
+        /// The generation missing the page.
+        backup_id: u64,
+        /// The absent page.
+        page: PageId,
+    },
+    /// A transient I/O error failed this image read attempt only; the
+    /// stored copy is intact and a retry may succeed.
+    TransientImage {
+        /// The generation being read.
+        backup_id: u64,
+        /// The page being fetched.
+        page: PageId,
+    },
     /// The fault hook simulated a process crash during a backup copy.
     InjectedCrash,
 }
@@ -36,6 +62,24 @@ impl fmt::Display for BackupError {
             BackupError::BadState(m) => write!(f, "backup run misused: {m}"),
             BackupError::IncompleteImage { backup_id } => {
                 write!(f, "backup {backup_id} is incomplete and cannot restore")
+            }
+            BackupError::UnknownBackup(id) => {
+                write!(f, "backup {id} is not registered in the generation catalog")
+            }
+            BackupError::CorruptImage { backup_id, page } => {
+                write!(
+                    f,
+                    "backup {backup_id}: checksum mismatch reading image copy of {page}"
+                )
+            }
+            BackupError::MissingPage { backup_id, page } => {
+                write!(f, "backup {backup_id} holds no copy of {page}")
+            }
+            BackupError::TransientImage { backup_id, page } => {
+                write!(
+                    f,
+                    "backup {backup_id}: transient I/O error reading image copy of {page}"
+                )
             }
             BackupError::InjectedCrash => {
                 write!(f, "injected crash during backup copy (fault hook)")

@@ -33,12 +33,17 @@
 //! * [`image::BackupImage`] — the backup `B` plus its media-recovery
 //!   metadata (`start_lsn`, completeness), with full and incremental
 //!   restore.
+//! * [`catalog::BackupCatalog`] — the generation catalog online repair
+//!   draws from: registered images newest-last with per-page checksums,
+//!   checksum-verified page fetches, and fallback across generations when
+//!   the newest copy has rotted.
 //!
 //! What this crate deliberately does **not** do: logging identity writes and
 //! flushing pages. Those belong to the engine (`lob-core`), which owns the
 //! log and the cache; the coordinator only *tells* it which objects need
 //! Iw/oF.
 
+pub mod catalog;
 pub mod coordinator;
 pub mod decide;
 pub mod error;
@@ -48,6 +53,7 @@ pub mod order;
 pub mod run;
 pub mod tracker;
 
+pub use catalog::BackupCatalog;
 pub use coordinator::{BackupCoordinator, CoordinatorStats, DomainId};
 pub use decide::{needs_iwof_general, needs_iwof_tree};
 pub use error::BackupError;

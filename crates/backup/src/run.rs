@@ -183,7 +183,14 @@ impl BackupRun {
                     // read we are about to issue errors out below.
                     store.fail_range(page_id.partition, page_id.index, page_id.index + 1)?;
                 }
-                FaultVerdict::Proceed | FaultVerdict::CorruptWrite => {}
+                FaultVerdict::Proceed
+                | FaultVerdict::CorruptWrite
+                | FaultVerdict::TornRead
+                | FaultVerdict::CorruptRead
+                | FaultVerdict::TransientRead => {
+                    // Read verdicts are injected at the store's own
+                    // read-page site, not at the copy event.
+                }
             }
             let page = store.read_page(page_id)?;
             self.image.put(page_id, page);

@@ -4,16 +4,32 @@ use crate::config::{BackupPolicy, Discipline, EngineConfig, LogBacking, Tracking
 use crate::error::EngineError;
 use crate::stats::EngineStats;
 use bytes::Bytes;
-use lob_backup::{BackupCoordinator, BackupImage, BackupRun, DomainId, RunConfig, SuccessorTable};
-use lob_cache::{CacheManager, CacheReader};
-use lob_ops::{OpBody, TreeForm};
-use lob_pagestore::{Lsn, Page, PageId, PageImage, PartitionId, StableStore, StoreConfig};
+use lob_backup::{
+    BackupCatalog, BackupCoordinator, BackupError, BackupImage, BackupRun, DomainId, RunConfig,
+    SuccessorTable,
+};
+use lob_cache::{CacheError, CacheManager, CacheReader};
+use lob_ops::{OpBody, OpError, TreeForm};
+use lob_pagestore::{
+    Lsn, Page, PageId, PageImage, PartitionId, StableStore, StoreConfig, StoreError,
+};
 use lob_recovery::redo::StoreRedoTarget;
+use lob_recovery::repair::{dependency_closure, replay_closure, BackoffSchedule, RepairReport};
 use lob_recovery::{redo_scan, NodeId, RedoOutcome, WriteGraph};
-use lob_wal::{FileLogStore, LogManager, RecordBody};
+use lob_wal::{FileLogStore, LogError, LogManager, RecordBody};
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
+
+/// Attempts per faultable read when the medium reports *transient* I/O
+/// errors: the first try plus three retries, spaced by the deterministic
+/// [`BackoffSchedule`] (virtual ticks — repair never consults a clock).
+const REPAIR_FETCH_ATTEMPTS: u32 = 4;
+
+/// Bound on heal-and-retry rounds for one engine-level read before the
+/// underlying error propagates to the caller (each round either retries a
+/// transient error or repairs one damaged page).
+const HEAL_ROUNDS: u32 = 6;
 
 /// The engine: executes logged operations against the cache, flushes in
 /// write-graph order with the paper's backup coordination, recovers from
@@ -43,6 +59,10 @@ pub struct Engine {
     /// Images of in-progress linked-flush backups (flushes mirror into
     /// them).
     linked_images: Vec<(u64, Arc<Mutex<PageImage>>)>,
+    /// Registered backup generations — the chain online repair draws from.
+    /// While it is empty, self-healing is disengaged and every read path
+    /// behaves exactly as it did before the repair subsystem existed.
+    catalog: Arc<BackupCatalog>,
     stats: EngineStats,
 }
 
@@ -102,6 +122,7 @@ impl Engine {
             retained: Vec::new(),
             taken_changed: Vec::new(),
             linked_images: Vec::new(),
+            catalog: Arc::new(BackupCatalog::new()),
             stats: EngineStats::default(),
             store,
             config,
@@ -215,8 +236,62 @@ impl Engine {
     }
 
     /// Current value of a page (read through the cache).
+    ///
+    /// With at least one backup generation registered in the
+    /// [`Engine::catalog`], a failed read *self-heals*: transient I/O
+    /// errors are retried under the deterministic backoff schedule, and
+    /// detected damage (checksum mismatch, single-page media failure, an
+    /// already-quarantined slot) triggers an online [`Engine::repair_page`]
+    /// before the read is retried. With an empty catalog the error
+    /// propagates untouched (quarantined slots as the typed
+    /// [`EngineError::Quarantined`]).
     pub fn read_page(&mut self, id: PageId) -> Result<Page, EngineError> {
-        Ok(self.cache.get(id, &self.store)?)
+        match self.cache.get(id, &self.store) {
+            Ok(p) => Ok(p),
+            Err(CacheError::Store(e)) if self.self_healing() => self.read_page_healing(id, e),
+            Err(e) => Err(lift_cache_err(e)),
+        }
+    }
+
+    /// Whether online repair is engaged (at least one generation
+    /// registered). While false, every read path behaves exactly as it did
+    /// before the repair subsystem existed.
+    fn self_healing(&self) -> bool {
+        !self.catalog.is_empty()
+    }
+
+    /// Heal-and-retry loop behind [`Engine::read_page`]: classify the
+    /// store error, fix what is fixable, re-read. Bounded by
+    /// [`HEAL_ROUNDS`]; anything unfixable propagates typed.
+    fn read_page_healing(&mut self, id: PageId, first: StoreError) -> Result<Page, EngineError> {
+        let backoff = self.repair_backoff(id);
+        let mut err = first;
+        let mut transient_attempts = 0u32;
+        for _ in 0..HEAL_ROUNDS {
+            match err {
+                StoreError::Transient(p) => {
+                    transient_attempts += 1;
+                    if transient_attempts >= backoff.max_attempts {
+                        return Err(EngineError::Store(StoreError::Transient(p)));
+                    }
+                    // Virtual wait: the delay is accounted, never slept.
+                    let _ticks = backoff.delay_ticks(transient_attempts - 1);
+                    self.stats.transient_retries += 1;
+                }
+                StoreError::Corrupt(p)
+                | StoreError::MediaFailure(p)
+                | StoreError::Quarantined(p) => {
+                    self.repair_page(p)?;
+                }
+                e => return Err(lift_store_err(e)),
+            }
+            match self.cache.get(id, &self.store) {
+                Ok(p) => return Ok(p),
+                Err(CacheError::Store(e)) => err = e,
+                Err(e) => return Err(lift_cache_err(e)),
+            }
+        }
+        Err(lift_store_err(err))
     }
 
     fn check_discipline(&mut self, body: &OpBody) -> Result<(), EngineError> {
@@ -278,7 +353,80 @@ impl Engine {
     /// Execute a logged operation: evaluate it against the cache, append
     /// its log record, install the results in the cache (dirty), and update
     /// the write graph and successor metadata. Returns the record's LSN.
+    ///
+    /// With a non-empty backup-generation catalog, a read-set page whose
+    /// fetch fails with detectable damage is repaired online and the
+    /// evaluation retried (evaluation precedes the log append, so a retry
+    /// never double-logs). Transient read errors retry the same way. The
+    /// engine never aborts an operation over a repairable page.
     pub fn execute(&mut self, body: OpBody) -> Result<Lsn, EngineError> {
+        if !self.self_healing() {
+            return self.execute_once(body);
+        }
+        let mut rounds = 0u32;
+        loop {
+            match self.execute_once(body.clone()) {
+                Err(EngineError::Op(OpError::ReadFailed { page, cause }))
+                    if rounds < HEAL_ROUNDS =>
+                {
+                    rounds += 1;
+                    self.heal_readset_page(page, cause)?;
+                }
+                // A store-level read failure that surfaced outside operation
+                // evaluation (e.g. the tree discipline's pageLSN probe of a
+                // write-new target) heals the same way.
+                Err(EngineError::Cache(CacheError::Store(e)))
+                    if rounds < HEAL_ROUNDS && is_healable_read_err(&e) =>
+                {
+                    rounds += 1;
+                    self.heal_store_err(e)?;
+                }
+                r => return r,
+            }
+        }
+    }
+
+    /// Heal one classified store read error: transient errors count a
+    /// retry, detected damage repairs from the backup chain.
+    fn heal_store_err(&mut self, e: StoreError) -> Result<(), EngineError> {
+        match e {
+            StoreError::Transient(_) => {
+                self.stats.transient_retries += 1;
+                Ok(())
+            }
+            StoreError::Corrupt(p) | StoreError::MediaFailure(p) | StoreError::Quarantined(p) => {
+                self.repair_page(p)?;
+                Ok(())
+            }
+            e => Err(lift_store_err(e)),
+        }
+    }
+
+    /// Classify a failed read-set page by probing `S` directly (typed
+    /// errors, no string matching) and heal: transient errors count a
+    /// retry, detected damage repairs from the backup chain, and anything
+    /// else surfaces the original evaluation failure.
+    fn heal_readset_page(&mut self, page: PageId, cause: String) -> Result<(), EngineError> {
+        match self.store.read_page(page) {
+            // Readable now (the failure was transient, or the evaluation
+            // read raced a fault the probe did not draw): just retry.
+            Ok(_) => Ok(()),
+            Err(StoreError::Transient(_)) => {
+                self.stats.transient_retries += 1;
+                Ok(())
+            }
+            Err(StoreError::Corrupt(p))
+            | Err(StoreError::MediaFailure(p))
+            | Err(StoreError::Quarantined(p)) => {
+                self.repair_page(p)?;
+                Ok(())
+            }
+            Err(StoreError::InjectedCrash) => Err(EngineError::Store(StoreError::InjectedCrash)),
+            Err(_) => Err(EngineError::Op(OpError::ReadFailed { page, cause })),
+        }
+    }
+
+    fn execute_once(&mut self, body: OpBody) -> Result<Lsn, EngineError> {
         body.validate()?;
         self.check_discipline(&body)?;
         // Evaluate first (no state change on failure).
@@ -515,7 +663,8 @@ impl Engine {
         self.store.set_fault_hook(hook.clone());
         self.log.set_fault_hook(hook.clone());
         self.cache.set_fault_hook(hook.clone());
-        self.coordinator.set_fault_hook(hook);
+        self.coordinator.set_fault_hook(hook.clone());
+        self.catalog.set_fault_hook(hook);
     }
 
     /// Crash: all volatile state (cache, write graph, successor table, the
@@ -644,7 +793,37 @@ impl Engine {
     /// Between calls, the engine is free to execute and flush — that is the
     /// "on-line" in on-line backup.
     pub fn backup_step(&mut self, run: &mut BackupRun) -> Result<bool, EngineError> {
-        Ok(run.step(&self.coordinator, &self.store)?)
+        if !self.self_healing() {
+            return Ok(run.step(&self.coordinator, &self.store)?);
+        }
+        // A sweep copy read can hit detectable damage just like any other
+        // read. A failed step leaves the cursor and tracker untouched, so
+        // repair-and-retry is safe: already-copied pages are re-put with
+        // identical bytes.
+        let mut rounds = 0u32;
+        let mut transient_attempts = 0u32;
+        loop {
+            match run.step(&self.coordinator, &self.store) {
+                Err(BackupError::Store(StoreError::Transient(p))) => {
+                    let backoff = self.repair_backoff(p);
+                    transient_attempts += 1;
+                    if transient_attempts >= backoff.max_attempts {
+                        return Err(EngineError::Store(StoreError::Transient(p)));
+                    }
+                    let _ticks = backoff.delay_ticks(transient_attempts - 1);
+                    self.stats.transient_retries += 1;
+                }
+                Err(BackupError::Store(
+                    StoreError::Corrupt(p)
+                    | StoreError::MediaFailure(p)
+                    | StoreError::Quarantined(p),
+                )) if rounds < HEAL_ROUNDS => {
+                    rounds += 1;
+                    self.repair_page(p)?;
+                }
+                r => return Ok(r?),
+            }
+        }
     }
 
     /// Complete a finished backup run: logs `BackupEnd` and returns the
@@ -1001,6 +1180,264 @@ impl Engine {
         self.stats.media_recoveries += 1;
         self.reseed_allocator()?;
         Ok(outcome)
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing media recovery (online repair from the backup chain)
+    // ------------------------------------------------------------------
+
+    /// The backup-generation catalog (shared with repair drills). Empty
+    /// catalog = self-healing disengaged.
+    pub fn catalog(&self) -> &Arc<BackupCatalog> {
+        &self.catalog
+    }
+
+    /// Register a completed backup image as the newest repair generation.
+    /// From this point on, reads self-heal (see [`Engine::read_page`]).
+    pub fn register_backup_generation(&mut self, image: BackupImage) -> Result<(), EngineError> {
+        Ok(self.catalog.register(image)?)
+    }
+
+    /// Retire a generation from the repair catalog, returning its image.
+    pub fn retire_backup_generation(&mut self, backup_id: u64) -> Result<BackupImage, EngineError> {
+        Ok(self.catalog.retire(backup_id)?)
+    }
+
+    /// Pages currently held out of service awaiting repair.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        self.store.quarantined_pages()
+    }
+
+    /// The deterministic backoff schedule for reads involving `id`: seeded
+    /// from the page identity, so drills replay identically and distinct
+    /// pages jitter differently. Never consults a clock.
+    fn repair_backoff(&self, id: PageId) -> BackoffSchedule {
+        let seed = 0x10B_5EED ^ (u64::from(id.partition.0) << 32) ^ u64::from(id.index);
+        BackoffSchedule::new(seed, REPAIR_FETCH_ATTEMPTS)
+    }
+
+    /// Repair one damaged page online, while every other page keeps
+    /// serving.
+    ///
+    /// The page is quarantined first (no reader may see the bad bytes
+    /// while repair runs; the scrub evidence, if any, is captured before
+    /// that). Then:
+    ///
+    /// * If the cache holds a **dirty** copy, that copy is newer than
+    ///   anything any backup holds — the normal write-graph-ordered flush
+    ///   installs it, and the full overwrite heals the slot.
+    /// * Otherwise the page's current value is regenerated from the backup
+    ///   chain: for each generation, newest first, compute the
+    ///   **dependency closure** of the page over the generation's log
+    ///   suffix, fetch backup-vintage copies of the whole closure
+    ///   (checksum-verified; transient errors retried under the
+    ///   deterministic backoff), replay the closure-filtered suffix into a
+    ///   **scratch** target, and install only the regenerated target page.
+    ///   Replaying into a scratch — never `S` itself — keeps repair atomic
+    ///   with respect to a concurrently running backup sweep: no
+    ///   rolled-back intermediate state ever exists in `S`. A corrupt,
+    ///   missing, or log-truncated generation fails over to the next older
+    ///   one.
+    ///
+    /// The log is forced first, so every record the closure replay uses —
+    /// and therefore every value repair installs into `S` — is durable
+    /// (WAL holds). Since a clean page's logged writers are all installed,
+    /// the replay regenerates exactly the value `S` held before the
+    /// damage: repair never moves `S` ahead of the write-graph order.
+    ///
+    /// If every generation is exhausted the page *stays quarantined* and
+    /// the typed [`EngineError::Unrepairable`] is returned; other pages
+    /// and partitions keep serving.
+    pub fn repair_page(&mut self, id: PageId) -> Result<RepairReport, EngineError> {
+        // Scrub evidence first — verify_page consults no fault event and
+        // skips quarantined slots, so capture it before quarantining.
+        let corruption = self.store.verify_page(id)?;
+        self.store.quarantine_page(id)?;
+        self.stats.quarantines += 1;
+
+        if self.cache.is_dirty(id) {
+            // The cache holds the newest value; flush it through the
+            // normal path (ancestors first, WAL-checked). Generation 0 in
+            // the report means "healed from the resident dirty copy".
+            self.store.clear_page_failure(id)?;
+            self.flush_page(id)?;
+            self.stats.repairs += 1;
+            return Ok(RepairReport {
+                page: id,
+                closure: vec![id],
+                generation_used: 0,
+                generations_tried: Vec::new(),
+                start_lsn: Lsn::NULL,
+                records_replayed: 0,
+                retries: 0,
+                backoff_ticks: 0,
+                corruption,
+            });
+        }
+
+        self.log.force_all()?;
+        let backoff = self.repair_backoff(id);
+        let mut generations_tried = Vec::new();
+        let mut retries = 0u32;
+        let mut backoff_ticks = 0u64;
+        'generations: for backup_id in self.catalog.generations() {
+            generations_tried.push(backup_id);
+            let start_lsn = self.catalog.start_lsn(backup_id)?;
+            // The generation's media-recovery log suffix. A truncated
+            // suffix means the generation was released — fail over (older
+            // generations need even earlier records, but the uniform loop
+            // keeps the report honest about what was tried).
+            let records = {
+                let mut attempt = 0u32;
+                loop {
+                    match self.log.scan_from(start_lsn) {
+                        Ok(r) => break r,
+                        Err(LogError::Transient) => {
+                            attempt += 1;
+                            if attempt >= backoff.max_attempts {
+                                return Err(EngineError::Log(LogError::Transient));
+                            }
+                            backoff_ticks += backoff.delay_ticks(attempt - 1);
+                            retries += 1;
+                            self.stats.transient_retries += 1;
+                        }
+                        Err(LogError::Truncated { .. }) => {
+                            self.stats.repair_fallbacks += 1;
+                            continue 'generations;
+                        }
+                        Err(e) => return Err(EngineError::Log(e)),
+                    }
+                }
+            };
+            let targets: BTreeSet<PageId> = [id].into();
+            let closure = dependency_closure(&records, &targets);
+            // Backup-vintage copies of the whole closure, from this
+            // generation only (mixing generations would mix vintages).
+            let mut seed_pages: BTreeMap<PageId, Page> = BTreeMap::new();
+            for &p in &closure {
+                let mut attempt = 0u32;
+                loop {
+                    match self.catalog.fetch_page(backup_id, p) {
+                        Ok(page) => {
+                            seed_pages.insert(p, page);
+                            break;
+                        }
+                        Err(BackupError::TransientImage { .. }) => {
+                            attempt += 1;
+                            if attempt >= backoff.max_attempts {
+                                self.stats.repair_fallbacks += 1;
+                                continue 'generations;
+                            }
+                            backoff_ticks += backoff.delay_ticks(attempt - 1);
+                            retries += 1;
+                            self.stats.transient_retries += 1;
+                        }
+                        Err(BackupError::CorruptImage { .. })
+                        | Err(BackupError::MissingPage { .. }) => {
+                            self.stats.repair_fallbacks += 1;
+                            continue 'generations;
+                        }
+                        Err(e) => return Err(EngineError::Backup(e)),
+                    }
+                }
+            }
+            let (outcome, mut pages) = replay_closure(seed_pages, &records, &closure)?;
+            let repaired = pages.remove(&id).ok_or_else(|| {
+                EngineError::Internal(format!("repair replay lost target page {id}"))
+            })?;
+            // A resident clean copy is the last flushed state — exactly
+            // what the closure replay rebuilds. Disagreement is a bug.
+            if let Some(cached) = self.cache.peek(id) {
+                if cached.data() != repaired.data() {
+                    return Err(EngineError::Internal(format!(
+                        "repair of {id} disagrees with the clean cached copy"
+                    )));
+                }
+            }
+            // Install: clear a single-page failure marker (replacement
+            // sector), overwrite (the full write heals the quarantine),
+            // and verify the slot end-to-end — page_lsn re-checks failure,
+            // quarantine, and checksum without drawing a fault event.
+            self.store.clear_page_failure(id)?;
+            self.store.write_page(id, repaired.clone())?;
+            let lsn = self.store.page_lsn(id)?;
+            if lsn != repaired.lsn() {
+                return Err(EngineError::Internal(format!(
+                    "repaired page {id} reads back pageLSN {lsn}, expected {}",
+                    repaired.lsn()
+                )));
+            }
+            self.stats.repairs += 1;
+            return Ok(RepairReport {
+                page: id,
+                closure: closure.into_iter().collect(),
+                generation_used: backup_id,
+                generations_tried,
+                start_lsn,
+                records_replayed: outcome.replayed,
+                retries,
+                backoff_ticks,
+                corruption,
+            });
+        }
+        // Every generation exhausted: the page stays quarantined so no
+        // reader ever sees the damaged bytes. A future generation, a full
+        // overwrite, or media recovery can still bring it back.
+        Err(EngineError::Unrepairable(id))
+    }
+
+    /// Repair every damaged or quarantined page of one partition (scrub
+    /// plus quarantine set), one online repair each. Other partitions are
+    /// untouched — the partition is the paper's §6.3 recovery unit, and
+    /// this is its online analogue.
+    pub fn repair_partition(
+        &mut self,
+        partition: PartitionId,
+    ) -> Result<Vec<RepairReport>, EngineError> {
+        let scrub = self.store.verify_pages();
+        let mut targets: BTreeSet<PageId> = scrub
+            .pages()
+            .into_iter()
+            .filter(|p| p.partition == partition)
+            .collect();
+        targets.extend(
+            self.store
+                .quarantined_pages()
+                .into_iter()
+                .filter(|p| p.partition == partition),
+        );
+        let mut reports = Vec::with_capacity(targets.len());
+        for id in targets {
+            reports.push(self.repair_page(id)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// Whether a store error is one the self-healing read path can fix (retry
+/// or online repair) rather than a structural failure.
+fn is_healable_read_err(e: &StoreError) -> bool {
+    matches!(
+        e,
+        StoreError::Transient(_)
+            | StoreError::Corrupt(_)
+            | StoreError::MediaFailure(_)
+            | StoreError::Quarantined(_)
+    )
+}
+
+/// Surface quarantine as its typed engine error; everything else wraps.
+fn lift_store_err(e: StoreError) -> EngineError {
+    match e {
+        StoreError::Quarantined(p) => EngineError::Quarantined(p),
+        e => EngineError::Store(e),
+    }
+}
+
+fn lift_cache_err(e: CacheError) -> EngineError {
+    match e {
+        CacheError::Store(s) => lift_store_err(s),
+        e => EngineError::Cache(e),
     }
 }
 
@@ -1565,5 +2002,243 @@ mod tests {
             e.media_recover_partition(&img, PartitionId(0)),
             Err(EngineError::Discipline(_))
         ));
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing media recovery
+    // ------------------------------------------------------------------
+
+    use lob_pagestore::fault::{FaultVerdict, IoEvent};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    /// A hook drawing `verdict` on the first `PageRead` of `target` only.
+    fn once_read_hook(target: PageId, verdict: FaultVerdict) -> lob_pagestore::FaultHook {
+        let fired = AtomicBool::new(false);
+        Arc::new(move |ev, page| {
+            if ev == IoEvent::PageRead
+                && page == Some(target)
+                && !fired.swap(true, Ordering::Relaxed)
+            {
+                verdict
+            } else {
+                FaultVerdict::Proceed
+            }
+        })
+    }
+
+    /// An engine with 8 flushed pages and an offline backup registered as
+    /// the newest repair generation.
+    fn healing_engine() -> (Engine, u64) {
+        let mut e = engine();
+        for i in 0..8 {
+            e.execute(phys(i, i as u8 + 1)).unwrap();
+        }
+        let image = e.offline_backup().unwrap();
+        let gen = image.backup_id;
+        e.register_backup_generation(image).unwrap();
+        (e, gen)
+    }
+
+    #[test]
+    fn empty_catalog_leaves_read_errors_untouched() {
+        let mut e = engine();
+        e.execute(phys(0, 7)).unwrap();
+        e.flush_all().unwrap();
+        e.cache.evict(pid(0)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(0), FaultVerdict::CorruptRead)));
+        assert!(matches!(
+            e.read_page(pid(0)),
+            Err(EngineError::Store(lob_pagestore::StoreError::Corrupt(p))) if p == pid(0)
+        ));
+        e.install_fault_hook(None);
+        // And quarantine surfaces as its typed error, not a repair.
+        e.store().quarantine_page(pid(0)).unwrap();
+        e.cache.evict(pid(0)).unwrap();
+        assert!(matches!(
+            e.read_page(pid(0)),
+            Err(EngineError::Quarantined(p)) if p == pid(0)
+        ));
+    }
+
+    #[test]
+    fn corrupt_read_self_heals_from_the_backup_chain() {
+        let (mut e, gen) = healing_engine();
+        e.cache.evict(pid(3)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(3), FaultVerdict::CorruptRead)));
+        let page = e.read_page(pid(3)).unwrap();
+        assert_eq!(page.data()[0], 4, "healed read returns the current value");
+        assert_eq!(e.stats().repairs, 1);
+        assert_eq!(e.stats().quarantines, 1);
+        assert!(e.quarantined_pages().is_empty());
+        let _ = gen;
+        // The stored copy is verifiably intact again.
+        assert!(e.store().verify_pages().is_clean());
+    }
+
+    #[test]
+    fn transient_read_retries_without_repair() {
+        let (mut e, _) = healing_engine();
+        e.cache.evict(pid(2)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(2), FaultVerdict::TransientRead)));
+        let page = e.read_page(pid(2)).unwrap();
+        assert_eq!(page.data()[0], 3);
+        assert_eq!(e.stats().transient_retries, 1);
+        assert_eq!(e.stats().repairs, 0, "nothing was damaged");
+    }
+
+    #[test]
+    fn repair_page_rebuilds_logical_closure_value() {
+        let (mut e, gen) = healing_engine();
+        // Post-backup logical history: copy 0 → 9, then overwrite 0. The
+        // closure of 9 must pull in 0's *backup-vintage* copy, not current.
+        e.execute(copy(0, 9)).unwrap();
+        e.execute(phys(0, 0xEE)).unwrap();
+        e.flush_all().unwrap();
+        let want = e.read_page(pid(9)).unwrap().data().clone();
+        e.cache.evict(pid(9)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(9), FaultVerdict::TornRead)));
+        let healed = e.read_page(pid(9)).unwrap();
+        assert_eq!(healed.data(), &want);
+        assert_eq!(e.store().read_page(pid(9)).unwrap().data(), &want);
+        let _ = gen;
+    }
+
+    #[test]
+    fn repair_falls_back_to_an_older_good_generation() {
+        let mut e = engine();
+        for i in 0..8 {
+            e.execute(phys(i, 1)).unwrap();
+        }
+        let old = e.offline_backup().unwrap();
+        let old_id = old.backup_id;
+        e.register_backup_generation(old).unwrap();
+        e.execute(phys(1, 2)).unwrap();
+        let newer = e.offline_backup().unwrap();
+        let newer_id = newer.backup_id;
+        e.register_backup_generation(newer).unwrap();
+        // Rot the newest generation's copy of page 1; repair must detect
+        // the checksum mismatch and fall back to the older generation,
+        // replaying the longer suffix to the same final value.
+        e.catalog().tamper_page(newer_id, pid(1)).unwrap();
+        e.store().quarantine_page(pid(1)).unwrap();
+        let report = e.repair_page(pid(1)).unwrap();
+        assert_eq!(report.generation_used, old_id);
+        assert_eq!(report.generations_tried, vec![newer_id, old_id]);
+        assert_eq!(e.stats().repair_fallbacks, 1);
+        assert_eq!(e.store().read_page(pid(1)).unwrap().data()[0], 2);
+    }
+
+    #[test]
+    fn unrepairable_page_stays_quarantined_without_poisoning_others() {
+        let (mut e, gen) = healing_engine();
+        // Rot the only generation's copy of page 5: no good copy survives.
+        e.catalog().tamper_page(gen, pid(5)).unwrap();
+        e.cache.evict(pid(5)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(5), FaultVerdict::CorruptRead)));
+        assert!(matches!(
+            e.read_page(pid(5)),
+            Err(EngineError::Unrepairable(p)) if p == pid(5)
+        ));
+        e.install_fault_hook(None);
+        assert_eq!(e.quarantined_pages(), vec![pid(5)]);
+        // Every other page keeps serving.
+        assert_eq!(e.read_page(pid(4)).unwrap().data()[0], 5);
+        // A later full overwrite heals the slot.
+        e.execute(phys(5, 0x55)).unwrap();
+        e.flush_page(pid(5)).unwrap();
+        assert!(e.quarantined_pages().is_empty());
+        assert_eq!(e.read_page(pid(5)).unwrap().data()[0], 0x55);
+    }
+
+    #[test]
+    fn dirty_page_repairs_from_the_cache_not_the_chain() {
+        let (mut e, _) = healing_engine();
+        e.execute(phys(6, 0x66)).unwrap(); // dirty in cache
+        let report = e.repair_page(pid(6)).unwrap();
+        assert_eq!(report.generation_used, 0, "healed from the dirty copy");
+        assert!(e.quarantined_pages().is_empty());
+        assert_eq!(e.store().read_page(pid(6)).unwrap().data()[0], 0x66);
+    }
+
+    #[test]
+    fn execute_heals_damaged_readset_pages() {
+        let (mut e, _) = healing_engine();
+        // Bounded cache forces the evaluation to re-read page 0 from S.
+        e.cache.evict(pid(0)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(0), FaultVerdict::CorruptRead)));
+        let lsn = e.execute(copy(0, 10)).unwrap();
+        assert!(!lsn.is_null());
+        assert_eq!(e.read_page(pid(10)).unwrap().data()[0], 1);
+        assert_eq!(e.stats().repairs, 1);
+        assert_eq!(e.stats().ops_executed, 9, "8 setup writes + the copy");
+    }
+
+    #[test]
+    fn transient_image_reads_retry_under_backoff() {
+        let (mut e, _) = healing_engine();
+        // Image fetches fail transiently twice, then succeed.
+        let count = AtomicUsize::new(0);
+        e.install_fault_hook(Some(Arc::new(move |ev, _| {
+            if ev == IoEvent::ImageRead && count.fetch_add(1, Ordering::Relaxed) < 2 {
+                FaultVerdict::TransientRead
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        e.store().quarantine_page(pid(7)).unwrap();
+        let report = e.repair_page(pid(7)).unwrap();
+        assert_eq!(report.retries, 2);
+        assert!(report.backoff_ticks > 0);
+        assert_eq!(e.stats().transient_retries, 2);
+        assert_eq!(e.store().read_page(pid(7)).unwrap().data()[0], 8);
+    }
+
+    #[test]
+    fn repair_partition_scrubs_and_heals_everything() {
+        let (mut e, gen) = healing_engine();
+        e.store().quarantine_page(pid(1)).unwrap();
+        e.store().quarantine_page(pid(2)).unwrap();
+        let reports = e.repair_partition(PartitionId(0)).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.generation_used == gen));
+        assert!(e.quarantined_pages().is_empty());
+        assert_eq!(e.read_page(pid(1)).unwrap().data()[0], 2);
+        assert_eq!(e.read_page(pid(2)).unwrap().data()[0], 3);
+    }
+
+    #[test]
+    fn repair_during_active_backup_sweep_is_atomic() {
+        let (mut e, _) = healing_engine();
+        // Start an on-line sweep, advance it halfway…
+        let mut run = e.begin_backup(4).unwrap();
+        e.backup_step(&mut run).unwrap();
+        // …heal a page in the already-copied region mid-sweep…
+        e.cache.evict(pid(0)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(0), FaultVerdict::CorruptRead)));
+        assert_eq!(e.read_page(pid(0)).unwrap().data()[0], 1);
+        e.install_fault_hook(None);
+        assert!(e.quarantined_pages().is_empty());
+        // …and the sweep completes into a restorable image: repair never
+        // exposed an intermediate (backup-vintage) state to the sweep.
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+        assert!(e.audit_backup(&image).unwrap().is_empty());
+    }
+
+    #[test]
+    fn backup_sweep_copy_read_heals_online() {
+        let (mut e, _) = healing_engine();
+        // Damage surfaces under the sweep's own copy read of page 2: the
+        // step fails, the engine repairs the page, and the retried step
+        // (cursor untouched) re-copies identical bytes.
+        e.cache.evict(pid(2)).unwrap();
+        e.install_fault_hook(Some(once_read_hook(pid(2), FaultVerdict::CorruptRead)));
+        let mut run = e.begin_backup(2).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        e.install_fault_hook(None);
+        assert!(e.stats().repairs >= 1);
+        assert!(e.quarantined_pages().is_empty());
+        let image = e.complete_backup(run).unwrap();
+        assert!(e.audit_backup(&image).unwrap().is_empty());
     }
 }

@@ -27,6 +27,14 @@ pub enum EngineError {
     Redo(RedoError),
     /// The operation violates the configured discipline or tracking scheme.
     Discipline(String),
+    /// The page is quarantined — a bad read was detected and the page is out
+    /// of service awaiting online repair. Other pages keep serving.
+    Quarantined(lob_pagestore::PageId),
+    /// Online repair exhausted every registered backup generation without
+    /// finding a good copy of the page (or no generation is registered).
+    /// The page stays quarantined; a full restore or a future generation
+    /// can still bring it back. Other partitions are unaffected.
+    Unrepairable(lob_pagestore::PageId),
     /// Internal invariant violation — a bug in the engine, surfaced loudly.
     Internal(String),
 }
@@ -42,6 +50,13 @@ impl fmt::Display for EngineError {
             EngineError::Backup(e) => write!(f, "backup error: {e}"),
             EngineError::Redo(e) => write!(f, "redo error: {e}"),
             EngineError::Discipline(m) => write!(f, "discipline violation: {m}"),
+            EngineError::Quarantined(p) => {
+                write!(f, "page {p} is quarantined awaiting online repair")
+            }
+            EngineError::Unrepairable(p) => write!(
+                f,
+                "page {p} is unrepairable: no registered backup generation holds a good copy"
+            ),
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
     }
@@ -59,10 +74,12 @@ impl EngineError {
             EngineError::Log(LogError::InjectedCrash) => true,
             EngineError::Backup(BackupError::InjectedCrash) => true,
             EngineError::Backup(BackupError::Store(StoreError::InjectedCrash)) => true,
-            // Redo targets stringify their store errors; match the marker.
-            EngineError::Redo(RedoError::Target(msg)) => {
-                msg.contains(lob_pagestore::fault::INJECTED_CRASH_MSG)
-            }
+            // Redo targets stringify their store errors — and a replay
+            // step reading its target wraps that string once more — so
+            // match the marker anywhere in the rendering.
+            EngineError::Redo(e) => e
+                .to_string()
+                .contains(lob_pagestore::fault::INJECTED_CRASH_MSG),
             _ => false,
         }
     }

@@ -73,7 +73,9 @@ pub use error::EngineError;
 pub use stats::EngineStats;
 
 // Re-export the vocabulary types downstream users need.
-pub use lob_backup::{BackupImage, BackupRun, DomainId, Region, RunConfig};
+pub use lob_backup::{BackupCatalog, BackupImage, BackupRun, DomainId, Region, RunConfig};
 pub use lob_ops::{LogicalOp, OpBody, OpClass, PhysioOp, RecPage, TreeForm};
-pub use lob_pagestore::{Lsn, Page, PageId, PartitionId, PartitionSpec};
-pub use lob_recovery::{GraphMode, RedoOutcome};
+pub use lob_pagestore::{
+    CorruptionEntry, CorruptionReport, Lsn, Page, PageId, PartitionId, PartitionSpec,
+};
+pub use lob_recovery::{BackoffSchedule, GraphMode, RedoOutcome, RepairReport};

@@ -24,6 +24,17 @@ pub struct EngineStats {
     pub backups_begun: u64,
     /// Backups completed.
     pub backups_completed: u64,
+    /// Pages placed in quarantine after a detected bad read.
+    pub quarantines: u64,
+    /// Pages repaired online (from the backup chain or a dirty cached
+    /// copy) and returned to service.
+    pub repairs: u64,
+    /// Times repair gave up on one backup generation (corrupt, missing, or
+    /// truncated-suffix) and fell back to an older one.
+    pub repair_fallbacks: u64,
+    /// Transient-I/O read attempts retried under the deterministic backoff
+    /// schedule (store, log, and backup-image reads combined).
+    pub transient_retries: u64,
 }
 
 impl EngineStats {
@@ -40,6 +51,10 @@ impl EngineStats {
             media_recoveries: self.media_recoveries - earlier.media_recoveries,
             backups_begun: self.backups_begun - earlier.backups_begun,
             backups_completed: self.backups_completed - earlier.backups_completed,
+            quarantines: self.quarantines - earlier.quarantines,
+            repairs: self.repairs - earlier.repairs,
+            repair_fallbacks: self.repair_fallbacks - earlier.repair_fallbacks,
+            transient_retries: self.transient_retries - earlier.transient_retries,
         }
     }
 }

@@ -37,6 +37,17 @@ pub enum FaultKind {
     /// Fail the medium under the first page-carrying event at index `>= k`
     /// (a store write or a backup copy).
     MediaFailAt(u64),
+    /// Corrupt the *stored bytes* under the first page read at index `>= k`;
+    /// the read itself then fails the checksum. Exercises detection,
+    /// quarantine, and online repair.
+    CorruptReadAt(u64),
+    /// Tear the stored bytes (front half kept, back half zeroed) under the
+    /// first page read at index `>= k`.
+    TornReadAt(u64),
+    /// Answer the first **two** page reads at index `>= k` with a transient
+    /// device error (two, because the engine's bounded backoff must survive
+    /// more than one consecutive miss); later reads proceed.
+    TransientReadAt(u64),
 }
 
 /// Shared state behind the hook closure.
@@ -122,6 +133,30 @@ impl FaultPlan {
                 FaultKind::MediaFailAt(k) => {
                     if idx >= k && page.is_some() && !state.fired.load(Ordering::SeqCst) {
                         FaultVerdict::MediaFail
+                    } else {
+                        FaultVerdict::Proceed
+                    }
+                }
+                FaultKind::CorruptReadAt(k) => {
+                    if idx >= k && ev == IoEvent::PageRead && !state.fired.load(Ordering::SeqCst) {
+                        FaultVerdict::CorruptRead
+                    } else {
+                        FaultVerdict::Proceed
+                    }
+                }
+                FaultKind::TornReadAt(k) => {
+                    if idx >= k && ev == IoEvent::PageRead && !state.fired.load(Ordering::SeqCst) {
+                        FaultVerdict::TornRead
+                    } else {
+                        FaultVerdict::Proceed
+                    }
+                }
+                FaultKind::TransientReadAt(k) => {
+                    if idx >= k
+                        && ev == IoEvent::PageRead
+                        && state.kind_seen.fetch_add(1, Ordering::SeqCst) < 2
+                    {
+                        FaultVerdict::TransientRead
                     } else {
                         FaultVerdict::Proceed
                     }
@@ -227,6 +262,49 @@ mod tests {
             hook(IoEvent::BackupCopy, Some(PageId::new(0, 3))),
             FaultVerdict::MediaFail
         );
+        assert!(plan.fired());
+    }
+
+    #[test]
+    fn corrupt_read_plan_waits_for_the_first_page_read() {
+        let plan = FaultPlan::new(FaultKind::CorruptReadAt(1));
+        let hook = plan.hook();
+        let p = PageId::new(0, 2);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(hook(IoEvent::PageWrite, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::CorruptRead);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(plan.fired_page(), Some(p));
+        assert_eq!(plan.fired_event(), Some((2, IoEvent::PageRead)));
+    }
+
+    #[test]
+    fn torn_read_plan_ignores_non_read_events() {
+        let plan = FaultPlan::new(FaultKind::TornReadAt(0));
+        let hook = plan.hook();
+        let p = PageId::new(1, 5);
+        assert_eq!(hook(IoEvent::LogRead, None), FaultVerdict::Proceed);
+        assert_eq!(hook(IoEvent::ImageRead, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::TornRead);
+        assert!(plan.fired());
+    }
+
+    #[test]
+    fn transient_read_plan_fires_twice_then_proceeds() {
+        let plan = FaultPlan::new(FaultKind::TransientReadAt(1));
+        let hook = plan.hook();
+        let p = PageId::new(0, 0);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(
+            hook(IoEvent::PageRead, Some(p)),
+            FaultVerdict::TransientRead
+        );
+        assert_eq!(
+            hook(IoEvent::PageRead, Some(p)),
+            FaultVerdict::TransientRead
+        );
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::Proceed);
+        assert_eq!(hook(IoEvent::PageRead, Some(p)), FaultVerdict::Proceed);
         assert!(plan.fired());
     }
 

@@ -60,6 +60,13 @@ pub struct TortureConfig {
     pub backup_start_after: u32,
     /// Operations between backup steps.
     pub ops_per_backup_step: u32,
+    /// Cache capacity (clean pages evict LRU past this). `None` = unbounded.
+    /// Read drills bound the cache so sessions actually re-read from `S` —
+    /// an unbounded cache never misses and read faults would never draw.
+    pub cache_capacity: Option<usize>,
+    /// Register the pre-session off-line backup as a repair generation, so
+    /// the engine heals detected bad reads online instead of surfacing them.
+    pub self_heal: bool,
 }
 
 impl TortureConfig {
@@ -77,6 +84,19 @@ impl TortureConfig {
             backup_steps: 4,
             backup_start_after: 8,
             ops_per_backup_step: 7,
+            cache_capacity: None,
+            self_heal: false,
+        }
+    }
+
+    /// [`TortureConfig::small`] configured for the self-healing read-fault
+    /// drill: a bounded cache (so reads miss to `S`) and online repair
+    /// engaged from the pre-session off-line backup.
+    pub fn self_healing(seed: u64, workload: TortureWorkload) -> TortureConfig {
+        TortureConfig {
+            cache_capacity: Some(8),
+            self_heal: true,
+            ..TortureConfig::small(seed, workload)
         }
     }
 }
@@ -103,6 +123,13 @@ pub struct CaseResult {
     pub path: RecoveryPath,
     /// Whether the post-fault scrub flagged at least one corrupt page.
     pub corruption_detected: bool,
+    /// Pages repaired online during the session.
+    pub repairs: u64,
+    /// Transient read attempts retried under the deterministic backoff.
+    pub transient_retries: u64,
+    /// Pages still quarantined when the case ended — zero unless a page was
+    /// genuinely unrepairable.
+    pub quarantined_after: usize,
 }
 
 /// Aggregated outcome of a sweep.
@@ -126,6 +153,10 @@ pub struct TortureReport {
     pub clean_completions: usize,
     /// Cases where the scrub detected injected corruption.
     pub corruption_detections: usize,
+    /// Pages repaired online across all cases (repair telemetry).
+    pub repairs: u64,
+    /// Transient read retries across all cases (repair telemetry).
+    pub transient_retries: u64,
     /// Oracle divergences and unexpected failures — must stay empty.
     pub divergences: Vec<String>,
 }
@@ -186,6 +217,7 @@ impl TortureRunner {
         let mut engine = Engine::new(EngineConfig {
             discipline,
             policy: BackupPolicy::Protocol,
+            cache_capacity: cfg.cache_capacity,
             ..EngineConfig::single(cfg.pages, cfg.page_size)
         })
         .map_err(|e| e.to_string())?;
@@ -204,6 +236,11 @@ impl TortureRunner {
         // session's log suffix stays restorable) and is the image media
         // recovery falls back to when no on-line backup completed.
         let base = engine.offline_backup().map_err(|e| e.to_string())?;
+        if cfg.self_heal {
+            engine
+                .register_backup_generation(base.clone())
+                .map_err(|e| e.to_string())?;
+        }
 
         // Faults arm only now: prefill and base image are part of the fixed
         // initial condition, not the torture window.
@@ -392,7 +429,7 @@ impl TortureRunner {
                 // nothing happened to read. Scrub, repair, verify.
                 let bad = engine.store().verify_pages();
                 let corruption_detected = !bad.is_empty();
-                for p in &bad {
+                for p in bad.pages() {
                     engine
                         .store()
                         .fail_range(p.partition, p.index, p.index + 1)
@@ -417,6 +454,9 @@ impl TortureRunner {
                     fired_event: plan.fired_event(),
                     path,
                     corruption_detected,
+                    repairs: engine.stats().repairs,
+                    transient_retries: engine.stats().transient_retries,
+                    quarantined_after: engine.quarantined_pages().len(),
                 })
             }
             Some(e) if e.is_injected_crash() => {
@@ -430,7 +470,7 @@ impl TortureRunner {
                 let durable = engine.log().durable_lsn();
                 let bad = engine.store().verify_pages();
                 let corruption_detected = !bad.is_empty();
-                for p in &bad {
+                for p in bad.pages() {
                     engine
                         .store()
                         .fail_range(p.partition, p.index, p.index + 1)
@@ -459,6 +499,9 @@ impl TortureRunner {
                     fired_event: plan.fired_event(),
                     path,
                     corruption_detected,
+                    repairs: engine.stats().repairs,
+                    transient_retries: engine.stats().transient_retries,
+                    quarantined_after: engine.quarantined_pages().len(),
                 })
             }
             Some(e) if is_media_failure(&e) => {
@@ -481,6 +524,9 @@ impl TortureRunner {
                     fired_event: plan.fired_event(),
                     path: RecoveryPath::MediaRecovery,
                     corruption_detected: false,
+                    repairs: engine.stats().repairs,
+                    transient_retries: engine.stats().transient_retries,
+                    quarantined_after: engine.quarantined_pages().len(),
                 })
             }
             Some(e) => Err(format!("unexpected failure under {kind:?}: {e}")),
@@ -515,6 +561,8 @@ impl TortureRunner {
                     if case.corruption_detected {
                         report.corruption_detections += 1;
                     }
+                    report.repairs += case.repairs;
+                    report.transient_retries += case.transient_retries;
                     match case.path {
                         RecoveryPath::Clean => report.clean_completions += 1,
                         RecoveryPath::CrashRecovery => report.crash_recoveries += 1,
@@ -546,6 +594,98 @@ impl TortureRunner {
     /// Sweep media failures (during flushes and backup copies alike).
     pub fn media_fail_sweep(&self, max_points: usize) -> Result<TortureReport, String> {
         self.sweep(FaultKind::MediaFailAt, max_points)
+    }
+
+    /// Sweep stored-byte corruptions under page reads. Requires
+    /// [`TortureConfig::self_heal`]: without a registered repair generation
+    /// a detected bad read is a session-fatal error by design.
+    pub fn corrupt_read_sweep(&self, max_points: usize) -> Result<TortureReport, String> {
+        self.require_self_heal("corrupt_read_sweep")?;
+        self.sweep(FaultKind::CorruptReadAt, max_points)
+    }
+
+    /// Sweep torn page reads (front half kept, back half zeroed in `S`).
+    /// Requires [`TortureConfig::self_heal`].
+    pub fn torn_read_sweep(&self, max_points: usize) -> Result<TortureReport, String> {
+        self.require_self_heal("torn_read_sweep")?;
+        self.sweep(FaultKind::TornReadAt, max_points)
+    }
+
+    /// Sweep transient read errors (two consecutive misses, then the device
+    /// answers). Requires [`TortureConfig::self_heal`].
+    pub fn transient_read_sweep(&self, max_points: usize) -> Result<TortureReport, String> {
+        self.require_self_heal("transient_read_sweep")?;
+        self.sweep(FaultKind::TransientReadAt, max_points)
+    }
+
+    fn require_self_heal(&self, what: &str) -> Result<(), String> {
+        if self.cfg.self_heal {
+            Ok(())
+        } else {
+            Err(format!(
+                "{what} requires TortureConfig::self_heal (use TortureConfig::self_healing)"
+            ))
+        }
+    }
+
+    /// The online self-healing drill (DESIGN.md §5.8): arm corrupt, torn,
+    /// and transient read faults round-robin across the sampled event
+    /// indices. On top of [`TortureRunner::sweep`]'s oracle byte-verify,
+    /// every case must end with the *clean* recovery path — a repairable
+    /// read fault never aborts the session, never forces crash or media
+    /// recovery, and leaves zero pages quarantined.
+    pub fn read_fault_drill(&self, max_points: usize) -> Result<TortureReport, String> {
+        self.require_self_heal("read_fault_drill")?;
+        let total = self.count_events()?;
+        let points = sample_indices(total, max_points);
+        let mut report = TortureReport {
+            events_total: total,
+            crash_points: points.clone(),
+            ..TortureReport::default()
+        };
+        for (i, &k) in points.iter().enumerate() {
+            let kind = match i % 3 {
+                0 => FaultKind::CorruptReadAt(k),
+                1 => FaultKind::TornReadAt(k),
+                _ => FaultKind::TransientReadAt(k),
+            };
+            report.cases += 1;
+            match self.run_case(kind) {
+                Ok(case) => {
+                    if case.path != RecoveryPath::Clean {
+                        report.divergences.push(format!(
+                            "event {k}: {kind:?} forced {:?}; a repairable read fault \
+                             must heal online",
+                            case.path
+                        ));
+                    }
+                    if case.quarantined_after != 0 {
+                        report.divergences.push(format!(
+                            "event {k}: {kind:?} left {} page(s) quarantined",
+                            case.quarantined_after
+                        ));
+                    }
+                    if case.fired {
+                        report.faults_fired += 1;
+                    }
+                    if let Some(ev) = case.fired_event {
+                        report.fired_events.push(ev);
+                    }
+                    if case.corruption_detected {
+                        report.corruption_detections += 1;
+                    }
+                    report.repairs += case.repairs;
+                    report.transient_retries += case.transient_retries;
+                    match case.path {
+                        RecoveryPath::Clean => report.clean_completions += 1,
+                        RecoveryPath::CrashRecovery => report.crash_recoveries += 1,
+                        RecoveryPath::MediaRecovery => report.media_recoveries += 1,
+                    }
+                }
+                Err(d) => report.divergences.push(format!("event {k}: {kind:?}: {d}")),
+            }
+        }
+        Ok(report)
     }
 
     /// Crash-during-restore drill: complete a clean session, fail the
@@ -656,5 +796,34 @@ mod tests {
         let case = runner.run_case(FaultKind::CrashAt(10)).unwrap();
         assert!(case.fired);
         assert_ne!(case.path, RecoveryPath::Clean);
+    }
+
+    #[test]
+    fn read_sweeps_refuse_to_run_without_self_healing() {
+        let runner = TortureRunner::new(TortureConfig::small(3, TortureWorkload::General));
+        assert!(runner.corrupt_read_sweep(2).is_err());
+        assert!(runner.read_fault_drill(2).is_err());
+    }
+
+    #[test]
+    fn single_corrupt_read_case_heals_online() {
+        let runner = TortureRunner::new(TortureConfig::self_healing(11, TortureWorkload::General));
+        let case = runner.run_case(FaultKind::CorruptReadAt(5)).unwrap();
+        assert!(case.fired);
+        assert_eq!(case.path, RecoveryPath::Clean);
+        assert!(case.repairs >= 1, "the damaged read must repair online");
+        assert_eq!(case.quarantined_after, 0);
+    }
+
+    #[test]
+    fn small_read_fault_drill_is_all_clean() {
+        let runner = TortureRunner::new(TortureConfig::self_healing(
+            23,
+            TortureWorkload::BackupConcurrent,
+        ));
+        let report = runner.read_fault_drill(6).unwrap();
+        assert!(report.divergences.is_empty(), "{:?}", report.divergences);
+        assert_eq!(report.clean_completions, report.cases);
+        assert!(report.faults_fired > 0);
     }
 }

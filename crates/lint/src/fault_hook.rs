@@ -91,6 +91,27 @@ pub const REGISTRY: &[Site] = &[
         note: "per page the fuzzy sweep copies into the backup image",
     },
     Site {
+        file: "pagestore/src/store.rs",
+        func: "read_page",
+        events: &["PageRead"],
+        coverage: Coverage::Direct,
+        note: "every page fetched from the stable store: cache misses, sweep copies, repair probes",
+    },
+    Site {
+        file: "wal/src/manager.rs",
+        func: "scan_from",
+        events: &["LogRead"],
+        coverage: Coverage::Direct,
+        note: "once per scan of the durable suffix (recovery, media redo, online repair)",
+    },
+    Site {
+        file: "backup/src/catalog.rs",
+        func: "fetch_page",
+        events: &["ImageRead"],
+        coverage: Coverage::Direct,
+        note: "per page fetched from a registered backup generation during online repair",
+    },
+    Site {
         file: "wal/src/store.rs",
         func: "append",
         events: &[],
@@ -104,10 +125,27 @@ pub const REGISTRY: &[Site] = &[
         coverage: Coverage::Delegated,
         note: "low-water bookkeeping; only reachable via LogManager::truncate, which consults",
     },
+    Site {
+        file: "wal/src/store.rs",
+        func: "frames_from",
+        events: &[],
+        coverage: Coverage::Delegated,
+        note: "raw frame read; only reachable via LogManager::scan_from, which consults per scan",
+    },
+    Site {
+        file: "wal/src/store.rs",
+        func: "open",
+        events: &[],
+        coverage: Coverage::Delegated,
+        note: "bootstrap byte count of an existing log file; runs before any engine or hook exists",
+    },
 ];
 
-/// Raw write primitives: whitespace-stripped substrings that move bytes to
-/// durable state without consulting anything themselves.
+/// Raw I/O primitives: whitespace-stripped substrings that move bytes to or
+/// from durable state without consulting anything themselves. Read
+/// primitives matter as much as writes — a read path the hook cannot see is
+/// one the read-fault torture sweep can never damage, so its detection and
+/// repair story goes untested.
 const PRIMITIVES: &[&str] = &[
     ".file.write_all(",
     ".file.flush(",
@@ -115,6 +153,10 @@ const PRIMITIVES: &[&str] = &[
     ".file.sync_all(",
     ".store.append(",
     ".store.truncate(",
+    // Raw log-frame read (the durable suffix scan).
+    ".store.frames_from(",
+    // Raw file slurp in the log store implementations.
+    "file.read_to_end(",
     // Page-slot store in a partition guard.
     "guard.pages[",
 ];

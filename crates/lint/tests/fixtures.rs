@@ -148,6 +148,32 @@ fn bad_fault_fixture_yields_exact_diagnostics() {
 }
 
 #[test]
+fn bad_read_fault_fixture_yields_exact_diagnostics() {
+    // Read-side blind spots are caught the same way as write-side ones: a
+    // raw suffix scan outside the registry and an unregistered
+    // `IoEvent::PageRead` consult must both pin to their exact lines.
+    let f = fixture("crates/wal/src/fx_read_fault.rs", "bad_read_fault.rs");
+    let cfg = fault_hook::Config {
+        scope: vec!["crates/wal/src/".into()],
+        exempt: vec![],
+        registry: &[],
+    };
+    let diags = fault_hook::check(&[f], &cfg);
+    let p = "crates/wal/src/fx_read_fault.rs".to_string();
+    assert_eq!(
+        locs(&diags),
+        vec![(p.clone(), 8, "fault-hook"), (p, 12, "fault-hook")],
+        "diags: {diags:#?}"
+    );
+    assert!(
+        diags[0].msg.contains("frames_from"),
+        "msg: {}",
+        diags[0].msg
+    );
+    assert!(diags[1].msg.contains("IoEvent::PageRead"));
+}
+
+#[test]
 fn effect_under_read_fixture_yields_exact_diagnostics() {
     // The fixture's apply() reads `dst`; its readset() declares only
     // `src`. The diagnostic pins to the readset arm that should have

@@ -1,0 +1,14 @@
+// Fixture: read-side I/O outside the declared-site registry.
+pub struct R {
+    store: InnerStore,
+}
+
+impl R {
+    pub fn sneaky_scan(&self) {
+        let _ = self.store.frames_from(Lsn::NULL);
+    }
+
+    pub fn undeclared_read_consult(&self) {
+        let _ = IoEvent::PageRead;
+    }
+}

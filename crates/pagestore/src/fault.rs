@@ -12,9 +12,16 @@
 //! dependency cycles. The seeded planning logic that decides *which* events
 //! to fault lives in the harness (`lob_harness::fault::FaultPlan`).
 //!
-//! Only write-side events are modeled: reads cannot lose persistent state,
-//! and keeping the event stream write-only keeps crash-point enumeration
-//! small enough to be exhaustive.
+//! Both sides of the I/O surface are modeled. *Write-side* events
+//! ([`IoEvent::PageWrite`], [`IoEvent::LogAppend`], …) can lose or damage
+//! persistent state, so they drive the exhaustive crash-point sweeps.
+//! *Read-side* events ([`IoEvent::PageRead`], [`IoEvent::LogRead`],
+//! [`IoEvent::ImageRead`]) cannot lose state but model the moment latent
+//! damage is *discovered* — a torn sector, bit rot, or a transient
+//! controller error surfacing on a read — which is what the online
+//! self-healing path (quarantine + single-page repair from the backup
+//! chain) exists to absorb. Read verdicts that damage state do so to the
+//! *stored* copy, so detection still happens honestly through checksums.
 
 use crate::id::PageId;
 use std::fmt;
@@ -41,6 +48,18 @@ pub enum IoEvent {
     /// durable records below it (consulted only when the point actually
     /// moves).
     LogTruncate,
+    /// A page is about to be read from the stable store. Consulted only by
+    /// [`crate::StableStore::read_page`] — the scrub/metadata paths
+    /// (`snapshot`, `page_lsn`, `verify_pages`, `high_water`) read without
+    /// an event so that verification itself cannot be faulted into
+    /// reporting clean state.
+    PageRead,
+    /// The log manager is about to scan durable frames (consulted once per
+    /// scan, before any frame is decoded).
+    LogRead,
+    /// A page is about to be fetched from a registered backup image in the
+    /// generation catalog (consulted per page fetch during repair).
+    ImageRead,
 }
 
 impl fmt::Display for IoEvent {
@@ -52,6 +71,9 @@ impl fmt::Display for IoEvent {
             IoEvent::LogAppend => "log-append",
             IoEvent::BackupCopy => "backup-copy",
             IoEvent::LogTruncate => "log-truncate",
+            IoEvent::PageRead => "page-read",
+            IoEvent::LogRead => "log-read",
+            IoEvent::ImageRead => "image-read",
         };
         f.write_str(s)
     }
@@ -81,6 +103,25 @@ pub enum FaultVerdict {
     /// backup. The triggering transfer itself proceeds where that makes
     /// sense (writes land on the replacement medium).
     MediaFail,
+    /// Reveal a torn sector on a read: the *stored* bytes are spliced
+    /// (back half inverted) before the read proceeds, so the damage is
+    /// persistent and the checksum catches it. Only meaningful for
+    /// [`IoEvent::PageRead`] and [`IoEvent::ImageRead`]; write sites and
+    /// [`IoEvent::LogRead`] treat it as [`FaultVerdict::Proceed`].
+    TornRead,
+    /// Reveal silent bit rot on a read: one bit of the *stored* bytes is
+    /// flipped before the read proceeds — persistent damage detected by
+    /// checksum, exactly like [`FaultVerdict::CorruptWrite`] but surfacing
+    /// at read time. Only meaningful for [`IoEvent::PageRead`] and
+    /// [`IoEvent::ImageRead`]; other sites treat it as
+    /// [`FaultVerdict::Proceed`].
+    CorruptRead,
+    /// Fail this read attempt only, leaving the stored bytes intact — a
+    /// transient controller/bus error. The site returns a typed transient
+    /// error; an immediate retry that draws [`FaultVerdict::Proceed`]
+    /// succeeds. Meaningful for all read events; write sites treat it as
+    /// [`FaultVerdict::Proceed`].
+    TransientRead,
 }
 
 /// The hook signature: `(event kind, affected page if any) -> verdict`.

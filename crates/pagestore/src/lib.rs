@@ -52,4 +52,6 @@ pub use image::PageImage;
 pub use lsn::Lsn;
 pub use page::Page;
 pub use stats::IoStats;
-pub use store::{PartitionSpec, StableStore, StoreConfig, StoreError};
+pub use store::{
+    CorruptionEntry, CorruptionReport, PartitionSpec, StableStore, StoreConfig, StoreError,
+};

@@ -7,6 +7,7 @@ use crate::page::Page;
 use crate::stats::{IoSnapshot, IoStats};
 use bytes::Bytes;
 use parking_lot::RwLock;
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Configuration of a [`StableStore`].
@@ -51,6 +52,13 @@ pub enum StoreError {
     /// The stored bytes of the page no longer match its recorded checksum:
     /// a torn or corrupted write was detected on read.
     Corrupt(PageId),
+    /// The page is quarantined: a bad read was detected and the page is
+    /// awaiting online repair from the backup chain. No read path returns
+    /// its bytes until a full overwrite (repair or restore) heals the slot.
+    Quarantined(PageId),
+    /// A transient I/O error failed this read attempt only; the stored
+    /// bytes are intact and a retry may succeed.
+    Transient(PageId),
     /// The fault hook simulated a process crash at this I/O event; the
     /// transfer did not complete. Unwind to the driver and run recovery.
     InjectedCrash,
@@ -66,12 +74,87 @@ impl fmt::Display for StoreError {
                 write!(f, "page {page}: payload {got}B but page size is {want}B")
             }
             StoreError::Corrupt(p) => write!(f, "checksum mismatch reading {p} (torn/corrupt)"),
+            StoreError::Quarantined(p) => write!(f, "page {p} is quarantined awaiting repair"),
+            StoreError::Transient(p) => write!(f, "transient I/O error reading {p}"),
             StoreError::InjectedCrash => write!(f, "injected crash (fault hook)"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// One page whose stored bytes no longer match its recorded checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionEntry {
+    /// The damaged page.
+    pub page: PageId,
+    /// Checksum the last writer intended to persist.
+    pub expected: u64,
+    /// Checksum of the bytes actually stored.
+    pub found: u64,
+}
+
+impl fmt::Display for CorruptionEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: expected checksum {:016x}, found {:016x}",
+            self.page, self.expected, self.found
+        )
+    }
+}
+
+/// Result of a [`StableStore::verify_pages`] scrub: every readable page
+/// whose stored bytes fail their checksum, with the expected/found pair for
+/// repair telemetry and torture reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Damaged pages in `(partition, index)` order.
+    pub entries: Vec<CorruptionEntry>,
+}
+
+impl CorruptionReport {
+    /// No corruption found.
+    pub fn is_clean(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of damaged pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report is empty (alias of [`CorruptionReport::is_clean`]).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Just the damaged page ids, in report order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.entries.iter().map(|e| e.page).collect()
+    }
+
+    /// Partitions with at least one damaged page.
+    pub fn partitions(&self) -> BTreeSet<PartitionId> {
+        self.entries.iter().map(|e| e.page.partition).collect()
+    }
+}
+
+impl fmt::Display for CorruptionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return f.write_str("no corruption");
+        }
+        write!(f, "{} corrupt page(s): ", self.entries.len())?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
 
 struct PartitionState {
     pages: Vec<Page>,
@@ -86,6 +169,9 @@ struct PartitionState {
     failed: bool,
     /// Failed index ranges (half-open), for partial media failures.
     failed_ranges: Vec<(u32, u32)>,
+    /// Pages held out of service after a bad read, awaiting online repair.
+    /// A full overwrite (repair, restore, or any page write) heals a slot.
+    quarantined: BTreeSet<u32>,
 }
 
 impl PartitionState {
@@ -131,6 +217,7 @@ impl StableStore {
                     sums: vec![blank_sum; spec.pages as usize],
                     failed: false,
                     failed_ranges: Vec::new(),
+                    quarantined: BTreeSet::new(),
                 })
             })
             .collect();
@@ -202,10 +289,41 @@ impl StableStore {
     }
 
     /// Read a page. Fails with [`StoreError::MediaFailure`] if the page is in
-    /// a failed region.
+    /// a failed region and [`StoreError::Quarantined`] if it is held out of
+    /// service awaiting repair.
+    ///
+    /// The fault hook (if installed) is consulted first with
+    /// [`IoEvent::PageRead`] and may crash the process at this read, fail
+    /// the attempt transiently (stored bytes intact), reveal persistent
+    /// damage (torn sector / bit rot spliced into the *stored* bytes, then
+    /// detected by checksum like any other corruption), or fail the medium
+    /// under the page.
     pub fn read_page(&self, id: PageId) -> Result<Page, StoreError> {
         let part = self.part(id.partition)?;
+        match self.consult(IoEvent::PageRead, Some(id)) {
+            FaultVerdict::Crash => return Err(StoreError::InjectedCrash),
+            FaultVerdict::TransientRead => return Err(StoreError::Transient(id)),
+            FaultVerdict::MediaFail => {
+                part.write().failed_ranges.push((id.index, id.index + 1));
+                return Err(StoreError::MediaFailure(id));
+            }
+            v @ (FaultVerdict::TornRead | FaultVerdict::CorruptRead) => {
+                // Latent medium damage surfaces at this read: mutate the
+                // stored bytes (checksums stay the intended values, so the
+                // mismatch is detected below, never silently returned).
+                let mut guard = part.write();
+                let idx = id.index as usize;
+                if let Some(slot) = guard.pages.get_mut(idx) {
+                    let damaged = damage_stored_page(slot, v);
+                    *slot = damaged;
+                }
+            }
+            FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
+        }
         let guard = part.read();
+        if guard.quarantined.contains(&id.index) {
+            return Err(StoreError::Quarantined(id));
+        }
         if guard.is_failed(id.index) {
             return Err(StoreError::MediaFailure(id));
         }
@@ -214,7 +332,12 @@ impl StableStore {
             .get(id.index as usize)
             .cloned()
             .ok_or(StoreError::NoSuchPage(id))?;
-        if page.checksum() != guard.sums[id.index as usize] {
+        let expected = guard
+            .sums
+            .get(id.index as usize)
+            .copied()
+            .ok_or(StoreError::NoSuchPage(id))?;
+        if page.checksum() != expected {
             return Err(StoreError::Corrupt(id));
         }
         self.stats[id.partition.0 as usize].record_read(page.len());
@@ -271,6 +394,9 @@ impl StableStore {
         };
         guard.pages[idx] = stored;
         guard.sums[idx] = intended_sum;
+        // A full overwrite supersedes whatever bad bytes put the slot in
+        // quarantine: the write IS the repair (or the restore).
+        guard.quarantined.remove(&id.index);
         self.stats[id.partition.0 as usize].record_write(self.config.page_size);
         if verdict == FaultVerdict::TornWrite {
             return Err(StoreError::InjectedCrash);
@@ -282,6 +408,9 @@ impl StableStore {
     pub fn page_lsn(&self, id: PageId) -> Result<crate::Lsn, StoreError> {
         let part = self.part(id.partition)?;
         let guard = part.read();
+        if guard.quarantined.contains(&id.index) {
+            return Err(StoreError::Quarantined(id));
+        }
         if guard.is_failed(id.index) {
             return Err(StoreError::MediaFailure(id));
         }
@@ -323,6 +452,71 @@ impl StableStore {
         Ok(())
     }
 
+    /// Clear a *single page's* media-failure marker by splitting any failed
+    /// range that covers it. Used by online repair after rewriting one page
+    /// on the replacement medium; the rest of each range stays failed. A
+    /// whole-partition failure flag is NOT clearable per page — that medium
+    /// is gone and only a full restore brings it back.
+    pub fn clear_page_failure(&self, id: PageId) -> Result<(), StoreError> {
+        let mut g = self.part(id.partition)?.write();
+        let mut split = Vec::with_capacity(g.failed_ranges.len() + 1);
+        for &(lo, hi) in &g.failed_ranges {
+            if id.index < lo || id.index >= hi {
+                split.push((lo, hi));
+                continue;
+            }
+            if lo < id.index {
+                split.push((lo, id.index));
+            }
+            if id.index + 1 < hi {
+                split.push((id.index + 1, hi));
+            }
+        }
+        g.failed_ranges = split;
+        Ok(())
+    }
+
+    /// Place a page in quarantine: every read path returns
+    /// [`StoreError::Quarantined`] until a full overwrite heals the slot or
+    /// [`StableStore::release_quarantine`] lifts it explicitly.
+    pub fn quarantine_page(&self, id: PageId) -> Result<(), StoreError> {
+        let mut g = self.part(id.partition)?.write();
+        if id.index as usize >= g.pages.len() {
+            return Err(StoreError::NoSuchPage(id));
+        }
+        g.quarantined.insert(id.index);
+        Ok(())
+    }
+
+    /// Lift a page's quarantine without rewriting it. Callers must have
+    /// re-verified the slot (repair does this implicitly by overwriting).
+    pub fn release_quarantine(&self, id: PageId) -> Result<(), StoreError> {
+        self.part(id.partition)?
+            .write()
+            .quarantined
+            .remove(&id.index);
+        Ok(())
+    }
+
+    /// Whether a page is currently quarantined.
+    pub fn is_quarantined(&self, id: PageId) -> Result<bool, StoreError> {
+        Ok(self
+            .part(id.partition)?
+            .read()
+            .quarantined
+            .contains(&id.index))
+    }
+
+    /// Every quarantined page across all partitions, in id order.
+    pub fn quarantined_pages(&self) -> Vec<PageId> {
+        let mut out = Vec::new();
+        for (pi, part) in self.partitions.iter().enumerate() {
+            let guard = part.read();
+            out.extend(guard.quarantined.iter().map(|&i| PageId::new(pi as u32, i)));
+        }
+        out
+    }
+
     /// Copy every page of every partition into a [`PageImage`].
     /// (Used for off-line backups and by the shadow oracle; the on-line
     /// backup drivers copy page-by-page so progress can be tracked.)
@@ -335,6 +529,9 @@ impl StableStore {
             }
             for (i, page) in guard.pages.iter().enumerate() {
                 let id = PageId::new(pi as u32, i as u32);
+                if guard.quarantined.contains(&id.index) {
+                    return Err(StoreError::Quarantined(id));
+                }
                 if guard.is_failed(id.index) {
                     return Err(StoreError::MediaFailure(id));
                 }
@@ -357,25 +554,58 @@ impl StableStore {
         Ok(())
     }
 
-    /// Scrub pass: return every readable page whose stored bytes no longer
-    /// match its recorded checksum (torn or corrupted writes). Pages in
-    /// already-failed regions are skipped — they are known-bad and blocked
-    /// from reads regardless. After a crash, the driver fails the ranges
-    /// returned here so media recovery restores them from a backup.
-    pub fn verify_pages(&self) -> Vec<PageId> {
-        let mut bad = Vec::new();
+    /// Scrub pass: report every readable page whose stored bytes no longer
+    /// match its recorded checksum (torn or corrupted writes), with the
+    /// expected/found checksum pair per page. Pages in already-failed
+    /// regions and quarantined pages are skipped — they are known-bad and
+    /// blocked from reads regardless. After a crash, the driver fails the
+    /// ranges reported here so media recovery restores them from a backup.
+    pub fn verify_pages(&self) -> CorruptionReport {
+        let mut entries = Vec::new();
         for (pi, part) in self.partitions.iter().enumerate() {
             let guard = part.read();
-            for (i, page) in guard.pages.iter().enumerate() {
-                if guard.is_failed(i as u32) {
+            for (i, (page, &expected)) in guard.pages.iter().zip(&guard.sums).enumerate() {
+                if guard.is_failed(i as u32) || guard.quarantined.contains(&(i as u32)) {
                     continue;
                 }
-                if page.checksum() != guard.sums[i] {
-                    bad.push(PageId::new(pi as u32, i as u32));
+                let found = page.checksum();
+                if found != expected {
+                    entries.push(CorruptionEntry {
+                        page: PageId::new(pi as u32, i as u32),
+                        expected,
+                        found,
+                    });
                 }
             }
         }
-        bad
+        CorruptionReport { entries }
+    }
+
+    /// Scrub a single page: `Ok(Some(entry))` if its stored bytes fail
+    /// their checksum, `Ok(None)` if clean (or failed/quarantined, which
+    /// the full-store scrub also skips). No [`IoEvent::PageRead`] is
+    /// consulted — verification itself cannot be faulted into lying.
+    pub fn verify_page(&self, id: PageId) -> Result<Option<CorruptionEntry>, StoreError> {
+        let guard = self.part(id.partition)?.read();
+        let idx = id.index as usize;
+        let page = guard.pages.get(idx).ok_or(StoreError::NoSuchPage(id))?;
+        if guard.is_failed(id.index) || guard.quarantined.contains(&id.index) {
+            return Ok(None);
+        }
+        let expected = guard
+            .sums
+            .get(idx)
+            .copied()
+            .ok_or(StoreError::NoSuchPage(id))?;
+        let found = page.checksum();
+        if found != expected {
+            return Ok(Some(CorruptionEntry {
+                page: id,
+                expected,
+                found,
+            }));
+        }
+        Ok(None)
     }
 
     /// Highest page index in `pid` whose pageLSN is non-null, if any.
@@ -390,6 +620,37 @@ impl StableStore {
             .find(|(_, p)| !p.lsn().is_null())
             .map(|(i, _)| i as u32))
     }
+}
+
+/// The stored-byte mutation for a read-side damage verdict: [`TornRead`]
+/// inverts the back half of the payload (a half-old sector splice that can
+/// never equal the intended bytes), [`CorruptRead`] flips one mid-page bit.
+/// The recorded checksum is untouched, so the next verifying read detects
+/// the damage.
+///
+/// [`TornRead`]: FaultVerdict::TornRead
+/// [`CorruptRead`]: FaultVerdict::CorruptRead
+fn damage_stored_page(cur: &Page, verdict: FaultVerdict) -> Page {
+    let mut buf = cur.data().to_vec();
+    match verdict {
+        FaultVerdict::TornRead => {
+            let half = buf.len() / 2;
+            for b in buf.iter_mut().skip(half) {
+                *b = !*b;
+            }
+            if buf.is_empty() {
+                buf.push(0xFF); // even a zero-sized test page can rot
+            }
+        }
+        _ => {
+            let pos = buf.len() / 2;
+            match buf.get_mut(pos) {
+                Some(b) => *b ^= 0x20,
+                None => buf.push(0xFF),
+            }
+        }
+    }
+    Page::new(cur.lsn(), Bytes::from(buf))
 }
 
 impl fmt::Debug for StableStore {
@@ -567,12 +828,12 @@ mod tests {
         );
         assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
         assert_eq!(s.page_lsn(id), Err(StoreError::Corrupt(id)));
-        assert_eq!(s.verify_pages(), vec![id]);
+        assert_eq!(s.verify_pages().pages(), vec![id]);
         assert!(s.snapshot().is_err());
         // A clean rewrite repairs the slot.
         s.write_page(id, page(3, 0xCC)).unwrap();
         assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(3));
-        assert!(s.verify_pages().is_empty());
+        assert!(s.verify_pages().is_clean());
     }
 
     #[test]
@@ -584,7 +845,13 @@ mod tests {
         s.write_page(id, page(7, 0x11)).unwrap();
         // …but no read path will return the damaged page.
         assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
-        assert_eq!(s.verify_pages(), vec![id]);
+        let report = s.verify_pages();
+        assert_eq!(report.pages(), vec![id]);
+        // The report carries the checksum evidence for repair telemetry.
+        let entry = report.entries[0];
+        assert_ne!(entry.expected, entry.found);
+        assert_eq!(s.verify_page(id).unwrap(), Some(entry));
+        assert_eq!(s.verify_page(PageId::new(0, 0)).unwrap(), None);
     }
 
     #[test]
@@ -599,6 +866,118 @@ mod tests {
         // failure exposes it, as restore will after re-copying the page.
         s.clear_failures(PartitionId(1)).unwrap();
         assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(4));
+    }
+
+    /// A hook that fires `verdict` on the first page *read*, then proceeds.
+    fn once_read_hook(verdict: FaultVerdict) -> crate::fault::FaultHook {
+        let fired = AtomicBool::new(false);
+        Arc::new(move |ev, _page| {
+            if ev == IoEvent::PageRead && !fired.swap(true, Ordering::Relaxed) {
+                verdict
+            } else {
+                FaultVerdict::Proceed
+            }
+        })
+    }
+
+    #[test]
+    fn transient_read_fails_once_then_retries_clean() {
+        let s = store();
+        let id = PageId::new(0, 0);
+        s.write_page(id, page(1, 0xAA)).unwrap();
+        s.set_fault_hook(Some(once_read_hook(FaultVerdict::TransientRead)));
+        assert_eq!(s.read_page(id), Err(StoreError::Transient(id)));
+        // Stored bytes are intact: the immediate retry succeeds.
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(1));
+    }
+
+    #[test]
+    fn torn_read_reveals_persistent_damage() {
+        let s = store();
+        let id = PageId::new(0, 1);
+        s.write_page(id, page(2, 0xBB)).unwrap();
+        s.set_fault_hook(Some(once_read_hook(FaultVerdict::TornRead)));
+        assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
+        // Unlike a transient error the damage is in the stored bytes: it
+        // survives retries and the scrub sees it too.
+        assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
+        assert_eq!(s.verify_pages().pages(), vec![id]);
+        // A full overwrite (repair) heals the slot.
+        s.write_page(id, page(3, 0xCC)).unwrap();
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(3));
+    }
+
+    #[test]
+    fn corrupt_read_reveals_bit_rot() {
+        let s = store();
+        let id = PageId::new(1, 1);
+        s.write_page(id, page(5, 0x55)).unwrap();
+        s.set_fault_hook(Some(once_read_hook(FaultVerdict::CorruptRead)));
+        assert_eq!(s.read_page(id), Err(StoreError::Corrupt(id)));
+        let report = s.verify_pages();
+        assert_eq!(report.pages(), vec![id]);
+        assert_ne!(report.entries[0].expected, report.entries[0].found);
+    }
+
+    #[test]
+    fn read_crash_and_media_fail_verdicts() {
+        let s = store();
+        let id = PageId::new(0, 2);
+        s.write_page(id, page(1, 1)).unwrap();
+        s.set_fault_hook(Some(once_read_hook(FaultVerdict::Crash)));
+        assert_eq!(s.read_page(id), Err(StoreError::InjectedCrash));
+        s.set_fault_hook(Some(once_read_hook(FaultVerdict::MediaFail)));
+        assert_eq!(s.read_page(id), Err(StoreError::MediaFailure(id)));
+        // The medium under the page is now failed for good.
+        s.set_fault_hook(None);
+        assert_eq!(s.read_page(id), Err(StoreError::MediaFailure(id)));
+    }
+
+    #[test]
+    fn quarantine_blocks_every_read_path_until_overwritten() {
+        let s = store();
+        let id = PageId::new(0, 1);
+        s.write_page(id, page(4, 0x44)).unwrap();
+        s.quarantine_page(id).unwrap();
+        assert!(s.is_quarantined(id).unwrap());
+        assert_eq!(s.read_page(id), Err(StoreError::Quarantined(id)));
+        assert_eq!(s.page_lsn(id), Err(StoreError::Quarantined(id)));
+        assert_eq!(s.snapshot().unwrap_err(), StoreError::Quarantined(id));
+        assert_eq!(s.quarantined_pages(), vec![id]);
+        // Other pages keep serving: graceful degradation, not abort.
+        assert!(s.read_page(PageId::new(0, 0)).is_ok());
+        // The scrub skips quarantined slots (known-bad already).
+        assert!(s.verify_pages().is_clean());
+        // A full overwrite heals the quarantine.
+        s.write_page(id, page(5, 0x55)).unwrap();
+        assert!(!s.is_quarantined(id).unwrap());
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(5));
+    }
+
+    #[test]
+    fn release_quarantine_lifts_without_rewrite() {
+        let s = store();
+        let id = PageId::new(1, 0);
+        s.write_page(id, page(9, 0x99)).unwrap();
+        s.quarantine_page(id).unwrap();
+        s.release_quarantine(id).unwrap();
+        assert_eq!(s.read_page(id).unwrap().lsn(), Lsn(9));
+    }
+
+    #[test]
+    fn clear_page_failure_splits_failed_ranges() {
+        let s = store();
+        s.fail_range(PartitionId(0), 0, 4).unwrap();
+        s.clear_page_failure(PageId::new(0, 2)).unwrap();
+        // Only the cleared page recovers; the rest of the range stays bad.
+        assert!(s.read_page(PageId::new(0, 2)).is_ok());
+        assert!(s.read_page(PageId::new(0, 1)).is_err());
+        assert!(s.read_page(PageId::new(0, 3)).is_err());
+        assert!(s.has_failures(PartitionId(0)).unwrap());
+        // A whole-partition failure is NOT clearable per page.
+        s.fail_partition(PartitionId(1)).unwrap();
+        s.clear_page_failure(PageId::new(1, 0)).unwrap();
+        assert!(s.read_page(PageId::new(1, 0)).is_err());
     }
 
     #[test]

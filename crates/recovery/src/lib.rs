@@ -39,11 +39,19 @@
 //!   graph permits installs operations in installation order.
 //! * [`redo`] — the forward redo pass over a log suffix, used both for
 //!   crash recovery of `S` and media roll-forward of a restored backup.
+//! * [`repair`] — online single-page repair: dependency closures over a log
+//!   suffix, scratch closure replay seeded from a backup generation, and a
+//!   deterministic retry schedule for transient I/O.
 
 pub mod install;
 pub mod redo;
+pub mod repair;
 pub mod writegraph;
 
 pub use install::InstallGraph;
 pub use redo::{redo_scan, RedoError, RedoOutcome, RedoTarget};
+pub use repair::{
+    dependency_closure, records_for_closure, replay_closure, BackoffSchedule, RepairReport,
+    ScratchRedoTarget,
+};
 pub use writegraph::{GraphMode, NodeId, WriteGraph, WriteGraphError};

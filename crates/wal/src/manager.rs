@@ -24,6 +24,9 @@ pub enum LogError {
         /// Current truncation point.
         truncation: Lsn,
     },
+    /// A transient I/O error failed this log scan attempt only; the durable
+    /// frames are intact and a retry may succeed.
+    Transient,
     /// The fault hook simulated a process crash during a log force or
     /// truncation; frames not yet persisted stay in the volatile tail (lost
     /// at crash), and an interrupted truncation leaves the point unmoved.
@@ -39,6 +42,7 @@ impl fmt::Display for LogError {
                 requested,
                 truncation,
             } => write!(f, "scan from {requested} but log truncated to {truncation}"),
+            LogError::Transient => write!(f, "transient I/O error reading the log"),
             LogError::InjectedCrash => write!(f, "injected crash during log force (fault hook)"),
         }
     }
@@ -224,12 +228,24 @@ impl LogManager {
 
     /// All records with `lsn >= from` (durable first, then the volatile
     /// tail), decoded.
+    ///
+    /// With a fault hook installed, [`IoEvent::LogRead`] is consulted once
+    /// per scan before any frame is decoded: a crash verdict kills the
+    /// process at this read, a transient verdict fails the attempt only
+    /// (durable frames intact — a retry succeeds). Damage verdicts are
+    /// meaningless here (frame corruption is injected at the store level,
+    /// see `MemLogStore::corrupt_frame`) and proceed.
     pub fn scan_from(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
         if from < self.truncation {
             return Err(LogError::Truncated {
                 requested: from,
                 truncation: self.truncation,
             });
+        }
+        match self.consult(IoEvent::LogRead) {
+            FaultVerdict::Crash => return Err(LogError::InjectedCrash),
+            FaultVerdict::TransientRead => return Err(LogError::Transient),
+            _ => {}
         }
         let mut out = Vec::new();
         for (_, frame) in self.store.frames_from(from)? {
@@ -463,6 +479,41 @@ mod tests {
         let mut empty = LogManager::in_memory();
         empty.set_fault_hook(Some(Arc::new(|_, _| FaultVerdict::Crash)));
         assert!(empty.force_all().is_ok());
+    }
+
+    #[test]
+    fn scan_consults_log_read_event() {
+        use lob_pagestore::fault::{FaultVerdict, IoEvent};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let mut log = LogManager::in_memory();
+        log.append(phys(0));
+        log.force_all().unwrap();
+        // First scan draws a transient error; the retry succeeds with the
+        // frames intact.
+        let fired = AtomicBool::new(false);
+        log.set_fault_hook(Some(Arc::new(move |ev, _| {
+            if ev == IoEvent::LogRead && !fired.swap(true, Ordering::Relaxed) {
+                FaultVerdict::TransientRead
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        assert!(matches!(log.scan_from(Lsn::NULL), Err(LogError::Transient)));
+        assert_eq!(log.scan_from(Lsn::NULL).unwrap().len(), 1);
+        // A crash verdict at the scan unwinds as an injected crash.
+        log.set_fault_hook(Some(Arc::new(|ev, _| {
+            if ev == IoEvent::LogRead {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        assert!(matches!(
+            log.scan_from(Lsn::NULL),
+            Err(LogError::InjectedCrash)
+        ));
     }
 
     #[test]
