@@ -46,6 +46,7 @@ fn two_partition_config(
         cache_capacity: None,
         policy: lob_core::BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
+        flush_policy: lob_core::FlushPolicy::Exact,
     }
 }
 

@@ -106,6 +106,14 @@ impl BackupCoordinator {
         *self.hook.lock() = hook;
     }
 
+    /// Whether a fault hook is installed. Batched sweeps check this once
+    /// per batch: with no hook, every consult would return `Proceed`
+    /// anyway, so the per-page hook-lock round-trip can be skipped without
+    /// changing behavior.
+    pub fn has_fault_hook(&self) -> bool {
+        self.hook.lock().is_some()
+    }
+
     /// Consult the fault hook (Proceed when none is installed).
     pub fn consult_fault(&self, ev: IoEvent, page: Option<PageId>) -> FaultVerdict {
         match self.hook.lock().clone() {

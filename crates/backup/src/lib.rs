@@ -30,6 +30,9 @@
 //!   from `S` into a [`image::BackupImage`], advancing the tracker between
 //!   steps exactly as §3.4 prescribes (including the degenerate 1-step
 //!   backup where only "backup is in progress" is known).
+//! * [`parallel::ParallelSweep`] — the threaded executor for the
+//!   per-partition scheme: one sweep worker per domain, batched page
+//!   copies ([`run::BackupRun::step_batch`]), per-domain fault isolation.
 //! * [`image::BackupImage`] — the backup `B` plus its media-recovery
 //!   metadata (`start_lsn`, completeness), with full and incremental
 //!   restore.
@@ -50,6 +53,7 @@ pub mod error;
 pub mod image;
 pub mod meta;
 pub mod order;
+pub mod parallel;
 pub mod run;
 pub mod tracker;
 
@@ -60,5 +64,6 @@ pub use error::BackupError;
 pub use image::BackupImage;
 pub use meta::{SuccMeta, SuccessorTable};
 pub use order::BackupOrder;
+pub use parallel::{ParallelSweep, WorkerReport};
 pub use run::{BackupRun, RunConfig};
 pub use tracker::{ProgressTracker, Region, TrackerGuard};

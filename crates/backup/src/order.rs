@@ -83,6 +83,28 @@ impl BackupOrder {
         (lo..hi.min(self.total)).filter_map(move |p| self.page_at(p))
     }
 
+    /// The contiguous per-partition index runs covering positions
+    /// `lo..hi`, in sweep order: each element is `(partition, first
+    /// index, one-past-last index)`. This is the batched form of
+    /// [`pages_in`](Self::pages_in) — O(partitions in the domain) instead
+    /// of a per-position [`page_at`](Self::page_at) scan, and the runs
+    /// feed [`lob_pagestore::StableStore::read_run`] directly.
+    pub fn runs_in(&self, lo: u64, hi: u64) -> Vec<(PartitionId, u32, u32)> {
+        let hi = hi.min(self.total);
+        let mut out = Vec::new();
+        let mut base = 0u64;
+        for &(pid, pages) in &self.sweep {
+            let end = base + pages as u64;
+            let s = lo.max(base);
+            let e = hi.min(end);
+            if s < e {
+                out.push((pid, (s - base) as u32, (e - base) as u32));
+            }
+            base = end;
+        }
+        out
+    }
+
     /// Evenly spaced step boundaries for an `n`-step sweep: the `P` values
     /// `P_1 < P_2 < … < P_n = total` (the last boundary is `Max`: once `P`
     /// reaches it, nothing is pending — §3.4).
@@ -153,6 +175,27 @@ mod tests {
             ]
         );
         assert!(o.pages_in(17, 99).count() == 1, "hi clamped to total");
+    }
+
+    #[test]
+    fn runs_in_agrees_with_pages_in() {
+        let o = order();
+        for lo in 0..=o.total() {
+            for hi in lo..=o.total() + 2 {
+                let paged: Vec<PageId> = o.pages_in(lo, hi).collect();
+                let run_pages: Vec<PageId> = o
+                    .runs_in(lo, hi)
+                    .into_iter()
+                    .flat_map(|(pid, s, e)| (s..e).map(move |i| PageId::new(pid.0, i)))
+                    .collect();
+                assert_eq!(paged, run_pages, "lo={lo} hi={hi}");
+            }
+        }
+        // Runs split exactly at partition boundaries.
+        assert_eq!(
+            o.runs_in(8, 12),
+            vec![(PartitionId(0), 8, 10), (PartitionId(2), 0, 2)]
+        );
     }
 
     #[test]

@@ -17,15 +17,28 @@
 //! with concurrent flushes is provided by the store's per-partition page
 //! lock ("coordination ... occurs at the disk arm").
 //!
+//! The domain's order and tracker are resolved once at [`BackupRun::begin`]
+//! and held in the run, so stepping never goes back through the
+//! coordinator's domain map. [`BackupRun::step_batch`] copies up to a whole
+//! batch of contiguous pages per store-lock round-trip
+//! ([`StableStore::read_run`]) through a reused page buffer that drains
+//! into the image as one bulk slot fill
+//! ([`lob_pagestore::PageImage::put_run`]); [`BackupRun::step`] is the
+//! one-page-per-round-trip special case, `step_batch(1)`.
+//!
 //! Stepping is pull-based so simulations can interleave workload operations
 //! between steps deterministically; for a live threaded backup, call
-//! [`BackupRun::run_to_completion`] from a spawned thread.
+//! [`BackupRun::run_to_completion`] from a spawned thread, or drive one run
+//! per domain with [`crate::ParallelSweep`].
 
 use crate::coordinator::{BackupCoordinator, DomainId};
 use crate::error::BackupError;
 use crate::image::BackupImage;
-use lob_pagestore::{FaultVerdict, IoEvent, Lsn, PageId, PageImage, StableStore};
+use crate::order::BackupOrder;
+use crate::tracker::ProgressTracker;
+use lob_pagestore::{FaultVerdict, IoEvent, Lsn, Page, PageId, PageImage, StableStore};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Configuration of one sweep.
 #[derive(Debug, Clone)]
@@ -74,6 +87,11 @@ pub struct BackupRun {
     backup_id: u64,
     start_lsn: Lsn,
     domain: DomainId,
+    /// The domain's order, resolved once at `begin` — stepping must not
+    /// re-resolve the domain through the coordinator map per call.
+    order: BackupOrder,
+    /// The domain's tracker, likewise hoisted out of the step path.
+    tracker: Arc<ProgressTracker>,
     boundaries: Vec<u64>,
     cursor: u64,
     next_step: usize,
@@ -82,6 +100,10 @@ pub struct BackupRun {
     base: Option<u64>,
     finished: bool,
     pages_copied: u64,
+    /// Page buffer for the batched path, reused across batches so a
+    /// steady-state sweep allocates nothing per run: `read_run` fills it
+    /// under the store lock, `put_run` drains it into the image.
+    buf: Vec<Page>,
 }
 
 impl BackupRun {
@@ -97,22 +119,27 @@ impl BackupRun {
         if config.steps == 0 {
             return Err(BackupError::BadConfig("steps must be >= 1".into()));
         }
-        let order = coordinator.order(config.domain)?;
+        let order = coordinator.order(config.domain)?.clone();
         if order.total() == 0 {
             return Err(BackupError::BadConfig("empty domain".into()));
         }
         let boundaries = order.step_boundaries(config.steps);
-        let tracker = coordinator.tracker(config.domain)?;
+        let tracker = Arc::clone(coordinator.tracker(config.domain)?);
         if tracker.is_active() {
             return Err(BackupError::BadState(
                 "a backup is already active in this domain".into(),
             ));
         }
-        tracker.begin(backup_id, boundaries[0]);
+        let Some(&first) = boundaries.first() else {
+            return Err(BackupError::BadConfig("empty domain".into()));
+        };
+        tracker.begin(backup_id, first);
         Ok(BackupRun {
             backup_id,
             start_lsn,
             domain: config.domain,
+            order,
+            tracker,
             boundaries,
             cursor: 0,
             next_step: 0,
@@ -121,12 +148,18 @@ impl BackupRun {
             base: config.base,
             finished: false,
             pages_copied: 0,
+            buf: Vec::new(),
         })
     }
 
     /// The run's backup id.
     pub fn backup_id(&self) -> u64 {
         self.backup_id
+    }
+
+    /// The domain this run sweeps.
+    pub fn domain(&self) -> DomainId {
+        self.domain
     }
 
     /// Steps remaining (including the one `step` would perform next).
@@ -156,17 +189,71 @@ impl BackupRun {
     /// Perform the next step: copy every (filtered) page in
     /// `[cursor, next boundary)` from `S`, then advance the tracker.
     /// Returns `true` when the sweep has completed.
+    ///
+    /// One page per store round-trip — `step_batch(1)`. The batched form
+    /// is strictly faster on full sweeps; this stays as the API the
+    /// simulations and older drills drive.
     pub fn step(
         &mut self,
         coordinator: &BackupCoordinator,
         store: &StableStore,
     ) -> Result<bool, BackupError> {
+        self.step_batch(coordinator, store, 1)
+    }
+
+    /// Perform the next step, copying up to `batch` contiguous pages per
+    /// store-lock round-trip ([`StableStore::read_run`]). Returns `true`
+    /// when the sweep has completed.
+    ///
+    /// A failed step leaves the cursor and the tracker untouched, so the
+    /// caller may repair and retry: pages already put into the image are
+    /// re-put with identical bytes on the retry.
+    ///
+    /// With a fault hook installed (or an incremental filter), the step
+    /// degrades to the per-page checked path so every
+    /// [`IoEvent::BackupCopy`] consult lands exactly as it would one page
+    /// at a time — batching never changes the fault surface.
+    pub fn step_batch(
+        &mut self,
+        coordinator: &BackupCoordinator,
+        store: &StableStore,
+        batch: u32,
+    ) -> Result<bool, BackupError> {
         if self.finished {
             return Err(BackupError::BadState("step after completion".into()));
         }
-        let order = coordinator.order(self.domain)?;
-        let hi = self.boundaries[self.next_step];
-        for page_id in order.pages_in(self.cursor, hi) {
+        let Some(&hi) = self.boundaries.get(self.next_step) else {
+            return Err(BackupError::BadState("step past the last boundary".into()));
+        };
+        if self.filter.is_some() || coordinator.has_fault_hook() {
+            self.copy_pages_checked(coordinator, store, hi)?;
+        } else {
+            self.copy_runs(store, hi, batch.max(1) as u64)?;
+        }
+        self.cursor = hi;
+        self.next_step += 1;
+        if self.next_step == self.boundaries.len() {
+            self.tracker.finish();
+            self.finished = true;
+        } else if let Some(&next) = self.boundaries.get(self.next_step) {
+            self.tracker.advance(next);
+        }
+        Ok(self.finished)
+    }
+
+    /// The per-page copy path: consult the fault hook before every copy,
+    /// then read through the store's own checked read. Exact event-stream
+    /// and damage semantics of the original one-page sweep.
+    fn copy_pages_checked(
+        &mut self,
+        coordinator: &BackupCoordinator,
+        store: &StableStore,
+        hi: u64,
+    ) -> Result<(), BackupError> {
+        for pos in self.cursor..hi {
+            let Some(page_id) = self.order.page_at(pos) else {
+                continue;
+            };
             if let Some(f) = &self.filter {
                 if !f.contains(&page_id) {
                     continue;
@@ -196,16 +283,26 @@ impl BackupRun {
             self.image.put(page_id, page);
             self.pages_copied += 1;
         }
-        self.cursor = hi;
-        self.next_step += 1;
-        let tracker = coordinator.tracker(self.domain)?;
-        if self.next_step == self.boundaries.len() {
-            tracker.finish();
-            self.finished = true;
-        } else {
-            tracker.advance(self.boundaries[self.next_step]);
+        Ok(())
+    }
+
+    /// The batched copy path: split `[cursor, hi)` into contiguous
+    /// per-partition runs of at most `batch` pages, read each run under a
+    /// single store-lock acquisition ([`StableStore::read_run`]) into the
+    /// reused buffer, and drain it into the image as one bulk slot fill
+    /// ([`lob_pagestore::PageImage::put_run`]).
+    fn copy_runs(&mut self, store: &StableStore, hi: u64, batch: u64) -> Result<(), BackupError> {
+        let mut pos = self.cursor;
+        while pos < hi {
+            let stop = hi.min(pos + batch);
+            for (pid, lo_idx, hi_idx) in self.order.runs_in(pos, stop) {
+                store.read_run(pid, lo_idx, hi_idx, &mut self.buf)?;
+                self.pages_copied += self.buf.len() as u64;
+                self.image.put_run(pid, lo_idx, &mut self.buf);
+            }
+            pos = stop;
         }
-        Ok(self.finished)
+        Ok(())
     }
 
     /// Run every remaining step back to back (live threaded backup).
@@ -219,11 +316,9 @@ impl BackupRun {
     }
 
     /// Abort the sweep: deactivate the tracker and discard the image.
-    pub fn abort(self, coordinator: &BackupCoordinator) {
-        if let Ok(t) = coordinator.tracker(self.domain) {
-            if !self.finished {
-                t.finish();
-            }
+    pub fn abort(self, _coordinator: &BackupCoordinator) {
+        if !self.finished {
+            self.tracker.finish();
         }
     }
 
@@ -386,6 +481,69 @@ mod tests {
             run.step(&coord, &store),
             Err(BackupError::Store(_))
         ));
+    }
+
+    #[test]
+    fn media_failure_mid_batch_surfaces_and_cursor_holds() {
+        let (store, coord) = setup(8);
+        store.fail_range(PartitionId(0), 5, 6).unwrap();
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 1), 1, Lsn(1)).unwrap();
+        assert!(matches!(
+            run.step_batch(&coord, &store, 4),
+            Err(BackupError::Store(_))
+        ));
+        // The failed step left the cursor and tracker in place: clearing
+        // the failure and retrying completes the sweep.
+        assert_eq!(run.steps_remaining(), 1);
+        store.clear_failures(PartitionId(0)).unwrap();
+        assert!(run.step_batch(&coord, &store, 4).unwrap());
+        // The retry re-copies the whole step range; runs drained before the
+        // failing one were re-put with identical bytes (copied twice, held
+        // once).
+        assert_eq!(run.pages_copied(), 12);
+        assert_eq!(run.partial_image().len(), 8);
+    }
+
+    #[test]
+    fn batched_and_single_step_images_bit_identical() {
+        // The named batching regression: over a quiescent store, a batched
+        // sweep and a one-page-per-round-trip sweep of the same workload
+        // must produce bit-identical backup images, for every batch size.
+        let (store, coord) = setup(16);
+        let mut single =
+            BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        while !single.step(&coord, &store).unwrap() {}
+        let single_img = single.into_image().unwrap();
+        for batch in [1u32, 2, 3, 5, 16, 64] {
+            let mut batched =
+                BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 2, Lsn(1)).unwrap();
+            while !batched.step_batch(&coord, &store, batch).unwrap() {}
+            let img = batched.into_image().unwrap();
+            assert_eq!(img.page_count(), single_img.page_count(), "batch={batch}");
+            for i in 0..16 {
+                let id = PageId::new(0, i);
+                let a = single_img.pages.get(id).unwrap();
+                let b = img.pages.get(id).unwrap();
+                assert_eq!(a.lsn(), b.lsn(), "batch={batch} page={id}");
+                assert_eq!(a.data(), b.data(), "batch={batch} page={id}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sweep_tracks_progress_like_single() {
+        let (store, coord) = setup(16);
+        let mut run = BackupRun::begin(&coord, RunConfig::full(DomainId(0), 4), 1, Lsn(1)).unwrap();
+        run.step_batch(&coord, &store, 64).unwrap(); // copied [0,4), D=4 P=8
+        {
+            let latch = coord.latch_for(&[PageId::new(0, 0)]);
+            assert_eq!(latch.classify(PageId::new(0, 0)), Region::Done);
+            assert_eq!(latch.classify(PageId::new(0, 5)), Region::Doubt);
+            assert_eq!(latch.classify(PageId::new(0, 8)), Region::Pend);
+        }
+        while !run.step_batch(&coord, &store, 64).unwrap() {}
+        assert!(!coord.tracker(DomainId(0)).unwrap().is_active());
+        assert_eq!(run.pages_copied(), 16);
     }
 
     #[test]

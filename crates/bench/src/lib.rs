@@ -25,8 +25,32 @@
 //! Figure 5 simulation, and B-tree operations under both split-logging
 //! modes.
 
-use lob_core::{BackupPolicy, Discipline, Engine, EngineConfig, PageId};
+use lob_core::{
+    BackupPolicy, Discipline, Engine, EngineConfig, FlushPolicy, GraphMode, LogBacking, PageId,
+    PartitionSpec, Tracking,
+};
 use lob_harness::{ShadowOracle, WorkloadGen};
+
+/// Build the engine for `config`, write every page of every partition
+/// once, quiesce, and zero the stats.
+fn prefill(config: EngineConfig, seed: u64) -> Result<(Engine, ShadowOracle, WorkloadGen), String> {
+    let page_size = config.page_size;
+    let specs = config.partitions.clone();
+    let mut engine = Engine::new(config).map_err(|e| format!("engine config: {e}"))?;
+    let mut oracle = ShadowOracle::new(page_size);
+    let mut gen = WorkloadGen::new(seed, page_size);
+    for (p, spec) in specs.iter().enumerate() {
+        for i in 0..spec.pages {
+            let op = gen.physical(PageId::new(p as u32, i));
+            oracle.execute(&mut engine, op)?;
+        }
+    }
+    engine
+        .flush_all()
+        .map_err(|e| format!("prefill flush: {e}"))?;
+    engine.coordinator().stats().reset();
+    Ok((engine, oracle, gen))
+}
 
 /// Build a quiesced single-partition engine prefilled on every page.
 ///
@@ -39,29 +63,61 @@ pub fn prefilled_engine(
     policy: BackupPolicy,
     seed: u64,
 ) -> (Engine, ShadowOracle, WorkloadGen) {
-    let mut engine = Engine::new(EngineConfig {
-        discipline,
-        policy,
-        ..EngineConfig::single(pages, page_size)
-    })
+    prefill(
+        EngineConfig {
+            discipline,
+            policy,
+            ..EngineConfig::single(pages, page_size)
+        },
+        seed,
+    )
     // lint:allow(panic) bench setup: aborting the experiment binary is correct
-    .expect("engine config");
-    let mut oracle = ShadowOracle::new(page_size);
-    let mut gen = WorkloadGen::new(seed, page_size);
-    for i in 0..pages {
-        let op = gen.physical(PageId::new(0, i));
-        // lint:allow(panic) bench setup: aborting the experiment binary is correct
-        oracle.execute(&mut engine, op).expect("prefill");
-    }
+    .expect("prefill")
+}
+
+/// Build a quiesced engine with `partitions` equal per-partition backup
+/// domains, prefilled on every page — the starting state of the
+/// partition-parallel experiments and benches (§3.4).
+pub fn prefilled_multi_engine(
+    partitions: u32,
+    pages_per_partition: u32,
+    page_size: usize,
+    seed: u64,
+) -> (Engine, ShadowOracle, WorkloadGen) {
+    prefill(
+        EngineConfig {
+            page_size,
+            partitions: (0..partitions)
+                .map(|_| PartitionSpec {
+                    pages: pages_per_partition,
+                })
+                .collect(),
+            discipline: Discipline::General,
+            graph_mode: GraphMode::Refined,
+            tracking: Tracking::PerPartition,
+            cache_capacity: None,
+            policy: BackupPolicy::Protocol,
+            log: LogBacking::Memory,
+            flush_policy: FlushPolicy::Exact,
+        },
+        seed,
+    )
     // lint:allow(panic) bench setup: aborting the experiment binary is correct
-    engine.flush_all().expect("prefill flush");
-    engine.coordinator().stats().reset();
-    (engine, oracle, gen)
+    .expect("prefill")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prefilled_multi_engine_is_quiesced_per_partition() {
+        let (engine, oracle, _) = prefilled_multi_engine(4, 8, 64, 1);
+        assert_eq!(engine.cache().dirty_count(), 0);
+        assert_eq!(engine.coordinator().domain_count(), 4);
+        assert_eq!(oracle.len(), 32);
+        assert!(oracle.verify_store(&engine, lob_core::Lsn::MAX).is_ok());
+    }
 
     #[test]
     fn prefilled_engine_is_quiesced() {

@@ -61,6 +61,24 @@ pub enum BackupPolicy {
     LinkedFlush,
 }
 
+/// How eagerly `execute` forces the log when an identity write (`W_IP`)
+/// must become durable before its page flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Force exactly up to the LSN the WAL rule requires. Every identity
+    /// write during a sweep pays its own force round-trip; the durable
+    /// log advances in lock-step with the rule — the measurement-friendly
+    /// (and model-checker-friendly) default.
+    #[default]
+    Exact,
+    /// Force the whole appended tail whenever a force is required, so
+    /// records appended since the last force ride along in one group
+    /// commit ([`lob_wal::LogStore::append_batch`] — one write + flush on
+    /// a file-backed log). Forcing more than required is always
+    /// WAL-correct; it only makes extra records durable early.
+    Group,
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -81,6 +99,8 @@ pub struct EngineConfig {
     pub policy: BackupPolicy,
     /// Durable log backing.
     pub log: LogBacking,
+    /// Log force batching.
+    pub flush_policy: FlushPolicy,
 }
 
 impl EngineConfig {
@@ -97,6 +117,7 @@ impl EngineConfig {
             cache_capacity: None,
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
+            flush_policy: FlushPolicy::Exact,
         }
     }
 

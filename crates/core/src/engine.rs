@@ -1,12 +1,12 @@
 //! The engine.
 
-use crate::config::{BackupPolicy, Discipline, EngineConfig, LogBacking, Tracking};
+use crate::config::{BackupPolicy, Discipline, EngineConfig, FlushPolicy, LogBacking, Tracking};
 use crate::error::EngineError;
 use crate::stats::EngineStats;
 use bytes::Bytes;
 use lob_backup::{
-    BackupCatalog, BackupCoordinator, BackupError, BackupImage, BackupRun, DomainId, RunConfig,
-    SuccessorTable,
+    BackupCatalog, BackupCoordinator, BackupError, BackupImage, BackupRun, DomainId, ParallelSweep,
+    RunConfig, SuccessorTable,
 };
 use lob_cache::{CacheError, CacheManager, CacheReader};
 use lob_ops::{OpBody, OpError, TreeForm};
@@ -454,6 +454,18 @@ impl Engine {
         Ok(lsn)
     }
 
+    /// The LSN a WAL-required force actually targets, per the configured
+    /// [`FlushPolicy`]: exactly `required`, or the whole appended tail
+    /// (`Lsn::MAX`) so pending records ride along in one group commit.
+    /// Forcing beyond `required` is always WAL-correct — it only makes
+    /// records durable early.
+    fn force_target(&self, required: Lsn) -> Lsn {
+        match self.config.flush_policy {
+            FlushPolicy::Exact => required,
+            FlushPolicy::Group => Lsn::MAX,
+        }
+    }
+
     /// Install one write-graph node (it must have no predecessors): decide
     /// Iw/oF per object under the backup latch, log identity writes where
     /// required, flush the node's `vars` to `S` (WAL-protocol-checked), and
@@ -467,7 +479,7 @@ impl Engine {
         // already be overwritten in S by the time recovery runs).
         let wal_floor = self.graph.wal_floor(node)?;
         if vars.is_empty() {
-            self.log.force(wal_floor)?;
+            self.log.force(self.force_target(wal_floor))?;
             self.graph.install_node(node)?;
             self.stats.nodes_installed_free += 1;
             return Ok(());
@@ -528,7 +540,7 @@ impl Engine {
             .filter_map(|&v| self.cache.peek(v).map(|p| p.lsn()))
             .max()
             .unwrap_or(Lsn::NULL);
-        self.log.force(max_lsn.max(wal_floor))?;
+        self.log.force(self.force_target(max_lsn.max(wal_floor)))?;
         self.cache
             .write_out(&vars, &self.store, self.log.durable_lsn())?;
         self.stats.pages_flushed += vars.len() as u64;
@@ -791,10 +803,23 @@ impl Engine {
 
     /// Advance an on-line backup by one step (copy + cursor advance).
     /// Between calls, the engine is free to execute and flush — that is the
-    /// "on-line" in on-line backup.
+    /// "on-line" in on-line backup. One page per store round-trip:
+    /// [`Engine::backup_step_batch`] with a batch of 1.
     pub fn backup_step(&mut self, run: &mut BackupRun) -> Result<bool, EngineError> {
+        self.backup_step_batch(run, 1)
+    }
+
+    /// Advance an on-line backup by one step, copying up to `batch`
+    /// contiguous pages per store round-trip
+    /// ([`lob_backup::BackupRun::step_batch`]).
+    pub fn backup_step_batch(
+        &mut self,
+        run: &mut BackupRun,
+        batch: u32,
+    ) -> Result<bool, EngineError> {
         if !self.self_healing() {
-            return Ok(run.step(&self.coordinator, &self.store)?);
+            self.stats.sweep_batches += 1;
+            return Ok(run.step_batch(&self.coordinator, &self.store, batch)?);
         }
         // A sweep copy read can hit detectable damage just like any other
         // read. A failed step leaves the cursor and tracker untouched, so
@@ -803,7 +828,8 @@ impl Engine {
         let mut rounds = 0u32;
         let mut transient_attempts = 0u32;
         loop {
-            match run.step(&self.coordinator, &self.store) {
+            self.stats.sweep_batches += 1;
+            match run.step_batch(&self.coordinator, &self.store, batch) {
                 Err(BackupError::Store(StoreError::Transient(p))) => {
                     let backoff = self.repair_backoff(p);
                     transient_attempts += 1;
@@ -824,6 +850,128 @@ impl Engine {
                 r => return Ok(r?),
             }
         }
+    }
+
+    /// Back up every domain concurrently — the paper's partition-parallel
+    /// scheme (§3.4): one sweep worker thread per coordinator domain, each
+    /// copying up to `batch` contiguous pages per store round-trip, `steps`
+    /// progress steps per domain.
+    ///
+    /// The engine thread blocks for the duration (the sweep reads `S`
+    /// directly, so nothing here executes operations meanwhile — drive
+    /// [`Engine::backup_step_batch`] per run instead when the workload must
+    /// interleave on this thread; with real concurrent writers the workers
+    /// race them exactly as §3.4 intends). On success every domain's image
+    /// is returned, `BackupEnd`-logged, in domain order. A domain that
+    /// fails its sweep is healed and finished on this thread when
+    /// self-healing is engaged and the error is repairable; otherwise
+    /// every other domain is aborted and the first error surfaces.
+    pub fn parallel_backup(
+        &mut self,
+        steps: u32,
+        batch: u32,
+    ) -> Result<Vec<BackupImage>, EngineError> {
+        let mut runs = Vec::with_capacity(self.coordinator.domain_count() as usize);
+        for d in 0..self.coordinator.domain_count() {
+            match self.begin_backup_inner(DomainId(d), steps, false, None) {
+                Ok(r) => runs.push(r),
+                Err(e) => {
+                    for r in runs {
+                        self.abort_backup(r);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let reports = ParallelSweep::sweep(&self.coordinator, &self.store, runs, batch);
+        let mut finished: Vec<BackupRun> = Vec::with_capacity(reports.len());
+        let mut failure: Option<EngineError> = None;
+        for rep in reports {
+            self.stats.sweep_batches += rep.batches;
+            self.stats.sweep_workers += 1;
+            match (rep.outcome, rep.run) {
+                (Ok(()), Some(run)) => finished.push(run),
+                (Err(e), Some(mut run)) => {
+                    // The worker parked its run (cursor and tracker held).
+                    // If the damage is repairable, heal and finish the
+                    // domain on this thread through the step heal loop.
+                    if self.self_healing() && Engine::is_healable_backup_error(&e) {
+                        match self.finish_run_healing(&mut run, batch) {
+                            Ok(()) => {
+                                finished.push(run);
+                                continue;
+                            }
+                            Err(e2) => {
+                                self.abort_backup(run);
+                                if failure.is_none() {
+                                    failure = Some(e2);
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    self.abort_backup(run);
+                    if failure.is_none() {
+                        failure = Some(EngineError::Backup(e));
+                    }
+                }
+                (outcome, None) => {
+                    // The worker panicked and took its run with it: reset
+                    // the domain by hand (tracker, changed set, retention).
+                    if let Ok(t) = self.coordinator.tracker(rep.domain) {
+                        if t.is_active() {
+                            t.finish();
+                        }
+                    }
+                    if let Some(i) = self
+                        .taken_changed
+                        .iter()
+                        .position(|(id, _)| *id == rep.backup_id)
+                    {
+                        let (_, changed) = self.taken_changed.swap_remove(i);
+                        self.coordinator.restore_changed(changed);
+                    }
+                    self.release_backup(rep.backup_id);
+                    if failure.is_none() {
+                        failure = Some(EngineError::Backup(match outcome {
+                            Err(e) => e,
+                            Ok(()) => BackupError::BadState("sweep worker lost its run".into()),
+                        }));
+                    }
+                }
+            }
+        }
+        if let Some(e) = failure {
+            for run in finished {
+                self.abort_backup(run);
+            }
+            return Err(e);
+        }
+        finished.sort_by_key(|r| r.domain().0);
+        let mut images = Vec::with_capacity(finished.len());
+        for run in finished {
+            images.push(self.complete_backup(run)?);
+        }
+        Ok(images)
+    }
+
+    /// Whether a parked sweep error is one the step heal loop can repair.
+    fn is_healable_backup_error(e: &BackupError) -> bool {
+        matches!(
+            e,
+            BackupError::Store(
+                StoreError::Transient(_)
+                    | StoreError::Corrupt(_)
+                    | StoreError::MediaFailure(_)
+                    | StoreError::Quarantined(_),
+            )
+        )
+    }
+
+    /// Drive a parked run to completion through the healing step loop.
+    fn finish_run_healing(&mut self, run: &mut BackupRun, batch: u32) -> Result<(), EngineError> {
+        while !self.backup_step_batch(run, batch)? {}
+        Ok(())
     }
 
     /// Complete a finished backup run: logs `BackupEnd` and returns the

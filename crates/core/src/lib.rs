@@ -58,7 +58,7 @@
 //!   and the two broken-by-design baselines (naive fuzzy dump and linked
 //!   flush) used by the experiments.
 //! * [`config`] — [`EngineConfig`], [`Discipline`], [`Tracking`],
-//!   [`BackupPolicy`].
+//!   [`BackupPolicy`], [`FlushPolicy`].
 //! * [`error`] — [`EngineError`].
 //! * [`stats`] — [`EngineStats`].
 
@@ -67,13 +67,15 @@ pub mod engine;
 pub mod error;
 pub mod stats;
 
-pub use config::{BackupPolicy, Discipline, EngineConfig, LogBacking, Tracking};
+pub use config::{BackupPolicy, Discipline, EngineConfig, FlushPolicy, LogBacking, Tracking};
 pub use engine::{Engine, LinkedBackupRun};
 pub use error::EngineError;
 pub use stats::EngineStats;
 
 // Re-export the vocabulary types downstream users need.
-pub use lob_backup::{BackupCatalog, BackupImage, BackupRun, DomainId, Region, RunConfig};
+pub use lob_backup::{
+    BackupCatalog, BackupImage, BackupRun, DomainId, ParallelSweep, Region, RunConfig, WorkerReport,
+};
 pub use lob_ops::{LogicalOp, OpBody, OpClass, PhysioOp, RecPage, TreeForm};
 pub use lob_pagestore::{
     CorruptionEntry, CorruptionReport, Lsn, Page, PageId, PartitionId, PartitionSpec,

@@ -35,6 +35,11 @@ pub struct EngineStats {
     /// Transient-I/O read attempts retried under the deterministic backoff
     /// schedule (store, log, and backup-image reads combined).
     pub transient_retries: u64,
+    /// Batched sweep round-trips performed by backup steps (one per
+    /// `step_batch` call, whatever the batch size).
+    pub sweep_batches: u64,
+    /// Sweep workers run to completion by partition-parallel backups.
+    pub sweep_workers: u64,
 }
 
 impl EngineStats {
@@ -55,6 +60,8 @@ impl EngineStats {
             repairs: self.repairs - earlier.repairs,
             repair_fallbacks: self.repair_fallbacks - earlier.repair_fallbacks,
             transient_retries: self.transient_retries - earlier.transient_retries,
+            sweep_batches: self.sweep_batches - earlier.sweep_batches,
+            sweep_workers: self.sweep_workers - earlier.sweep_workers,
         }
     }
 }

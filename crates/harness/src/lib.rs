@@ -25,6 +25,7 @@
 //! * [`report`] — plain-text table formatting for the experiment binaries.
 
 pub mod fault;
+pub mod parallel;
 pub mod report;
 pub mod scenarios;
 pub mod shadow;
@@ -33,6 +34,10 @@ pub mod torture;
 pub mod workload;
 
 pub use fault::{sample_indices, FaultKind, FaultPlan};
+pub use parallel::{
+    combine_images, DrillPath, ParallelCaseResult, ParallelDrillConfig, ParallelDrillReport,
+    ParallelDrillRunner,
+};
 pub use report::Table;
 pub use scenarios::{
     fig1_split_scenario, random_session, Fig1Outcome, SessionConfig, SessionReport,

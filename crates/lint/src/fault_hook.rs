@@ -85,10 +85,10 @@ pub const REGISTRY: &[Site] = &[
     },
     Site {
         file: "backup/src/run.rs",
-        func: "step",
+        func: "copy_pages_checked",
         events: &["BackupCopy"],
         coverage: Coverage::Direct,
-        note: "per page the fuzzy sweep copies into the backup image",
+        note: "per page the fuzzy sweep copies into the backup image; every hooked or filtered step_batch routes here so batching never changes the fault surface",
     },
     Site {
         file: "pagestore/src/store.rs",
@@ -117,6 +117,13 @@ pub const REGISTRY: &[Site] = &[
         events: &[],
         coverage: Coverage::Delegated,
         note: "raw frame write; only reachable via LogManager::force, which consults per frame",
+    },
+    Site {
+        file: "wal/src/store.rs",
+        func: "append_batch",
+        events: &[],
+        coverage: Coverage::Delegated,
+        note: "raw frame-batch write (group force); only reachable via LogManager::force, which consults once per frame before handing the gated batch down",
     },
     Site {
         file: "wal/src/store.rs",

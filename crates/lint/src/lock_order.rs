@@ -103,6 +103,14 @@ impl Config {
                     method: "consult_fault",
                     lock: "backup/coordinator.hook",
                 },
+                // The batched sweep's per-step probe locks the hook mutex
+                // inside the helper to decide checked-vs-batched copying.
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "has_fault_hook",
+                    lock: "backup/coordinator.hook",
+                },
                 // Tracker cursor movement acquires the state latch in
                 // exclusive mode inside the helper; surface it at the
                 // call sites the workspace-wide scope now reaches

@@ -52,8 +52,9 @@ fn lock_order_graph_is_acyclic() {
             .collect::<Vec<_>>()
     );
     // And the workspace-wide scope must see beyond the historical
-    // hand-listed files: `BackupRun::step` consults the coordinator hook
-    // and then moves the tracker cursor, both through helpers.
+    // hand-listed files: `BackupRun::step_batch` probes the coordinator
+    // hook (to pick the checked or batched copy path) and then moves the
+    // tracker cursor, both through helpers.
     assert!(
         edges.iter().any(|e| e.from == "backup/coordinator.hook"
             && e.to == "backup/tracker.state"

@@ -28,6 +28,14 @@ impl IoStats {
         self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Account a batched read of `pages` pages totalling `bytes` bytes
+    /// with one counter round-trip (the batched sweep path reads many
+    /// pages per lock acquisition and accounts them the same way).
+    pub fn record_read_batch(&self, pages: u64, bytes: u64) {
+        self.page_reads.fetch_add(pages, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Account one page write of `bytes` bytes.
     pub fn record_write(&self, bytes: usize) {
         self.page_writes.fetch_add(1, Ordering::Relaxed);

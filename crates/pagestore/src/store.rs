@@ -344,6 +344,81 @@ impl StableStore {
         Ok(page)
     }
 
+    /// Read the contiguous run of pages `lo..hi` of one partition into
+    /// `out` (cleared first), acquiring the partition lock once for the
+    /// whole run instead of once per page. This is the batched sweep read
+    /// path: a [`crate::PageId`]-at-a-time copy pays the hook check, the
+    /// lock round-trip, and the stats update per page; a run pays them
+    /// per batch.
+    ///
+    /// With a fault hook installed the run degrades to per-page
+    /// [`StableStore::read_page`] calls, so every [`IoEvent::PageRead`]
+    /// consult and damage verdict lands exactly as it would one page at a
+    /// time — batching must not change the fault surface. Without a hook
+    /// the per-page failure checks (quarantine, failed ranges, checksum)
+    /// are identical; only the locking is amortized.
+    pub fn read_run(
+        &self,
+        pid: PartitionId,
+        lo: u32,
+        hi: u32,
+        out: &mut Vec<Page>,
+    ) -> Result<(), StoreError> {
+        out.clear();
+        if hi <= lo {
+            return Ok(());
+        }
+        if self.hook.read().is_some() {
+            for index in lo..hi {
+                out.push(self.read_page(PageId {
+                    partition: pid,
+                    index,
+                })?);
+            }
+            return Ok(());
+        }
+        let part = self.part(pid)?;
+        out.reserve((hi - lo) as usize);
+        let mut bytes = 0u64;
+        let guard = part.read();
+        // Hoist the emptiness checks: a healthy partition (the common
+        // case) skips the per-page quarantine and failed-range probes.
+        let quarantine_free = guard.quarantined.is_empty();
+        let failure_free = !guard.failed && guard.failed_ranges.is_empty();
+        for index in lo..hi {
+            let id = PageId {
+                partition: pid,
+                index,
+            };
+            if !quarantine_free && guard.quarantined.contains(&index) {
+                return Err(StoreError::Quarantined(id));
+            }
+            if !failure_free && guard.is_failed(index) {
+                return Err(StoreError::MediaFailure(id));
+            }
+            let page = guard
+                .pages
+                .get(index as usize)
+                .cloned()
+                .ok_or(StoreError::NoSuchPage(id))?;
+            let expected = guard
+                .sums
+                .get(index as usize)
+                .copied()
+                .ok_or(StoreError::NoSuchPage(id))?;
+            if page.checksum() != expected {
+                return Err(StoreError::Corrupt(id));
+            }
+            bytes += page.len() as u64;
+            out.push(page);
+        }
+        drop(guard);
+        if let Some(s) = self.stats.get(pid.0 as usize) {
+            s.record_read_batch((hi - lo) as u64, bytes);
+        }
+        Ok(())
+    }
+
     /// Atomically write a page. Writing to a failed region is permitted: it
     /// models writing to the replacement medium during restore.
     ///

@@ -36,4 +36,4 @@ pub use codec::{decode_record, encode_record, CodecError};
 pub use manager::{LogError, LogManager};
 pub use record::{LogRecord, RecordBody};
 pub use stats::LogStats;
-pub use store::{FileLogStore, LogStore, MemLogStore};
+pub use store::{BatchAppend, FileLogStore, LogStore, MemLogStore};

@@ -151,13 +151,18 @@ impl LogManager {
         }
     }
 
-    /// Durably persist all appended records with `lsn <= upto`.
+    /// Durably persist all appended records with `lsn <= upto` — as a
+    /// **group force**: every frame that passes the fault gate is handed to
+    /// the store in one [`LogStore::append_batch`] call, so a file-backed
+    /// store pays a single write + flush for the whole force instead of a
+    /// round per frame.
     ///
     /// With a fault hook installed, the force may crash before any frame is
     /// persisted (verdict at [`IoEvent::LogForce`]) or between frames
-    /// (verdict at [`IoEvent::LogAppend`]). Frames persisted before the
-    /// crash point stay durable; the rest remain in the volatile tail and
-    /// are lost when the crash is completed with [`LogManager::crash`] —
+    /// (verdict at [`IoEvent::LogAppend`], consulted once per frame in LSN
+    /// order before the batch is issued). Frames gated before the crash
+    /// point become durable; the rest remain in the volatile tail and are
+    /// lost when the crash is completed with [`LogManager::crash`] —
     /// exactly the "lost unforced tail" a real power failure produces.
     pub fn force(&mut self, upto: Lsn) -> Result<(), LogError> {
         let n = self.tail.partition_point(|(l, _)| *l <= upto);
@@ -168,12 +173,14 @@ impl LogManager {
             FaultVerdict::Crash | FaultVerdict::TornWrite => return Err(LogError::InjectedCrash),
             _ => {}
         }
-        let mut persisted = 0usize;
+        // Gate each frame through the hook first; the passing prefix is
+        // the batch. A torn frame append never becomes durable (the
+        // store's frame checksum rejects it on scan), so gating a frame
+        // out is equivalent to it — and everything after it — simply not
+        // reaching the disk.
+        let mut gate = 0usize;
         let mut outcome = Ok(());
-        while persisted < n {
-            // A torn frame append never becomes durable: the store's frame
-            // checksum would reject it on scan, so it is equivalent to the
-            // frame (and everything after it) simply not reaching the disk.
+        while gate < n {
             match self.consult(IoEvent::LogAppend) {
                 FaultVerdict::Crash | FaultVerdict::TornWrite => {
                     outcome = Err(LogError::InjectedCrash);
@@ -181,21 +188,26 @@ impl LogManager {
                 }
                 _ => {}
             }
-            let Some((lsn, frame)) = self.tail.get(persisted).cloned() else {
-                break; // persisted < n <= tail.len(), so this never fires
-            };
-            if let Err(e) = self.store.append(lsn, frame) {
-                outcome = Err(if is_injected_crash_io_error(&e) {
-                    LogError::InjectedCrash
-                } else {
-                    LogError::Io(e)
-                });
-                break;
-            }
-            self.durable = lsn;
-            persisted += 1;
+            gate += 1;
         }
-        self.tail.drain(..persisted);
+        let batch = self
+            .store
+            .append_batch(self.tail.get(..gate).unwrap_or_default());
+        let appended = batch.appended.min(gate);
+        if let Some((lsn, _)) = appended.checked_sub(1).and_then(|i| self.tail.get(i)) {
+            self.durable = *lsn;
+        }
+        if let Some(e) = batch.error {
+            // A store-level failure outranks a gate crash: it is the error
+            // that actually bounded the durable prefix.
+            outcome = Err(if is_injected_crash_io_error(&e) {
+                LogError::InjectedCrash
+            } else {
+                LogError::Io(e)
+            });
+        }
+        self.stats.record_force(appended as u64);
+        self.tail.drain(..appended);
         outcome
     }
 
@@ -514,6 +526,28 @@ mod tests {
             log.scan_from(Lsn::NULL),
             Err(LogError::InjectedCrash)
         ));
+    }
+
+    #[test]
+    fn group_force_batches_whole_tail() {
+        let mut log = LogManager::in_memory();
+        for i in 0..5 {
+            log.append(phys(i));
+        }
+        log.force_all().unwrap();
+        assert_eq!(log.stats().forces, 1);
+        assert_eq!(log.stats().forced_frames, 5, "one force, five frames");
+        // Per-record forces pay a force round-trip each.
+        for i in 5..8 {
+            log.append(phys(i));
+            log.force_all().unwrap();
+        }
+        assert_eq!(log.stats().forces, 4);
+        assert_eq!(log.stats().forced_frames, 8);
+        // Empty forces don't count.
+        log.force_all().unwrap();
+        assert_eq!(log.stats().forces, 4);
+        assert_eq!(log.scan_from(Lsn::NULL).unwrap().len(), 8);
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub struct LogStats {
     pub records: u64,
     /// Total encoded bytes appended.
     pub bytes: u64,
+    /// Forces that reached the durable store (had frames to persist).
+    pub forces: u64,
+    /// Frames persisted across those forces. `forced_frames / forces` is
+    /// the group-commit batching factor: 1.0 means every record paid a
+    /// full force round-trip, higher means forces were amortized.
+    pub forced_frames: u64,
     /// Per-label `(records, bytes)`.
     pub by_label: BTreeMap<&'static str, (u64, u64)>,
 }
@@ -32,6 +38,12 @@ impl LogStats {
         let e = self.by_label.entry(label).or_insert((0, 0));
         e.0 += 1;
         e.1 += bytes as u64;
+    }
+
+    /// Account one non-empty force persisting `frames` frames.
+    pub fn record_force(&mut self, frames: u64) {
+        self.forces += 1;
+        self.forced_frames += frames;
     }
 
     /// `(records, bytes)` appended under `label`.
@@ -63,6 +75,8 @@ impl LogStats {
         LogStats {
             records: self.records.saturating_sub(earlier.records),
             bytes: self.bytes.saturating_sub(earlier.bytes),
+            forces: self.forces.saturating_sub(earlier.forces),
+            forced_frames: self.forced_frames.saturating_sub(earlier.forced_frames),
             by_label,
         }
     }
@@ -106,5 +120,19 @@ mod tests {
         assert_eq!(d.bytes, 15);
         assert_eq!(d.label("W_P"), (1, 10));
         assert_eq!(d.label("Mix"), (1, 5));
+    }
+
+    #[test]
+    fn force_counters_accumulate_and_subtract() {
+        let mut a = LogStats::new();
+        a.record_force(1);
+        let snap = a.clone();
+        a.record_force(7);
+        a.record_force(3);
+        assert_eq!(a.forces, 3);
+        assert_eq!(a.forced_frames, 11);
+        let d = a.since(&snap);
+        assert_eq!(d.forces, 2);
+        assert_eq!(d.forced_frames, 10);
     }
 }

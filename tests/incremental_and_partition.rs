@@ -133,6 +133,7 @@ fn multi() -> (Engine, ShadowOracle, WorkloadGen) {
         cache_capacity: None,
         policy: BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
+        flush_policy: lob_core::FlushPolicy::Exact,
     })
     .unwrap();
     let mut o = ShadowOracle::new(128);
