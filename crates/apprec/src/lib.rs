@@ -47,6 +47,7 @@ fn two_partition_config(
         policy: lob_core::BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
         flush_policy: lob_core::FlushPolicy::Exact,
+        recovery: lob_core::RecoveryConfig::sequential(),
     }
 }
 

@@ -184,6 +184,56 @@ impl BackupCatalog {
         Ok(page.clone())
     }
 
+    /// Fetch a whole generation image for a catalog-sourced restore,
+    /// verifying every page copy against the checksum recorded at
+    /// registration. One [`IoEvent::ImageRead`] consult (with no page)
+    /// covers the batched fetch — the image streams off the backup medium
+    /// in one sequential read, so the fault surface is one event, not one
+    /// per page. Damage verdicts rot the stored copy of the image's first
+    /// page; the checksum verification below is what detects and reports
+    /// it, exactly as in [`BackupCatalog::fetch_page`].
+    pub fn fetch_image(&self, backup_id: u64) -> Result<BackupImage, BackupError> {
+        match self.consult_fault(IoEvent::ImageRead, None) {
+            FaultVerdict::Crash => return Err(BackupError::InjectedCrash),
+            FaultVerdict::TransientRead => {
+                return Err(BackupError::TransientImage {
+                    backup_id,
+                    page: PageId::new(0, 0),
+                })
+            }
+            FaultVerdict::TornRead | FaultVerdict::CorruptRead | FaultVerdict::MediaFail => {
+                let first = {
+                    let gens = self.generations.read();
+                    gens.iter()
+                        .find(|g| g.image.backup_id == backup_id)
+                        .and_then(|g| g.image.pages.iter().next().map(|(id, _)| id))
+                };
+                if let Some(id) = first {
+                    self.damage_stored(backup_id, id);
+                }
+            }
+            FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
+        }
+        let gens = self.generations.read();
+        let gen = gens
+            .iter()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        for (id, page) in gen.image.pages.iter() {
+            let expected = gen.sums.get(&id).copied().ok_or(BackupError::MissingPage {
+                backup_id,
+                page: id,
+            })?;
+            if page.checksum() != expected {
+                return Err(BackupError::CorruptImage {
+                    backup_id,
+                    page: id,
+                });
+            }
+        }
+        Ok(gen.image.clone())
+    }
+
     /// Deliberately corrupt the stored image copy of `id` in generation
     /// `backup_id` (one bit flipped mid-payload), leaving the recorded
     /// checksum untouched. Public injection API for tests and drills: the
@@ -311,6 +361,58 @@ mod tests {
         ));
         // Other copies in the same generation stay good.
         assert!(cat.fetch_page(1, PageId::new(0, 0)).is_ok());
+    }
+
+    #[test]
+    fn fetch_image_verifies_every_copy() {
+        let cat = BackupCatalog::new();
+        cat.register(image(1, 5, 0xAA)).unwrap();
+        let whole = cat.fetch_image(1).unwrap();
+        assert_eq!(whole.backup_id, 1);
+        assert_eq!(whole.pages.len(), 4);
+        assert!(matches!(
+            cat.fetch_image(9),
+            Err(BackupError::UnknownBackup(9))
+        ));
+        // A rotted copy anywhere in the image fails the whole fetch.
+        let id = PageId::new(0, 2);
+        cat.tamper_page(1, id).unwrap();
+        assert!(matches!(
+            cat.fetch_image(1),
+            Err(BackupError::CorruptImage { backup_id: 1, page }) if page == id
+        ));
+    }
+
+    #[test]
+    fn fetch_image_consults_the_hook_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        let cat = BackupCatalog::new();
+        cat.register(image(1, 5, 0xAA)).unwrap();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let seen = calls.clone();
+        cat.set_fault_hook(Some(Arc::new(move |ev, _| {
+            if ev == IoEvent::ImageRead {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultVerdict::Proceed
+        })));
+        cat.fetch_image(1).unwrap();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            1,
+            "a whole-image fetch is one ImageRead event"
+        );
+        // Crash and transient verdicts take effect on the single event.
+        cat.set_fault_hook(Some(Arc::new(|ev, _| match ev {
+            IoEvent::ImageRead => FaultVerdict::Crash,
+            _ => FaultVerdict::Proceed,
+        })));
+        assert!(matches!(
+            cat.fetch_image(1),
+            Err(BackupError::InjectedCrash)
+        ));
     }
 
     #[test]

@@ -52,6 +52,7 @@ fn config(partitions: u32, pages_per_partition: u32, page_size: usize) -> Engine
         policy: BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
         flush_policy: FlushPolicy::Exact,
+        recovery: lob_core::RecoveryConfig::sequential(),
     }
 }
 

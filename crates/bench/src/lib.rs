@@ -99,6 +99,7 @@ pub fn prefilled_multi_engine(
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
             flush_policy: FlushPolicy::Exact,
+            recovery: lob_core::RecoveryConfig::sequential(),
         },
         seed,
     )

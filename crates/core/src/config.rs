@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 use lob_pagestore::{PartitionId, PartitionSpec};
-use lob_recovery::GraphMode;
+use lob_recovery::{GraphMode, RecoveryConfig};
 use std::path::PathBuf;
 
 /// Which class of log operations the engine accepts — and therefore which
@@ -101,6 +101,10 @@ pub struct EngineConfig {
     pub log: LogBacking,
     /// Log force batching.
     pub flush_policy: FlushPolicy,
+    /// Parallel recovery knobs ([`crate::Engine::parallel_recover`] /
+    /// [`crate::Engine::parallel_restore`]): replay workers and group
+    /// install batch size. The default is the sequential legacy path.
+    pub recovery: RecoveryConfig,
 }
 
 impl EngineConfig {
@@ -118,6 +122,7 @@ impl EngineConfig {
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
             flush_policy: FlushPolicy::Exact,
+            recovery: RecoveryConfig::sequential(),
         }
     }
 

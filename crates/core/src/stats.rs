@@ -40,6 +40,12 @@ pub struct EngineStats {
     pub sweep_batches: u64,
     /// Sweep workers run to completion by partition-parallel backups.
     pub sweep_workers: u64,
+    /// Crash recoveries performed through the parallel replay scheduler
+    /// (also counted in `recoveries`).
+    pub parallel_recoveries: u64,
+    /// Media recoveries performed through the parallel restore + replay
+    /// path (also counted in `media_recoveries`).
+    pub parallel_restores: u64,
 }
 
 impl EngineStats {
@@ -62,6 +68,8 @@ impl EngineStats {
             transient_retries: self.transient_retries - earlier.transient_retries,
             sweep_batches: self.sweep_batches - earlier.sweep_batches,
             sweep_workers: self.sweep_workers - earlier.sweep_workers,
+            parallel_recoveries: self.parallel_recoveries - earlier.parallel_recoveries,
+            parallel_restores: self.parallel_restores - earlier.parallel_restores,
         }
     }
 }

@@ -178,6 +178,7 @@ impl ParallelDrillRunner {
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
             flush_policy: FlushPolicy::Exact,
+            recovery: lob_recovery::RecoveryConfig::sequential(),
         })
         .map_err(|e| e.to_string())?;
         let mut oracle = ShadowOracle::new(cfg.page_size);

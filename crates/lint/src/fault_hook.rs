@@ -112,6 +112,13 @@ pub const REGISTRY: &[Site] = &[
         note: "per page fetched from a registered backup generation during online repair",
     },
     Site {
+        file: "backup/src/catalog.rs",
+        func: "fetch_image",
+        events: &["ImageRead"],
+        coverage: Coverage::Direct,
+        note: "whole-image fetch for catalog-sourced parallel restore: one consult per image, then every copy checksum-verified",
+    },
+    Site {
         file: "wal/src/store.rs",
         func: "append",
         events: &[],
@@ -145,6 +152,20 @@ pub const REGISTRY: &[Site] = &[
         events: &[],
         coverage: Coverage::Delegated,
         note: "bootstrap byte count of an existing log file; runs before any engine or hook exists",
+    },
+    Site {
+        file: "pagestore/src/store.rs",
+        func: "read_run",
+        events: &[],
+        coverage: Coverage::Delegated,
+        note: "batched page read (backup sweeps, group replay); degrades to per-page read_page consults whenever a hook is installed, so batching never changes the fault surface",
+    },
+    Site {
+        file: "pagestore/src/store.rs",
+        func: "write_run",
+        events: &[],
+        coverage: Coverage::Delegated,
+        note: "batched page install (parallel restore); degrades to per-page write_page consults whenever a hook is installed, so batching never changes the fault surface",
     },
 ];
 

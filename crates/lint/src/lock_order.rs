@@ -133,6 +133,38 @@ impl Config {
                     method: "finish",
                     lock: "backup/tracker.state",
                 },
+                // Batched store round-trips (backup sweeps, the parallel
+                // restore's group install) take the partition RwLock
+                // inside the helper; the aliases surface that acquisition
+                // at every call site.
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "read_run",
+                    lock: "pagestore/store.partitions",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "write_run",
+                    lock: "pagestore/store.partitions",
+                },
+                // The parallel replay scheduler's per-page store calls:
+                // surface the scheduler -> store edge so any future
+                // scheduler-side lock held across a store round-trip joins
+                // the cycle check immediately.
+                Alias {
+                    file_contains: "recovery/src/parallel.rs",
+                    recv: "",
+                    method: "read_page",
+                    lock: "pagestore/store.partitions",
+                },
+                Alias {
+                    file_contains: "recovery/src/parallel.rs",
+                    recv: "",
+                    method: "write_page",
+                    lock: "pagestore/store.partitions",
+                },
                 // The changed-page set is locked inside every coordinator
                 // helper that touches it.
                 Alias {

@@ -61,6 +61,11 @@ pub enum Probe {
     /// Media failure + restore of the completed backup image + redo from
     /// the image's start LSN; verifies the recovered `S`.
     MediaRecovery,
+    /// `crash()` + redo through the parallel replay scheduler
+    /// (`parallel_recover_with`, 2 workers / batch 4); must land on the
+    /// same verified state as the sequential probe from every reachable
+    /// state.
+    ParallelRecovery,
 }
 
 impl fmt::Display for Probe {
@@ -68,6 +73,7 @@ impl fmt::Display for Probe {
         match self {
             Probe::CrashRecovery => write!(f, "crash-recovery"),
             Probe::MediaRecovery => write!(f, "media-recovery"),
+            Probe::ParallelRecovery => write!(f, "parallel-recovery"),
         }
     }
 }
@@ -509,8 +515,9 @@ impl Explorer {
         self
     }
 
-    /// Run both recovery probes on fresh replays of `trace`, recording
-    /// divergence as counterexamples.
+    /// Run the recovery probes (sequential crash redo, parallel crash
+    /// redo, and — when an image exists — media recovery) on fresh
+    /// replays of `trace`, recording divergence as counterexamples.
     fn probe(
         &self,
         trace: &[Action],
@@ -528,6 +535,21 @@ impl Explorer {
             report.counterexamples.push(Counterexample {
                 trace: trace.to_vec(),
                 probe: Probe::CrashRecovery,
+                detail,
+            });
+        }
+
+        let mut parallel = Replay::materialize(&self.scenario, self.coordination, trace)?;
+        parallel.engine.crash();
+        parallel
+            .engine
+            .parallel_recover_with(lob_recovery::RecoveryConfig::new(2, 4))
+            .map_err(|e| ModelError::new("parallel redo recovery", e))?;
+        report.probes += 1;
+        if let Err(detail) = parallel.oracle.verify_store(&parallel.engine, Lsn::MAX) {
+            report.counterexamples.push(Counterexample {
+                trace: trace.to_vec(),
+                probe: Probe::ParallelRecovery,
                 detail,
             });
         }

@@ -231,6 +231,50 @@ impl OpBody {
         }
     }
 
+    /// Visit every page of `readset(Op)` without allocating. Same pages,
+    /// same order as [`OpBody::readset`].
+    pub fn for_each_read(&self, mut f: impl FnMut(PageId)) {
+        match self {
+            OpBody::PhysicalWrite { .. } | OpBody::IdentityWrite { .. } => {}
+            OpBody::Physio(p) => f(p.target()),
+            OpBody::Logical(l) => match l {
+                LogicalOp::Copy { src, .. } => f(*src),
+                LogicalOp::MovRec { old, .. } => f(*old),
+                LogicalOp::AppRead { src, app } => {
+                    f(*src);
+                    f(*app);
+                }
+                LogicalOp::AppWrite { app, .. } => f(*app),
+                LogicalOp::MergeRec { src, dst } => {
+                    f(*src);
+                    f(*dst);
+                }
+                LogicalOp::SortExtent { src, .. } => src.iter().copied().for_each(f),
+                LogicalOp::Mix { reads, .. } => reads.iter().copied().for_each(f),
+            },
+        }
+    }
+
+    /// Visit every page of `writeset(Op)` without allocating. Same pages,
+    /// same order as [`OpBody::writeset`].
+    pub fn for_each_write(&self, mut f: impl FnMut(PageId)) {
+        match self {
+            OpBody::PhysicalWrite { target, .. } | OpBody::IdentityWrite { target, .. } => {
+                f(*target)
+            }
+            OpBody::Physio(p) => f(p.target()),
+            OpBody::Logical(l) => match l {
+                LogicalOp::Copy { dst, .. } => f(*dst),
+                LogicalOp::MovRec { new, .. } => f(*new),
+                LogicalOp::AppRead { app, .. } => f(*app),
+                LogicalOp::AppWrite { dst, .. } => f(*dst),
+                LogicalOp::MergeRec { dst, .. } => f(*dst),
+                LogicalOp::SortExtent { dst, .. } => dst.iter().copied().for_each(f),
+                LogicalOp::Mix { writes, .. } => writes.iter().copied().for_each(f),
+            },
+        }
+    }
+
     /// Whether the operation writes `page` *blindly*, i.e. without reading
     /// `page`'s prior value. Blind writes are what allow the refined write
     /// graph to un-expose old values (paper §2.4).

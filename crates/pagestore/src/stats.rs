@@ -43,6 +43,15 @@ impl IoStats {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    /// Account a batched write of `pages` pages totalling `bytes` bytes
+    /// with one counter round-trip (the batched install path of parallel
+    /// restore writes many pages per lock acquisition and accounts them
+    /// the same way).
+    pub fn record_write_batch(&self, pages: u64, bytes: u64) {
+        self.page_writes.fetch_add(pages, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Number of page reads served.
     pub fn page_reads(&self) -> u64 {
         self.page_reads.load(Ordering::Relaxed)

@@ -42,14 +42,23 @@
 //! * [`repair`] — online single-page repair: dependency closures over a log
 //!   suffix, scratch closure replay seeded from a backup generation, and a
 //!   deterministic retry schedule for transient I/O.
+//! * [`parallel`] — partition-parallel restore and redo: a write-graph-aware
+//!   scheduler partitions the log suffix into page-disjoint replay units
+//!   (union-find over touched pages) that replay on concurrent workers,
+//!   with batched group install into the stable store.
 
+mod fxhash;
 pub mod install;
+pub mod parallel;
 pub mod redo;
 pub mod repair;
 pub mod writegraph;
 
 pub use install::InstallGraph;
-pub use redo::{redo_scan, RedoError, RedoOutcome, RedoTarget};
+pub use parallel::{
+    parallel_install_image, parallel_redo_scan, RecoveryConfig, ReplayPlan, ReplayUnit,
+};
+pub use redo::{redo_scan, RedoError, RedoOutcome, RedoTarget, StoreRedoTarget};
 pub use repair::{
     dependency_closure, records_for_closure, replay_closure, BackoffSchedule, RepairReport,
     ScratchRedoTarget,

@@ -1,0 +1,965 @@
+//! Partition-parallel restore and redo.
+//!
+//! The paper's §3.4 parallelism argument is symmetric: just as the on-line
+//! backup sweep fans one worker out per coordinator domain, *recovery* can
+//! replay independent parts of the log concurrently — provided dependent
+//! operations are never reordered. Logical operations create cross-object
+//! dependencies (the forest structure the write graph tracks), so the
+//! scheduler here partitions the log suffix into **replay units**:
+//! connected components of records over the pages they touch (read set ∪
+//! write set, union-find). Two records that could ever observe each other —
+//! directly or through any chain of intermediate pages — land in the same
+//! unit; units are therefore pairwise page-disjoint and can replay on
+//! separate workers with no synchronization at all.
+//!
+//! Why a per-unit [`redo_scan`] is byte-identical to the global sequential
+//! scan restricted to that unit's pages:
+//!
+//! * every record that writes or reads a page of the unit is *in* the unit,
+//!   so the per-page LSN test and every replay-time read see exactly the
+//!   intermediate states the global scan would produce;
+//! * identity-record backdating anchors an identity write after the last
+//!   earlier record writing its object — all writers of that object share
+//!   the object's component, so the anchor is unit-local;
+//! * control records touch no pages; they are counted by the plan and
+//!   excluded from every unit.
+//!
+//! Batching is orthogonal: with `batch > 1` a unit replays through a
+//! [`GroupReplay`] table — pages fault in from the store once, every
+//! later read and LSN test is local, and installs are deferred and
+//! drained as contiguous runs through [`StableStore::write_run`], one
+//! lock round-trip and one checksummed [`Page`] construction per
+//! *installed* page instead of per replayed write. Deferral is invisible
+//! to replay because every read goes through the table. `workers = 1,
+//! batch = 1` takes literally the legacy code path ([`redo_scan`] over a
+//! [`StoreRedoTarget`]), which the differential tests pin as bit-identical.
+
+use crate::fxhash::FxHashMap;
+use crate::redo::{
+    anchor_identities, redo_scan, AnchoredIdentity, IdentityAnchors, RedoError, RedoOutcome,
+    StoreRedoTarget,
+};
+use bytes::Bytes;
+use lob_pagestore::{Lsn, Page, PageId, PageImage, StableStore, StoreError};
+use lob_wal::{LogRecord, RecordBody};
+use std::collections::hash_map::Entry;
+use std::collections::BTreeSet;
+
+/// Tuning knobs for parallel recovery, carried by `EngineConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Maximum replay workers. `1` (the default) is the sequential legacy
+    /// path; each additional worker replays independent units concurrently.
+    pub workers: usize,
+    /// Pages buffered per group install. `1` (the default) writes through
+    /// page-at-a-time; larger batches drain contiguous runs through
+    /// [`StableStore::write_run`].
+    pub batch: usize,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig::sequential()
+    }
+}
+
+impl RecoveryConfig {
+    /// The legacy sequential configuration: one worker, no batching.
+    pub fn sequential() -> RecoveryConfig {
+        RecoveryConfig {
+            workers: 1,
+            batch: 1,
+        }
+    }
+
+    /// A configuration with both knobs clamped to at least 1.
+    pub fn new(workers: usize, batch: usize) -> RecoveryConfig {
+        RecoveryConfig {
+            workers: workers.max(1),
+            batch: batch.max(1),
+        }
+    }
+}
+
+/// Union-find over dense node ids, with path compression and deterministic
+/// (lowest-root-wins) union so plans are reproducible across runs.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        id
+    }
+
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent.get(x).copied().unwrap_or(x);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent.get(p).copied().unwrap_or(p);
+            if let Some(slot) = self.parent.get_mut(x) {
+                *slot = gp;
+            }
+            x = gp;
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> usize {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        if let Some(slot) = self.parent.get_mut(hi) {
+            *slot = lo;
+        }
+        lo
+    }
+}
+
+/// One independently replayable subsequence of the log suffix: record
+/// indices (ascending, into the original slice) plus the pages the unit
+/// owns. Units of one plan are pairwise page-disjoint.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayUnit {
+    indices: Vec<usize>,
+    pages: BTreeSet<PageId>,
+}
+
+impl ReplayUnit {
+    /// Indices into the original record slice, in log order.
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Pages owned by this unit (the union of all its records' read and
+    /// write sets).
+    pub fn pages(&self) -> &BTreeSet<PageId> {
+        &self.pages
+    }
+
+    /// Number of records in the unit.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the unit holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+/// The write-graph-aware schedule for one log suffix: replay units (page
+/// connected components) in first-record order, plus the control-record
+/// count (controls belong to no unit).
+#[derive(Debug, Clone, Default)]
+pub struct ReplayPlan {
+    units: Vec<ReplayUnit>,
+    controls: u64,
+}
+
+impl ReplayPlan {
+    /// Partition `records` (in LSN order) into replay units with one
+    /// union-find pass over the touched pages. Plan construction is on the
+    /// restore critical path (only the parallel pipeline pays it), so the
+    /// pass allocates nothing per record: pages are visited in place via
+    /// [`OpBody::for_each_write`]/[`for_each_read`] and the page→node map
+    /// is a seed-free fast-hash table.
+    pub fn build(records: &[LogRecord]) -> ReplayPlan {
+        let mut uf = UnionFind::default();
+        let mut page_node: FxHashMap<PageId, usize> = FxHashMap::default();
+        let mut rec_node: Vec<Option<usize>> = Vec::with_capacity(records.len());
+        let mut controls = 0u64;
+        for rec in records {
+            let op = match &rec.body {
+                RecordBody::Op(op) => op,
+                _ => {
+                    controls += 1;
+                    rec_node.push(None);
+                    continue;
+                }
+            };
+            let mut node: Option<usize> = None;
+            let mut touch = |p: PageId| {
+                let pn = match page_node.entry(p) {
+                    Entry::Occupied(e) => *e.get(),
+                    Entry::Vacant(v) => *v.insert(uf.push()),
+                };
+                node = Some(match node {
+                    None => uf.find(pn),
+                    Some(n) => uf.union(n, pn),
+                });
+            };
+            op.for_each_write(&mut touch);
+            op.for_each_read(&mut touch);
+            // An op touching no pages (none exist today) forms its own
+            // trivial unit rather than silently dropping from the plan.
+            let n = match node {
+                Some(n) => n,
+                None => uf.push(),
+            };
+            rec_node.push(Some(n));
+        }
+        // Second pass: roots are stable now, so unit membership is two
+        // dense-array loads per record (no tree lookups).
+        let mut unit_of_root: Vec<usize> = vec![usize::MAX; uf.len()];
+        let mut units: Vec<ReplayUnit> = Vec::new();
+        for (i, n) in rec_node.iter().enumerate() {
+            let Some(n) = *n else { continue };
+            let root = uf.find(n);
+            let slot = match unit_of_root.get_mut(root) {
+                Some(slot) => slot,
+                None => continue,
+            };
+            if *slot == usize::MAX {
+                *slot = units.len();
+                units.push(ReplayUnit::default());
+            }
+            if let Some(unit) = units.get_mut(*slot) {
+                unit.indices.push(i);
+            }
+        }
+        for (&p, &n) in &page_node {
+            let root = uf.find(n);
+            if let Some(unit) = unit_of_root.get(root).and_then(|&ui| units.get_mut(ui)) {
+                unit.pages.insert(p);
+            }
+        }
+        ReplayPlan { units, controls }
+    }
+
+    /// The units, ordered by first record index.
+    pub fn units(&self) -> &[ReplayUnit] {
+        &self.units
+    }
+
+    /// Control records seen (they belong to no unit).
+    pub fn controls(&self) -> u64 {
+        self.controls
+    }
+
+    /// Deterministically pack units onto at most `workers` queues
+    /// (longest-processing-time greedy: biggest unit first onto the least
+    /// loaded queue, lowest queue id on ties). Returns per-queue lists of
+    /// unit indices.
+    pub fn assign(&self, workers: usize) -> Vec<Vec<usize>> {
+        let lanes = workers.max(1).min(self.units.len().max(1));
+        let mut order: Vec<usize> = (0..self.units.len()).collect();
+        order.sort_by_key(|&i| {
+            (
+                std::cmp::Reverse(self.units.get(i).map_or(0, |u| u.len())),
+                i,
+            )
+        });
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); lanes];
+        let mut loads: Vec<usize> = vec![0; lanes];
+        for i in order {
+            let mut best = 0usize;
+            let mut best_load = usize::MAX;
+            for (w, &l) in loads.iter().enumerate() {
+                if l < best_load {
+                    best = w;
+                    best_load = l;
+                }
+            }
+            if let Some(q) = queues.get_mut(best) {
+                q.push(i);
+            }
+            if let Some(l) = loads.get_mut(best) {
+                *l += self.units.get(i).map_or(0, |u| u.len());
+            }
+        }
+        queues
+    }
+}
+
+fn map_store_err(e: StoreError) -> RedoError {
+    RedoError::Target(e.to_string())
+}
+
+fn write_pending_run(
+    store: &StableStore,
+    start: Option<PageId>,
+    run: &mut Vec<Page>,
+) -> Result<(), RedoError> {
+    if run.is_empty() {
+        return Ok(());
+    }
+    match start {
+        Some(s) => store
+            .write_run(s.partition, s.index, run)
+            .map_err(map_store_err),
+        None => Ok(()),
+    }
+}
+
+/// One page of a [`GroupReplay`] table: current value and pageLSN, plus
+/// whether it differs from the store (only dirty slots are installed).
+struct PageSlot {
+    lsn: Lsn,
+    data: Bytes,
+    dirty: bool,
+}
+
+/// The grouped replay state for one unit (`batch > 1`): a local page
+/// table the whole subsequence replays against, with installs deferred
+/// and drained as contiguous runs through [`StableStore::write_run`].
+///
+/// This is where the parallel pipeline's single-thread speedup comes
+/// from, beyond amortizing lock round-trips:
+///
+/// * pages are fetched from the store once (first touch) and every later
+///   read or LSN test is a local map hit;
+/// * intermediate page versions are plain `(Lsn, Bytes)` pairs — the
+///   checksummed [`Page`] is only constructed at drain time, so the
+///   checksum is paid per *installed* page, not per replayed write.
+///
+/// The final store state is byte-identical to write-through replay (the
+/// differential torture oracle and the grid tests pin this): deferral is
+/// invisible to the replay itself because all reads go through the table,
+/// and the drained value/LSN per page equals the last write-through
+/// value. `batch` bounds how many dirty pages may be pending before a
+/// drain, so memory stays proportional to the knob, as with the
+/// page-at-a-time path.
+struct GroupReplay<'a> {
+    store: &'a StableStore,
+    batch: usize,
+    table: FxHashMap<PageId, PageSlot>,
+    dirty: usize,
+}
+
+impl<'a> GroupReplay<'a> {
+    /// `pages_hint` pre-sizes the table (the plan already counted each
+    /// unit's distinct pages); `0` means unknown.
+    fn new(store: &'a StableStore, batch: usize, pages_hint: usize) -> Self {
+        GroupReplay {
+            store,
+            batch: batch.max(2),
+            table: FxHashMap::with_capacity_and_hasher(pages_hint, Default::default()),
+            dirty: 0,
+        }
+    }
+
+    /// The slot for `id`, faulted in from the store on first touch.
+    fn slot(&mut self, id: PageId) -> Result<&mut PageSlot, RedoError> {
+        match self.table.entry(id) {
+            Entry::Occupied(e) => Ok(e.into_mut()),
+            Entry::Vacant(v) => {
+                let page = self.store.read_page(id).map_err(map_store_err)?;
+                Ok(v.insert(PageSlot {
+                    lsn: page.lsn(),
+                    data: page.data().clone(),
+                    dirty: false,
+                }))
+            }
+        }
+    }
+
+    /// Record a replayed write; drains when `batch` dirty pages pend.
+    fn set(&mut self, id: PageId, lsn: Lsn, data: Bytes) -> Result<(), RedoError> {
+        match self.table.entry(id) {
+            Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                if !slot.dirty {
+                    slot.dirty = true;
+                    self.dirty += 1;
+                }
+                slot.lsn = lsn;
+                slot.data = data;
+            }
+            Entry::Vacant(v) => {
+                v.insert(PageSlot {
+                    lsn,
+                    data,
+                    dirty: true,
+                });
+                self.dirty += 1;
+            }
+        }
+        if self.dirty >= self.batch {
+            return self.drain();
+        }
+        Ok(())
+    }
+
+    /// Replay a physically-logged write in one table probe: the LSN redo
+    /// test and the conditional install share the slot lookup, and the
+    /// logged value is aliased, never re-derived — replaying `W_P` is an
+    /// install, not a re-computation. Returns whether the page was written.
+    fn install_if_newer(&mut self, id: PageId, lsn: Lsn, value: &Bytes) -> Result<bool, RedoError> {
+        let written = match self.table.entry(id) {
+            Entry::Occupied(mut e) => {
+                let slot = e.get_mut();
+                if slot.lsn >= lsn {
+                    false
+                } else {
+                    if !slot.dirty {
+                        slot.dirty = true;
+                        self.dirty += 1;
+                    }
+                    slot.lsn = lsn;
+                    slot.data = value.clone();
+                    true
+                }
+            }
+            Entry::Vacant(v) => {
+                let page = self.store.read_page(id).map_err(map_store_err)?;
+                if page.lsn() >= lsn {
+                    v.insert(PageSlot {
+                        lsn: page.lsn(),
+                        data: page.data().clone(),
+                        dirty: false,
+                    });
+                    false
+                } else {
+                    v.insert(PageSlot {
+                        lsn,
+                        data: value.clone(),
+                        dirty: true,
+                    });
+                    self.dirty += 1;
+                    true
+                }
+            }
+        };
+        if self.dirty >= self.batch {
+            self.drain()?;
+        }
+        Ok(written)
+    }
+
+    /// Install every dirty slot as contiguous runs. Slots stay resident
+    /// (now clean) so later records still read locally.
+    fn drain(&mut self) -> Result<(), RedoError> {
+        if self.dirty == 0 {
+            return Ok(());
+        }
+        let mut ids: Vec<PageId> = self
+            .table
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        let mut start: Option<PageId> = None;
+        let mut prev: Option<PageId> = None;
+        let mut run: Vec<Page> = Vec::new();
+        for id in ids {
+            let Some(slot) = self.table.get_mut(&id) else {
+                continue;
+            };
+            slot.dirty = false;
+            let contiguous = matches!(prev, Some(p)
+                if p.partition == id.partition && id.index == p.index + 1);
+            if !contiguous {
+                write_pending_run(self.store, start, &mut run)?;
+                start = Some(id);
+            }
+            // The deferred checksummed Page: one construction per
+            // installed page, not per replayed write.
+            run.push(Page::new(slot.lsn, slot.data.clone()));
+            prev = Some(id);
+        }
+        write_pending_run(self.store, start, &mut run)?;
+        self.dirty = 0;
+        Ok(())
+    }
+}
+
+/// Replay a record subsequence through a [`GroupReplay`] table. Mirrors
+/// [`redo_scan`] exactly — same identity anchoring (shared
+/// [`anchor_identities`] analysis), same per-page LSN test, same
+/// [`RedoOutcome`] counters — but reads and writes resolve against the
+/// local table instead of store round-trips per record.
+fn replay_grouped<'a, I>(
+    records: I,
+    store: &StableStore,
+    batch: usize,
+    pages_hint: usize,
+) -> Result<RedoOutcome, RedoError>
+where
+    I: Iterator<Item = &'a LogRecord> + Clone,
+{
+    let IdentityAnchors { at_start, after } = anchor_identities(records.clone());
+    let mut replay = GroupReplay::new(store, batch, pages_hint);
+    let mut out = RedoOutcome::default();
+
+    fn apply_identity(
+        replay: &mut GroupReplay<'_>,
+        items: &[AnchoredIdentity],
+        out: &mut RedoOutcome,
+    ) -> Result<(), RedoError> {
+        for (pid, value, ilsn) in items {
+            if replay.slot(*pid)?.lsn < *ilsn {
+                replay.set(*pid, *ilsn, value.clone())?;
+                out.pages_written += 1;
+            }
+            out.replayed += 1;
+        }
+        Ok(())
+    }
+    apply_identity(&mut replay, &at_start, &mut out)?;
+
+    let mut needs: Vec<PageId> = Vec::new();
+    let mut writes: Vec<PageId> = Vec::new();
+    for (i, rec) in records.enumerate() {
+        'one: {
+            let body = match &rec.body {
+                RecordBody::Op(op) => op,
+                _ => {
+                    out.controls += 1;
+                    break 'one;
+                }
+            };
+            if matches!(body, lob_ops::OpBody::IdentityWrite { .. }) {
+                // Applied at its anchor; nothing at its natural position.
+                break 'one;
+            }
+            if let lob_ops::OpBody::PhysicalWrite { target, value } = body {
+                // Fast path: redo test + install in one probe, and the
+                // same counters the general path would produce.
+                if replay.install_if_newer(*target, rec.lsn, value)? {
+                    out.pages_written += 1;
+                    out.replayed += 1;
+                } else {
+                    out.skipped += 1;
+                }
+                break 'one;
+            }
+            // LSN redo test, per written page. The write set is gathered
+            // into a reused scratch vector — no allocation per record.
+            writes.clear();
+            body.for_each_write(|w| writes.push(w));
+            needs.clear();
+            for &w in &writes {
+                if replay.slot(w)?.lsn < rec.lsn {
+                    needs.push(w);
+                }
+            }
+            if needs.is_empty() {
+                out.skipped += 1;
+                break 'one;
+            }
+            // Re-evaluate the operation against current (local) state.
+            let outputs = {
+                let replay = &mut replay;
+                let mut reader = |id: PageId| -> Result<Bytes, lob_ops::OpError> {
+                    match replay.slot(id) {
+                        Ok(slot) => Ok(slot.data.clone()),
+                        Err(e) => Err(lob_ops::OpError::ReadFailed {
+                            page: id,
+                            cause: e.to_string(),
+                        }),
+                    }
+                };
+                body.apply(&mut reader).map_err(|source| RedoError::Op {
+                    lsn: rec.lsn,
+                    source,
+                })?
+            };
+            for (pid, bytes) in outputs {
+                if needs.contains(&pid) {
+                    replay.set(pid, rec.lsn, bytes)?;
+                    out.pages_written += 1;
+                }
+            }
+            out.replayed += 1;
+        }
+        // Identity records anchored here apply regardless of whether the
+        // record itself replayed, was skipped, or was an identity record.
+        if let Some(items) = after.get(&i) {
+            apply_identity(&mut replay, items, &mut out)?;
+        }
+    }
+    replay.drain()?;
+    Ok(out)
+}
+
+/// Replay one record subsequence against the store with the requested
+/// batching. `batch <= 1` is literally the legacy write-through path.
+fn replay_subsequence(
+    records: &[LogRecord],
+    store: &StableStore,
+    batch: usize,
+) -> Result<RedoOutcome, RedoError> {
+    if batch <= 1 {
+        let mut target = StoreRedoTarget::new(store);
+        return redo_scan(records, &mut target);
+    }
+    replay_grouped(records.iter(), store, batch, 0)
+}
+
+fn accumulate(total: &mut RedoOutcome, part: RedoOutcome) {
+    total.replayed += part.replayed;
+    total.skipped += part.skipped;
+    total.pages_written += part.pages_written;
+    total.controls += part.controls;
+}
+
+/// The parallel counterpart of [`redo_scan`]: partition `records` into
+/// replay units and fan them out over up to `config.workers` scoped
+/// threads, each installing through a batch-`config.batch` target.
+///
+/// With `workers <= 1` this *is* the sequential scan (no plan, no threads);
+/// with `batch <= 1` on top, it is the exact legacy code path. The summed
+/// [`RedoOutcome`] is identical to the sequential scan's in every
+/// configuration, because units partition the op records and the per-page
+/// LSN tests are unit-local. The first failing unit's error (in plan
+/// order) is surfaced.
+pub fn parallel_redo_scan(
+    records: &[LogRecord],
+    store: &StableStore,
+    config: RecoveryConfig,
+) -> Result<RedoOutcome, RedoError> {
+    let workers = config.workers.max(1);
+    let batch = config.batch.max(1);
+    if workers == 1 {
+        return replay_subsequence(records, store, batch);
+    }
+    let plan = ReplayPlan::build(records);
+    let queues = plan.assign(workers);
+    let mut results: Vec<(usize, Result<RedoOutcome, RedoError>)> =
+        Vec::with_capacity(queues.len());
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(queues.len());
+        for queue in &queues {
+            let plan = &plan;
+            handles.push(
+                scope.spawn(move || -> (usize, Result<RedoOutcome, RedoError>) {
+                    let mut total = RedoOutcome::default();
+                    let mut first_unit = usize::MAX;
+                    for &ui in queue {
+                        first_unit = first_unit.min(ui);
+                        let Some(unit) = plan.units().get(ui) else {
+                            continue;
+                        };
+                        let result = if batch <= 1 {
+                            // Legacy write-through path wants a slice.
+                            let subseq: Vec<LogRecord> = unit
+                                .indices()
+                                .iter()
+                                .filter_map(|&i| records.get(i).cloned())
+                                .collect();
+                            replay_subsequence(&subseq, store, batch)
+                        } else {
+                            // Grouped replay walks the indices in place — no
+                            // per-unit record clone.
+                            replay_grouped(
+                                unit.indices().iter().filter_map(|&i| records.get(i)),
+                                store,
+                                batch,
+                                unit.pages().len(),
+                            )
+                        };
+                        match result {
+                            Ok(out) => accumulate(&mut total, out),
+                            Err(e) => return (ui, Err(e)),
+                        }
+                    }
+                    (first_unit, Ok(total))
+                }),
+            );
+        }
+        for h in handles {
+            results.push(h.join().unwrap_or((
+                0,
+                Err(RedoError::Target("parallel redo worker panicked".into())),
+            )));
+        }
+    });
+    // Surface the earliest failing unit (plan order) so errors are
+    // deterministic regardless of thread interleaving.
+    results.sort_by_key(|&(ui, _)| ui);
+    let mut total = RedoOutcome {
+        controls: plan.controls(),
+        ..RedoOutcome::default()
+    };
+    for (_, r) in results {
+        accumulate(&mut total, r?);
+    }
+    Ok(total)
+}
+
+/// Install a backup image's pages with up to `config.workers` workers,
+/// each draining contiguous runs of at most `config.batch` pages through
+/// [`StableStore::write_run`] (`batch <= 1` degrades to per-page
+/// [`StableStore::write_page`], the legacy restore path). Runs are dealt
+/// round-robin to workers, so the assignment is deterministic. Returns the
+/// number of pages installed.
+pub fn parallel_install_image(
+    image: &PageImage,
+    store: &StableStore,
+    config: RecoveryConfig,
+) -> Result<u64, RedoError> {
+    struct RunSpec {
+        start: PageId,
+        pages: Vec<Page>,
+    }
+    let workers = config.workers.max(1);
+    let batch = config.batch.max(1);
+    let mut runs: Vec<RunSpec> = Vec::new();
+    for (id, page) in image.iter() {
+        let extend = matches!(runs.last(), Some(r)
+            if r.pages.len() < batch
+                && r.start.partition == id.partition
+                && r.start.index + r.pages.len() as u32 == id.index);
+        if extend {
+            if let Some(r) = runs.last_mut() {
+                r.pages.push(page.clone());
+            }
+        } else {
+            runs.push(RunSpec {
+                start: id,
+                pages: vec![page.clone()],
+            });
+        }
+    }
+    let total: u64 = runs.iter().map(|r| r.pages.len() as u64).sum();
+    let install = |spec: &mut RunSpec| -> Result<(), RedoError> {
+        if batch <= 1 {
+            for (off, page) in spec.pages.drain(..).enumerate() {
+                store
+                    .write_page(
+                        PageId::new(spec.start.partition.0, spec.start.index + off as u32),
+                        page,
+                    )
+                    .map_err(map_store_err)?;
+            }
+            return Ok(());
+        }
+        store
+            .write_run(spec.start.partition, spec.start.index, &mut spec.pages)
+            .map_err(map_store_err)
+    };
+    if workers == 1 {
+        for spec in &mut runs {
+            install(spec)?;
+        }
+        return Ok(total);
+    }
+    let mut queues: Vec<Vec<RunSpec>> = Vec::new();
+    queues.resize_with(workers.min(runs.len().max(1)), Vec::new);
+    let lanes = queues.len();
+    for (i, spec) in runs.into_iter().enumerate() {
+        if let Some(q) = queues.get_mut(i % lanes) {
+            q.push(spec);
+        }
+    }
+    let mut results: Vec<Result<(), RedoError>> = Vec::with_capacity(lanes);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(lanes);
+        for queue in &mut queues {
+            let install = &install;
+            handles.push(scope.spawn(move || -> Result<(), RedoError> {
+                for spec in queue.iter_mut() {
+                    install(spec)?;
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            results.push(h.join().unwrap_or(Err(RedoError::Target(
+                "parallel restore worker panicked".into(),
+            ))));
+        }
+    });
+    for r in results {
+        r?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use lob_ops::{LogicalOp, OpBody};
+    use lob_pagestore::{Lsn, StoreConfig};
+
+    const SIZE: usize = 32;
+
+    fn pid(i: u32) -> PageId {
+        PageId::new(0, i)
+    }
+
+    fn op_rec(lsn: u64, body: OpBody) -> LogRecord {
+        LogRecord::new(Lsn(lsn), RecordBody::Op(body))
+    }
+
+    fn phys(lsn: u64, t: u32, fill: u8) -> LogRecord {
+        op_rec(
+            lsn,
+            OpBody::PhysicalWrite {
+                target: pid(t),
+                value: Bytes::from(vec![fill; SIZE]),
+            },
+        )
+    }
+
+    fn copy(lsn: u64, s: u32, d: u32) -> LogRecord {
+        op_rec(
+            lsn,
+            OpBody::Logical(LogicalOp::Copy {
+                src: pid(s),
+                dst: pid(d),
+            }),
+        )
+    }
+
+    fn store(pages: u32) -> StableStore {
+        StableStore::single(StoreConfig { page_size: SIZE }, pages)
+    }
+
+    #[test]
+    fn plan_groups_connected_records() {
+        // {0,1} chained by a copy; {2} independent; a control in no unit.
+        let recs = vec![
+            phys(1, 0, 0xAA),
+            phys(2, 2, 0xBB),
+            copy(3, 0, 1),
+            LogRecord::new(Lsn(4), RecordBody::BackupEnd { backup_id: 7 }),
+        ];
+        let plan = ReplayPlan::build(&recs);
+        assert_eq!(plan.controls(), 1);
+        assert_eq!(plan.units().len(), 2);
+        assert_eq!(plan.units()[0].indices(), &[0, 2]);
+        assert_eq!(plan.units()[1].indices(), &[1]);
+        assert!(plan.units()[0].pages().contains(&pid(1)));
+        assert!(!plan.units()[1].pages().contains(&pid(0)));
+    }
+
+    #[test]
+    fn plan_bridges_transitive_page_chains() {
+        // 0 and 2 never co-occur in one op, but page 1 bridges them:
+        // copy(0→1) then copy(1→2) must all share one unit.
+        let recs = vec![
+            phys(1, 0, 0x11),
+            phys(2, 2, 0x22),
+            copy(3, 0, 1),
+            copy(4, 1, 2),
+        ];
+        let plan = ReplayPlan::build(&recs);
+        assert_eq!(plan.units().len(), 1);
+        assert_eq!(plan.units()[0].indices(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_covers_all_units() {
+        let recs: Vec<LogRecord> = (0..9u32).map(|i| phys(i as u64 + 1, i, i as u8)).collect();
+        let plan = ReplayPlan::build(&recs);
+        assert_eq!(plan.units().len(), 9);
+        let a = plan.assign(4);
+        let b = plan.assign(4);
+        assert_eq!(a, b);
+        let mut all: Vec<usize> = a.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_scan() {
+        let recs = vec![
+            phys(1, 0, 0x11),
+            phys(2, 3, 0x22),
+            copy(3, 0, 1),
+            phys(4, 5, 0x33),
+            copy(5, 1, 2),
+            copy(6, 5, 6),
+            op_rec(
+                7,
+                OpBody::IdentityWrite {
+                    target: pid(3),
+                    value: Bytes::from(vec![0x22; SIZE]),
+                },
+            ),
+        ];
+        let seq = store(8);
+        let mut t = StoreRedoTarget::new(&seq);
+        let want = redo_scan(&recs, &mut t).unwrap();
+        for (workers, batch) in [(2, 1), (4, 8), (2, 64)] {
+            let par = store(8);
+            let got = parallel_redo_scan(&recs, &par, RecoveryConfig::new(workers, batch)).unwrap();
+            assert_eq!(got, want, "workers={workers} batch={batch}");
+            for i in 0..8 {
+                assert_eq!(
+                    par.read_page(pid(i)).unwrap(),
+                    seq.read_page(pid(i)).unwrap(),
+                    "page {i} workers={workers} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn group_replay_defers_installs_and_serves_reads_locally() {
+        let s = store(4);
+        let mut g = GroupReplay::new(&s, 64, 0);
+        g.set(pid(1), Lsn(5), Bytes::from(vec![0x77; SIZE]))
+            .unwrap();
+        // Not yet in the store, but visible through the table.
+        assert!(s.read_page(pid(1)).unwrap().lsn().is_null());
+        assert_eq!(g.slot(pid(1)).unwrap().lsn, Lsn(5));
+        assert_eq!(g.slot(pid(1)).unwrap().data.as_ref(), &[0x77; SIZE]);
+        g.drain().unwrap();
+        let installed = s.read_page(pid(1)).unwrap();
+        assert_eq!(installed.lsn(), Lsn(5));
+        assert_eq!(installed.data().as_ref(), &[0x77; SIZE]);
+    }
+
+    #[test]
+    fn group_replay_drains_when_batch_dirty_pages_pend() {
+        let s = store(8);
+        let mut g = GroupReplay::new(&s, 2, 0);
+        g.set(pid(0), Lsn(1), Bytes::from(vec![1; SIZE])).unwrap();
+        assert!(s.read_page(pid(0)).unwrap().lsn().is_null());
+        // Second dirty page crosses the batch bound: both install.
+        g.set(pid(3), Lsn(2), Bytes::from(vec![2; SIZE])).unwrap();
+        assert_eq!(s.read_page(pid(0)).unwrap().lsn(), Lsn(1));
+        assert_eq!(s.read_page(pid(3)).unwrap().lsn(), Lsn(2));
+        // Drained slots stay readable locally (now clean).
+        assert_eq!(g.slot(pid(0)).unwrap().data.as_ref(), &[1; SIZE]);
+    }
+
+    #[test]
+    fn install_image_round_trips_in_every_configuration() {
+        let src = store(16);
+        for i in 0..16u32 {
+            src.write_page(
+                pid(i),
+                Page::new(Lsn(i as u64 + 1), Bytes::from(vec![i as u8; SIZE])),
+            )
+            .unwrap();
+        }
+        let img = src.snapshot().unwrap();
+        for (workers, batch) in [(1, 1), (1, 8), (4, 1), (4, 8), (3, 64)] {
+            let dst = store(16);
+            let n =
+                parallel_install_image(&img, &dst, RecoveryConfig::new(workers, batch)).unwrap();
+            assert_eq!(n, 16, "workers={workers} batch={batch}");
+            for i in 0..16u32 {
+                assert_eq!(
+                    dst.read_page(pid(i)).unwrap(),
+                    src.read_page(pid(i)).unwrap(),
+                    "page {i} workers={workers} batch={batch}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn config_clamps_to_one() {
+        let c = RecoveryConfig::new(0, 0);
+        assert_eq!(c, RecoveryConfig::sequential());
+        assert_eq!(RecoveryConfig::default(), RecoveryConfig::sequential());
+    }
+}

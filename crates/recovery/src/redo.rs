@@ -74,6 +74,67 @@ pub struct RedoOutcome {
     pub controls: u64,
 }
 
+/// One anchored identity write: target page, carried value, the identity
+/// record's LSN (installed as the pageLSN).
+pub(crate) type AnchoredIdentity = (PageId, Bytes, lob_pagestore::Lsn);
+
+/// The analysis half of the redo pass: where every identity record must
+/// apply. `after[j]` = identity writes to apply right after record
+/// position `j`; `at_start` = before anything. Shared by the sequential
+/// scan and the parallel grouped replay so the backdating rule exists in
+/// exactly one place.
+#[derive(Debug, Default)]
+pub(crate) struct IdentityAnchors {
+    pub(crate) at_start: Vec<AnchoredIdentity>,
+    pub(crate) after: std::collections::BTreeMap<usize, Vec<AnchoredIdentity>>,
+}
+
+/// Anchor every identity record of `records` (an in-LSN-order record
+/// sequence; positions are iteration order) immediately after the last
+/// earlier record writing its object.
+///
+/// The last-writer tracking costs a map insert per written page, so a
+/// cheap pre-scan skips the whole analysis for suffixes that carry no
+/// identity records at all — the common case for media roll-forward of a
+/// tail logged under flush-before-install disciplines.
+pub(crate) fn anchor_identities<'a, I>(records: I) -> IdentityAnchors
+where
+    I: Iterator<Item = &'a LogRecord> + Clone,
+{
+    let any_identity = records.clone().any(|rec| {
+        matches!(
+            &rec.body,
+            RecordBody::Op(lob_ops::OpBody::IdentityWrite { .. })
+        )
+    });
+    let mut anchors = IdentityAnchors::default();
+    if !any_identity {
+        return anchors;
+    }
+    let mut last_writer: crate::fxhash::FxHashMap<PageId, usize> =
+        crate::fxhash::FxHashMap::default();
+    for (i, rec) in records.enumerate() {
+        if let RecordBody::Op(op) = &rec.body {
+            if let lob_ops::OpBody::IdentityWrite { target, value } = op {
+                match last_writer.get(target) {
+                    Some(&j) => {
+                        anchors
+                            .after
+                            .entry(j)
+                            .or_default()
+                            .push((*target, value.clone(), rec.lsn))
+                    }
+                    None => anchors.at_start.push((*target, value.clone(), rec.lsn)),
+                }
+            }
+            op.for_each_write(|w| {
+                last_writer.insert(w, i);
+            });
+        }
+    }
+    anchors
+}
+
 /// Run the redo pass over `records` (must be in LSN order).
 ///
 /// ## Identity-record backdating
@@ -91,38 +152,18 @@ pub struct RedoOutcome {
 ///
 /// The pass therefore runs in two phases: an analysis phase anchors every
 /// identity record immediately after the last earlier record that wrote its
-/// object (or at the scan start if none), and the redo phase applies it
-/// there — under the usual LSN test, and with the identity record's own LSN
-/// as the installed pageLSN so later records interact with it correctly.
+/// object (or at the scan start if none — see [`anchor_identities`]), and
+/// the redo phase applies it there — under the usual LSN test, and with the
+/// identity record's own LSN as the installed pageLSN so later records
+/// interact with it correctly.
 pub fn redo_scan(
     records: &[LogRecord],
     target: &mut dyn RedoTarget,
 ) -> Result<RedoOutcome, RedoError> {
-    use std::collections::BTreeMap;
-
-    // Analysis: anchor identity records. `promotions[j]` = identity writes
-    // to apply right after record index `j`; `at_start` = before anything.
-    let mut last_writer: BTreeMap<PageId, usize> = BTreeMap::new();
-    let mut promotions: BTreeMap<usize, Vec<(PageId, Bytes, lob_pagestore::Lsn)>> = BTreeMap::new();
-    let mut at_start: Vec<(PageId, Bytes, lob_pagestore::Lsn)> = Vec::new();
-    for (i, rec) in records.iter().enumerate() {
-        if let RecordBody::Op(op) = &rec.body {
-            if let lob_ops::OpBody::IdentityWrite { target, value } = op {
-                match last_writer.get(target) {
-                    Some(&j) => {
-                        promotions
-                            .entry(j)
-                            .or_default()
-                            .push((*target, value.clone(), rec.lsn))
-                    }
-                    None => at_start.push((*target, value.clone(), rec.lsn)),
-                }
-            }
-            for w in op.writeset() {
-                last_writer.insert(w, i);
-            }
-        }
-    }
+    let IdentityAnchors {
+        at_start,
+        after: promotions,
+    } = anchor_identities(records.iter());
 
     let mut out = RedoOutcome::default();
     let apply_identity = |target: &mut dyn RedoTarget,

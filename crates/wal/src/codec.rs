@@ -197,6 +197,9 @@ fn encode_op(buf: &mut BytesMut, op: &OpBody) {
 
 struct Cursor<'a> {
     buf: &'a [u8],
+    /// When decoding a shared frame, the owning [`Bytes`] — byte-string
+    /// payloads become refcounted views into it instead of fresh copies.
+    owner: Option<&'a Bytes>,
 }
 
 impl<'a> Cursor<'a> {
@@ -238,7 +241,10 @@ impl<'a> Cursor<'a> {
         let Some(head) = self.buf.get(..len) else {
             return Err(CodecError::Truncated);
         };
-        let out = Bytes::copy_from_slice(head);
+        let out = match self.owner {
+            Some(frame) => frame.slice_ref(head),
+            None => Bytes::copy_from_slice(head),
+        };
         self.buf.advance(len);
         Ok(out)
     }
@@ -254,7 +260,25 @@ impl<'a> Cursor<'a> {
 
 /// Decode a record from bytes produced by [`encode_record`].
 pub fn decode_record(data: &[u8]) -> Result<LogRecord, CodecError> {
-    let mut c = Cursor { buf: data };
+    decode(Cursor {
+        buf: data,
+        owner: None,
+    })
+}
+
+/// Decode a record from a shared frame, zero-copy: byte-string payloads
+/// (physical and identity page values, physiological keys) are refcounted
+/// views into `frame` rather than fresh allocations. This is what keeps a
+/// full log scan cheap — recovery decodes tens of thousands of frames in
+/// one pass, and the payload bytes already live in the frame buffer.
+pub fn decode_record_shared(frame: &Bytes) -> Result<LogRecord, CodecError> {
+    decode(Cursor {
+        buf: frame.as_ref(),
+        owner: Some(frame),
+    })
+}
+
+fn decode(mut c: Cursor<'_>) -> Result<LogRecord, CodecError> {
     let lsn = Lsn(c.u64()?);
     let tag = c.u8()?;
     let body = match tag {

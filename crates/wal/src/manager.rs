@@ -1,6 +1,6 @@
 //! The log manager: append / force / scan / truncate.
 
-use crate::codec::{decode_record, encode_record, CodecError};
+use crate::codec::{decode_record_shared, encode_record, CodecError};
 use crate::record::{LogRecord, RecordBody};
 use crate::stats::LogStats;
 use crate::store::{LogStore, MemLogStore};
@@ -259,13 +259,15 @@ impl LogManager {
             FaultVerdict::TransientRead => return Err(LogError::Transient),
             _ => {}
         }
-        let mut out = Vec::new();
-        for (_, frame) in self.store.frames_from(from)? {
-            out.push(decode_record(&frame)?);
+        let frames = self.store.frames_from(from)?;
+        let mut out = Vec::with_capacity(frames.len() + self.tail.len());
+        for (_, frame) in &frames {
+            // Zero-copy decode: payload bytes stay in the frame buffer.
+            out.push(decode_record_shared(frame)?);
         }
         for (lsn, frame) in &self.tail {
             if *lsn >= from {
-                out.push(decode_record(frame)?);
+                out.push(decode_record_shared(frame)?);
             }
         }
         Ok(out)

@@ -72,6 +72,12 @@ pub struct MemLogStore {
     /// stored bytes afterwards without updating this).
     sums: Vec<u64>,
     bytes: u64,
+    /// Frames below this index already passed verification on an earlier
+    /// scan. Frames are immutable once appended, so re-verifying them per
+    /// scan would make every log scan O(whole log) — recovery replays
+    /// dozens of scans over a mostly-unchanging prefix. [`Self::corrupt_frame`]
+    /// rewinds the watermark so injected damage is still caught.
+    verified: std::sync::atomic::AtomicUsize,
 }
 
 impl MemLogStore {
@@ -102,6 +108,9 @@ impl MemLogStore {
             None => buf.push(0xFF), // even an empty frame can rot
         }
         *frame = Bytes::from(buf);
+        // The damaged frame (and everything after it) must re-verify.
+        let watermark = self.verified.get_mut();
+        *watermark = (*watermark).min(nth);
         Some(*lsn)
     }
 }
@@ -116,18 +125,21 @@ impl LogStore for MemLogStore {
     }
 
     fn frames_from(&self, from: Lsn) -> std::io::Result<Vec<(Lsn, Bytes)>> {
+        use std::sync::atomic::Ordering;
         // Verify from the front: a corrupt interior frame ends the trusted
         // prefix — later frames are unreachable even if intact themselves.
-        let mut out = Vec::new();
-        for ((lsn, frame), sum) in self.frames.iter().zip(&self.sums) {
+        // Already-verified frames are immutable and skip re-verification.
+        let mut good = self.verified.load(Ordering::Relaxed).min(self.frames.len());
+        for ((lsn, frame), sum) in self.frames.iter().zip(&self.sums).skip(good) {
             if frame_checksum(*lsn, frame) != *sum {
                 break;
             }
-            if *lsn >= from {
-                out.push((*lsn, frame.clone()));
-            }
+            good += 1;
         }
-        Ok(out)
+        self.verified.store(good, Ordering::Relaxed);
+        let trusted = self.frames.get(..good).unwrap_or_default();
+        let start = trusted.partition_point(|(l, _)| *l < from);
+        Ok(trusted.get(start..).unwrap_or_default().to_vec())
     }
 
     fn truncate(&mut self, before: Lsn) -> std::io::Result<()> {
@@ -136,6 +148,8 @@ impl LogStore for MemLogStore {
             self.bytes -= f.len() as u64;
         }
         self.sums.drain(..cut);
+        let watermark = self.verified.get_mut();
+        *watermark = watermark.saturating_sub(cut);
         Ok(())
     }
 

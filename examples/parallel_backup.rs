@@ -51,6 +51,7 @@ fn main() {
         // Group forcing: a WAL-required force persists the whole appended
         // tail, so concurrent appenders share one force round-trip.
         flush_policy: FlushPolicy::Group,
+        recovery: lob_recovery::RecoveryConfig::sequential(),
     })
     .expect("engine config");
     let mut oracle = ShadowOracle::new(PAGE_SIZE);

@@ -134,6 +134,7 @@ fn multi() -> (Engine, ShadowOracle, WorkloadGen) {
         policy: BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
         flush_policy: lob_core::FlushPolicy::Exact,
+        recovery: lob_recovery::RecoveryConfig::sequential(),
     })
     .unwrap();
     let mut o = ShadowOracle::new(128);

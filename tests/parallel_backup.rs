@@ -28,6 +28,7 @@ fn multi(flush_policy: FlushPolicy) -> (Engine, ShadowOracle, WorkloadGen) {
         policy: BackupPolicy::Protocol,
         log: LogBacking::Memory,
         flush_policy,
+        recovery: lob_recovery::RecoveryConfig::sequential(),
     })
     .unwrap();
     let mut o = ShadowOracle::new(PAGE_SIZE);

@@ -1,0 +1,360 @@
+//! Partition-parallel restore & redo vs the sequential legacy paths.
+//!
+//! The parallel replay scheduler must be *invisible* in the recovered
+//! state: for every workload shape and every workers/batch knob setting,
+//! crash recovery and media recovery through `parallel_recover` /
+//! `parallel_restore` must land byte-for-byte on the state the sequential
+//! paths produce — and with `workers = 1, batch = 1` they must *be* the
+//! sequential paths. The torture sweeps here additionally settle every
+//! case against the harness's differential replay oracle (a sequential
+//! shadow replay of the same log on a scratch store).
+
+use lob_core::{BackupImage, Discipline, Engine, EngineConfig, RecoveryConfig, RedoOutcome};
+use lob_harness::{
+    sample_indices, TortureConfig, TortureReport, TortureRunner, TortureWorkload, WorkloadGen,
+};
+use lob_pagestore::{PageId, PartitionId};
+
+const PAGES: u32 = 64;
+const PAGE_SIZE: usize = 64;
+const OPS: u32 = 80;
+
+/// Drive one deterministic seeded session (everything is a pure function
+/// of `seed`), leaving the engine *running* — callers crash or fail it as
+/// the scenario demands. Returns the pre-session off-line backup image.
+fn driven_session(workload: TortureWorkload, seed: u64) -> (Engine, BackupImage) {
+    let discipline = match workload {
+        TortureWorkload::Tree => Discipline::Tree,
+        _ => Discipline::General,
+    };
+    let mut engine = Engine::new(EngineConfig {
+        discipline,
+        ..EngineConfig::single(PAGES, PAGE_SIZE)
+    })
+    .unwrap();
+    let mut gen = WorkloadGen::new(seed, PAGE_SIZE);
+
+    let all: Vec<PageId> = (0..PAGES).map(|i| PageId::new(0, i)).collect();
+    let shuffled = gen.shuffled(&all);
+    let prefill = 16;
+    let mut used: Vec<PageId> = shuffled[..prefill].to_vec();
+    let mut fresh: Vec<PageId> = shuffled[prefill..].to_vec();
+    for &p in &used.clone() {
+        engine.execute(gen.physical(p)).unwrap();
+    }
+    let base = engine.offline_backup().unwrap();
+
+    let mut run = None;
+    for opno in 0..OPS {
+        let body = match workload {
+            TortureWorkload::Tree => {
+                if gen.chance(0.4) && !fresh.is_empty() {
+                    let x = fresh.swap_remove(gen.below(fresh.len()));
+                    let op = gen.copy_to_fresh(&used, x);
+                    used.push(x);
+                    op
+                } else {
+                    let p = used[gen.below(used.len())];
+                    if gen.chance(0.5) {
+                        gen.physio(p)
+                    } else {
+                        gen.physical(p)
+                    }
+                }
+            }
+            TortureWorkload::General | TortureWorkload::BackupConcurrent => {
+                if gen.chance(0.5) && used.len() >= 4 {
+                    gen.mix(&used, 2, 2)
+                } else {
+                    let p = used[gen.below(used.len())];
+                    if gen.chance(0.5) {
+                        gen.physio(p)
+                    } else {
+                        gen.physical(p)
+                    }
+                }
+            }
+        };
+        engine.execute(body).unwrap();
+
+        if gen.chance(0.4) {
+            let dirty = engine.cache().dirty_pages();
+            if !dirty.is_empty() {
+                engine.flush_page(dirty[gen.below(dirty.len())]).unwrap();
+            }
+        }
+        if gen.chance(0.2) {
+            engine.force_log().unwrap();
+        }
+
+        if workload == TortureWorkload::BackupConcurrent {
+            if opno == 8 {
+                run = Some(engine.begin_backup(4).unwrap());
+            }
+            if opno % 5 == 0 {
+                if let Some(r) = run.as_mut() {
+                    if engine.backup_step(r).unwrap() {
+                        let r = run.take().unwrap();
+                        let _ = engine.complete_backup(r).unwrap();
+                    }
+                }
+            }
+        }
+    }
+    (engine, base)
+}
+
+/// Every page of both stores must match in payload bytes *and* page LSN.
+fn assert_stores_identical(a: &Engine, b: &Engine, label: &str) {
+    let sa = a.store().snapshot().unwrap();
+    let sb = b.store().snapshot().unwrap();
+    assert_eq!(sa.len(), sb.len(), "{label}: page counts diverge");
+    for ((ida, pa), (idb, pb)) in sa.iter().zip(sb.iter()) {
+        assert_eq!(ida, idb, "{label}: page id order diverges");
+        assert_eq!(pa.lsn(), pb.lsn(), "{label}: page LSN diverges at {ida}");
+        assert_eq!(pa.data(), pb.data(), "{label}: bytes diverge at {ida}");
+    }
+}
+
+/// Crash two identical sessions; recover one through the legacy sequential
+/// path and one through the parallel scheduler with `rc`. Both the
+/// recovered stores and the [`RedoOutcome`]s must be identical.
+fn crash_and_compare(workload: TortureWorkload, seed: u64, rc: RecoveryConfig) {
+    let label = format!("{workload:?} workers={} batch={}", rc.workers, rc.batch);
+    let (mut seq, _) = driven_session(workload, seed);
+    let (mut par, _) = driven_session(workload, seed);
+    seq.crash();
+    par.crash();
+    let want: RedoOutcome = seq.recover().unwrap();
+    let got = par.parallel_recover_with(rc).unwrap();
+    assert_eq!(got, want, "{label}: redo outcome diverges");
+    assert_stores_identical(&seq, &par, &label);
+    assert_eq!(par.stats().parallel_recoveries, 1);
+    assert_eq!(seq.stats().parallel_recoveries, 0);
+}
+
+const KNOB_GRID: [(usize, usize); 9] = [
+    (1, 1),
+    (1, 8),
+    (1, 64),
+    (2, 1),
+    (2, 8),
+    (2, 64),
+    (4, 1),
+    (4, 8),
+    (4, 64),
+];
+
+#[test]
+fn general_workload_parallel_recovery_matches_sequential_across_the_grid() {
+    for (workers, batch) in KNOB_GRID {
+        crash_and_compare(
+            TortureWorkload::General,
+            0x6E4E,
+            RecoveryConfig::new(workers, batch),
+        );
+    }
+}
+
+#[test]
+fn tree_workload_parallel_recovery_matches_sequential_across_the_grid() {
+    for (workers, batch) in KNOB_GRID {
+        crash_and_compare(
+            TortureWorkload::Tree,
+            0x72EE,
+            RecoveryConfig::new(workers, batch),
+        );
+    }
+}
+
+#[test]
+fn backup_concurrent_parallel_recovery_matches_sequential_across_the_grid() {
+    for (workers, batch) in KNOB_GRID {
+        crash_and_compare(
+            TortureWorkload::BackupConcurrent,
+            0xBAC6,
+            RecoveryConfig::new(workers, batch),
+        );
+    }
+}
+
+/// Named regression: `workers = 1, batch = 1` is not merely equivalent —
+/// it takes literally the legacy `redo_scan` + per-page store path, so
+/// the recovered state is bit-identical to [`Engine::recover`] on every
+/// workload shape.
+#[test]
+fn worker1_batch1_is_bit_identical_to_the_legacy_path() {
+    for workload in [
+        TortureWorkload::General,
+        TortureWorkload::Tree,
+        TortureWorkload::BackupConcurrent,
+    ] {
+        crash_and_compare(workload, 0x1B1, RecoveryConfig::sequential());
+    }
+}
+
+/// Parallel media recovery: fail the medium after a completed session and
+/// require the parallel restore + roll-forward to land exactly where the
+/// sequential `media_recover` lands, for the same image and log.
+#[test]
+fn parallel_restore_matches_sequential_media_recovery() {
+    for (workers, batch) in [(1, 1), (2, 8), (4, 64)] {
+        let rc = RecoveryConfig::new(workers, batch);
+        let label = format!("restore workers={workers} batch={batch}");
+        let (mut seq, image) = driven_session(TortureWorkload::BackupConcurrent, 0x4E57);
+        let (mut par, _) = driven_session(TortureWorkload::BackupConcurrent, 0x4E57);
+        seq.store().fail_partition(PartitionId(0)).unwrap();
+        par.store().fail_partition(PartitionId(0)).unwrap();
+        let want = seq.media_recover(&image).unwrap();
+        let got = par.parallel_restore_with(&image, rc).unwrap();
+        assert_eq!(got, want, "{label}: redo outcome diverges");
+        assert_stores_identical(&seq, &par, &label);
+        assert_eq!(par.stats().parallel_restores, 1);
+    }
+}
+
+/// Catalog-sourced restore: `parallel_restore_latest` must fetch the
+/// *newest* registered generation (checksum-verified whole-image fetch)
+/// and recover exactly like a sequential restore from that image.
+#[test]
+fn catalog_sourced_parallel_restore_uses_the_newest_generation() {
+    let (mut seq, stale) = driven_session(TortureWorkload::General, 0xCA7A);
+    let (mut par, stale2) = driven_session(TortureWorkload::General, 0xCA7A);
+    // Register the stale pre-session image first, then a fresh one: the
+    // catalog must hand back the fresh one.
+    let fresh = par.offline_backup().unwrap();
+    par.register_backup_generation(stale2).unwrap();
+    par.register_backup_generation(fresh.clone()).unwrap();
+    seq.register_backup_generation(stale).unwrap();
+
+    seq.store().fail_partition(PartitionId(0)).unwrap();
+    par.store().fail_partition(PartitionId(0)).unwrap();
+    let want = seq.media_recover(&fresh).unwrap();
+    let got = par
+        .parallel_restore_latest_with(RecoveryConfig::new(4, 8))
+        .unwrap();
+    assert_eq!(got, want, "catalog restore: redo outcome diverges");
+    assert_stores_identical(&seq, &par, "catalog restore");
+}
+
+// ---------------------------------------------------------------------
+// The torture suite's crash points, re-run through the parallel arm.
+// Every case is settled against the differential replay oracle: the
+// harness replays the surviving log sequentially on a scratch store and
+// byte-compares it with the parallel recovery.
+// ---------------------------------------------------------------------
+
+fn assert_no_divergence(label: &str, report: &TortureReport) {
+    assert!(
+        report.divergences.is_empty(),
+        "{label}: {} divergence(s):\n{}",
+        report.divergences.len(),
+        report.divergences.join("\n")
+    );
+}
+
+#[test]
+fn parallel_crash_sweep_general_ops_matches_the_oracle_at_every_point() {
+    let runner = TortureRunner::new(TortureConfig::parallel(
+        0xA11CE,
+        TortureWorkload::General,
+        RecoveryConfig::new(4, 8),
+    ));
+    let report = runner.crash_sweep(100).unwrap();
+    assert_no_divergence("parallel general crash sweep", &report);
+    assert!(report.crash_points.len() >= 70);
+    assert_eq!(report.faults_fired, report.cases);
+    assert!(report.crash_recoveries > 0);
+}
+
+#[test]
+fn parallel_crash_sweep_tree_ops_matches_the_oracle_at_every_point() {
+    let runner = TortureRunner::new(TortureConfig::parallel(
+        0xB0B,
+        TortureWorkload::Tree,
+        RecoveryConfig::new(2, 64),
+    ));
+    let report = runner.crash_sweep(100).unwrap();
+    assert_no_divergence("parallel tree crash sweep", &report);
+    assert!(report.crash_points.len() >= 70);
+    assert_eq!(report.faults_fired, report.cases);
+    assert!(report.crash_recoveries > 0);
+}
+
+#[test]
+fn parallel_crash_sweep_backup_concurrent_matches_the_oracle_at_every_point() {
+    let runner = TortureRunner::new(TortureConfig::parallel(
+        0xCAFE,
+        TortureWorkload::BackupConcurrent,
+        RecoveryConfig::new(4, 1),
+    ));
+    let report = runner.crash_sweep(110).unwrap();
+    assert_no_divergence("parallel backup-concurrent crash sweep", &report);
+    assert!(report.crash_points.len() >= 80);
+    assert_eq!(report.faults_fired, report.cases);
+    assert!(report.crash_recoveries > 0);
+}
+
+/// The three parallel sweeps above arm the same seeds and point budgets as
+/// the sequential torture suite; together they re-run its 280+ distinct
+/// crash points through `parallel_recover`. (Point sets are a pure
+/// function of seed, so counting them is cheap and exact.)
+#[test]
+fn parallel_sweeps_rerun_at_least_280_crash_points() {
+    let mut total = 0;
+    for (seed, workload, max_points) in [
+        (0xA11CE, TortureWorkload::General, 100),
+        (0xB0B, TortureWorkload::Tree, 100),
+        (0xCAFE, TortureWorkload::BackupConcurrent, 110),
+    ] {
+        let runner = TortureRunner::new(TortureConfig::parallel(
+            seed,
+            workload,
+            RecoveryConfig::new(4, 8),
+        ));
+        let events = runner.count_events().unwrap();
+        total += sample_indices(events, max_points).len();
+    }
+    assert!(
+        total >= 280,
+        "the parallel arm must re-run the suite's 280+ crash points (got {total})"
+    );
+}
+
+/// Kill-during-parallel-restore: crash a *parallel* media recovery at
+/// every sampled I/O event of the restore + roll-forward, then show that
+/// simply re-running the parallel restore converges — and byte-matches
+/// the sequential differential oracle.
+#[test]
+fn interrupted_parallel_restore_is_restartable() {
+    let runner = TortureRunner::new(TortureConfig::parallel(
+        0x2E57,
+        TortureWorkload::BackupConcurrent,
+        RecoveryConfig::new(4, 8),
+    ));
+    let report = runner.restore_crash_drill(30).unwrap();
+    assert_no_divergence("parallel restore crash drill", &report);
+    assert!(
+        report.crash_points.len() >= 20,
+        "the restore must expose enough I/O events to torture (got {} over {})",
+        report.crash_points.len(),
+        report.events_total
+    );
+    assert!(report.faults_fired > 0, "restores must be interrupted");
+    assert!(report.media_recoveries > 0, "restarts must converge");
+}
+
+/// Parallel sweeps stay reproducible per seed: recovery itself runs
+/// fault-free (hooks are removed before replay), so thread fan-out never
+/// perturbs which events exist or which faults fire.
+#[test]
+fn parallel_sweeps_are_reproducible_per_seed() {
+    let cfg = TortureConfig::parallel(99, TortureWorkload::General, RecoveryConfig::new(4, 8));
+    let a = TortureRunner::new(cfg.clone()).crash_sweep(12).unwrap();
+    let b = TortureRunner::new(cfg).crash_sweep(12).unwrap();
+    assert_eq!(a.events_total, b.events_total);
+    assert_eq!(a.crash_points, b.crash_points);
+    assert_eq!(a.fired_events, b.fired_events);
+    assert_eq!(a.crash_recoveries, b.crash_recoveries);
+    assert_eq!(a.media_recoveries, b.media_recoveries);
+}

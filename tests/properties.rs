@@ -176,6 +176,130 @@ fn greedy_installs_form_installation_prefixes() {
 }
 
 #[test]
+fn replay_plan_schedules_dependents_after_parents() {
+    use lob_recovery::ReplayPlan;
+    for case in 0..64u64 {
+        let mut rng = SmallRng::seed_from_u64(0xCE77_E000 + case);
+        let specs = random_specs(&mut rng, 50);
+        let mut install = InstallGraph::new();
+        let mut records = Vec::new();
+        let mut lsn = 1u64;
+        for spec in &specs {
+            if let Some(body) = spec.body() {
+                install.push(Lsn(lsn), &body);
+                records.push(lob_wal::LogRecord::new(
+                    Lsn(lsn),
+                    lob_wal::RecordBody::Op(body),
+                ));
+                lsn += 1;
+            }
+        }
+        let plan = ReplayPlan::build(&records);
+
+        // The units partition the op records exactly once, each unit in
+        // strict log order.
+        let mut seen = BTreeSet::new();
+        for unit in plan.units() {
+            for pair in unit.indices().windows(2) {
+                assert!(
+                    pair[0] < pair[1],
+                    "case {case}: unit indices out of log order"
+                );
+            }
+            for &i in unit.indices() {
+                assert!(seen.insert(i), "case {case}: record {i} in two units");
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            records.len(),
+            "case {case}: every op record must be scheduled"
+        );
+
+        // Units touch pairwise-disjoint page sets — the soundness condition
+        // for replaying them on concurrent workers.
+        let units = plan.units();
+        for (i, a) in units.iter().enumerate() {
+            for b in &units[i + 1..] {
+                assert!(
+                    a.pages().is_disjoint(b.pages()),
+                    "case {case}: two units share a page"
+                );
+            }
+        }
+
+        // Topological validity: every installation-graph predecessor of an
+        // op (a cross-object read-write dependency) is scheduled in the
+        // *same* unit at an *earlier* position — no dependent op ever
+        // replays before its parent, on any worker.
+        for unit in units {
+            let pos: std::collections::BTreeMap<usize, usize> = unit
+                .indices()
+                .iter()
+                .enumerate()
+                .map(|(at, &i)| (i, at))
+                .collect();
+            for (&i, &at) in &pos {
+                let Some(preds) = install.preds(records[i].lsn) else {
+                    continue;
+                };
+                for &p in preds {
+                    // LSNs are assigned contiguously from 1, so the
+                    // predecessor's record index is lsn - 1.
+                    let pi = (p.0 - 1) as usize;
+                    let ppos = pos.get(&pi).unwrap_or_else(|| {
+                        panic!("case {case}: parent of record {i} landed in another unit")
+                    });
+                    assert!(
+                        *ppos < at,
+                        "case {case}: record {i} scheduled before its parent {pi}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shrunk from the property above and pinned: a copy chain `0 → 1 → 2`
+/// creates only pairwise page overlaps, but transitivity must still pull
+/// all three pages — and an unrelated write to page 2 logged *before* the
+/// chain formed — into one replay unit, in log order.
+#[test]
+fn regression_copy_chain_bridges_units() {
+    use lob_recovery::ReplayPlan;
+    let bodies = [
+        OpBody::PhysicalWrite {
+            target: page(0),
+            value: Bytes::from_static(b"a"),
+        },
+        OpBody::PhysicalWrite {
+            target: page(2),
+            value: Bytes::from_static(b"b"),
+        },
+        OpBody::Logical(LogicalOp::Copy {
+            src: page(0),
+            dst: page(1),
+        }),
+        OpBody::Logical(LogicalOp::Copy {
+            src: page(1),
+            dst: page(2),
+        }),
+    ];
+    let records: Vec<lob_wal::LogRecord> = bodies
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            lob_wal::LogRecord::new(Lsn(i as u64 + 1), lob_wal::RecordBody::Op(b.clone()))
+        })
+        .collect();
+    let plan = ReplayPlan::build(&records);
+    assert_eq!(plan.units().len(), 1, "the chain must bridge to one unit");
+    assert_eq!(plan.units()[0].indices(), &[0, 1, 2, 3]);
+    let pages: BTreeSet<PageId> = [page(0), page(1), page(2)].into_iter().collect();
+    assert_eq!(plan.units()[0].pages(), &pages);
+}
+
+#[test]
 fn recpage_codec_round_trips() {
     for case in 0..64u64 {
         let mut rng = SmallRng::seed_from_u64(0xC33E_E000 + case);

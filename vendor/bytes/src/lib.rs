@@ -2,10 +2,10 @@
 //!
 //! The build environment has no network access to crates.io, so the
 //! workspace vendors the small slice of the `bytes` API it actually uses:
-//! cheaply-clonable immutable byte buffers ([`Bytes`]), an append-only
-//! builder ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits used by
-//! the log codec. Semantics match the real crate for this subset; only the
-//! zero-copy slicing machinery is omitted (callers here never slice).
+//! cheaply-clonable immutable byte buffers ([`Bytes`]) with zero-copy
+//! subslicing ([`Bytes::slice_ref`]), an append-only builder
+//! ([`BytesMut`]), and the [`Buf`]/[`BufMut`] cursor traits used by the
+//! log codec. Semantics match the real crate for this subset.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -20,6 +20,12 @@ pub struct Bytes {
 enum Inner {
     Static(&'static [u8]),
     Shared(Arc<[u8]>),
+    /// A zero-copy view into a shared buffer.
+    Sliced {
+        buf: Arc<[u8]>,
+        start: usize,
+        len: usize,
+    },
 }
 
 impl Bytes {
@@ -58,7 +64,39 @@ impl Bytes {
         match &self.inner {
             Inner::Static(s) => s,
             Inner::Shared(s) => s,
+            Inner::Sliced { buf, start, len } => buf.get(*start..*start + *len).unwrap_or(&[]),
         }
+    }
+
+    /// A [`Bytes`] aliasing `subset`, which must lie inside this buffer
+    /// (same allocation); no bytes are copied. Panics otherwise, exactly
+    /// like the real crate's `slice_ref`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_slice();
+        let base_ptr = base.as_ptr() as usize;
+        let sub_ptr = subset.as_ptr() as usize;
+        assert!(
+            sub_ptr >= base_ptr && sub_ptr + subset.len() <= base_ptr + base.len(),
+            "slice_ref: subset is not contained in this Bytes"
+        );
+        let off = sub_ptr - base_ptr;
+        let inner = match &self.inner {
+            Inner::Static(s) => Inner::Static(s.get(off..off + subset.len()).unwrap_or(&[])),
+            Inner::Shared(a) => Inner::Sliced {
+                buf: a.clone(),
+                start: off,
+                len: subset.len(),
+            },
+            Inner::Sliced { buf, start, .. } => Inner::Sliced {
+                buf: buf.clone(),
+                start: start + off,
+                len: subset.len(),
+            },
+        };
+        Bytes { inner }
     }
 
     /// A owned `Vec<u8>` copy of the contents.
@@ -356,6 +394,28 @@ mod tests {
         let c = a.clone();
         assert_eq!(c, b);
         assert!(Bytes::from_static(b"ab") < Bytes::from_static(b"b"));
+    }
+
+    #[test]
+    fn slice_ref_aliases_without_copying() {
+        let a = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = a.slice_ref(&a[2..5]);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        // A slice of a slice still aliases the original allocation.
+        let inner = mid.slice_ref(&mid[1..2]);
+        assert_eq!(&inner[..], &[3]);
+        // Empty subsets and static buffers work too.
+        assert!(a.slice_ref(&a[3..3]).is_empty());
+        let s = Bytes::from_static(b"hello");
+        assert_eq!(&s.slice_ref(&s[1..3])[..], b"el");
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_ref_rejects_foreign_slices() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let other = [1u8, 2, 3];
+        let _ = a.slice_ref(&other);
     }
 
     #[test]
