@@ -25,17 +25,17 @@ struct Domain {
 #[derive(Debug, Default)]
 pub struct CoordinatorStats {
     /// Flush decisions taken while a backup was active in the page's domain.
-    pub checks_active: AtomicU64,
+    pub checks_active: AtomicU64, // lint: atomic(relaxed-counter)
     /// Flush decisions taken with no backup active.
-    pub checks_inactive: AtomicU64,
+    pub checks_inactive: AtomicU64, // lint: atomic(relaxed-counter)
     /// Decisions that required Iw/oF logging.
-    pub iwof_required: AtomicU64,
+    pub iwof_required: AtomicU64, // lint: atomic(relaxed-counter)
     /// Active decisions where the page was `Pend` / `Doubt` / `Done`.
-    pub pend: AtomicU64,
+    pub pend: AtomicU64, // lint: atomic(relaxed-counter)
     /// See [`CoordinatorStats::pend`].
-    pub doubt: AtomicU64,
+    pub doubt: AtomicU64, // lint: atomic(relaxed-counter)
     /// See [`CoordinatorStats::pend`].
-    pub done: AtomicU64,
+    pub done: AtomicU64, // lint: atomic(relaxed-counter)
 }
 
 impl CoordinatorStats {
@@ -69,9 +69,12 @@ impl CoordinatorStats {
 /// Shared (`Arc`) between the engine's flush path and backup driver
 /// threads.
 pub struct BackupCoordinator {
+    // lint: guarded-by(immutable) domain layout is fixed at construction
     domains: Vec<Domain>,
+    // lint: guarded-by(immutable) partition->domain map is fixed at construction
     by_partition: HashMap<PartitionId, u32>,
     changed: Mutex<HashSet<PageId>>,
+    // lint: guarded-by(atomic) counters are atomics all the way down
     stats: CoordinatorStats,
     /// Optional fault hook consulted by backup sweeps before each page
     /// copy ([`IoEvent::BackupCopy`]).
@@ -103,7 +106,10 @@ impl BackupCoordinator {
 
     /// Install (or clear) the fault hook consulted before backup copies.
     pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
-        *self.hook.lock() = hook;
+        let mut g = self.hook.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.hook");
+        lob_pagestore::witness::access("BackupCoordinator.hook");
+        *g = hook;
     }
 
     /// Whether a fault hook is installed. Batched sweeps check this once
@@ -111,12 +117,21 @@ impl BackupCoordinator {
     /// anyway, so the per-page hook-lock round-trip can be skipped without
     /// changing behavior.
     pub fn has_fault_hook(&self) -> bool {
-        self.hook.lock().is_some()
+        let g = self.hook.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.hook");
+        lob_pagestore::witness::access("BackupCoordinator.hook");
+        g.is_some()
     }
 
     /// Consult the fault hook (Proceed when none is installed).
     pub fn consult_fault(&self, ev: IoEvent, page: Option<PageId>) -> FaultVerdict {
-        match self.hook.lock().clone() {
+        let hook = {
+            let g = self.hook.lock();
+            let _w = lob_pagestore::witness::hold("backup/coordinator.hook");
+            lob_pagestore::witness::access("BackupCoordinator.hook");
+            g.clone()
+        };
+        match hook {
             Some(h) => h(ev, page),
             None => FaultVerdict::Proceed,
         }
@@ -215,25 +230,37 @@ impl BackupCoordinator {
     /// Record that a page's value in `S` changed (a flush). Feeds the
     /// changed-page set incremental backups copy.
     pub fn note_flushed(&self, page: PageId) {
-        self.changed.lock().insert(page);
+        let mut g = self.changed.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.changed");
+        lob_pagestore::witness::access("BackupCoordinator.changed");
+        g.insert(page);
     }
 
     /// Take (and clear) the changed-page set at the start of an incremental
     /// backup. Pages flushed *after* this point are recorded for the *next*
     /// incremental backup; the in-flight one covers them via the media log.
     pub fn take_changed(&self) -> HashSet<PageId> {
-        std::mem::take(&mut *self.changed.lock())
+        let mut g = self.changed.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.changed");
+        lob_pagestore::witness::access("BackupCoordinator.changed");
+        std::mem::take(&mut *g)
     }
 
     /// Merge a changed-page set back (an incremental backup was aborted, so
     /// its pages are still "changed since the last completed backup").
     pub fn restore_changed(&self, pages: HashSet<PageId>) {
-        self.changed.lock().extend(pages);
+        let mut g = self.changed.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.changed");
+        lob_pagestore::witness::access("BackupCoordinator.changed");
+        g.extend(pages);
     }
 
     /// Number of pages currently marked changed.
     pub fn changed_count(&self) -> usize {
-        self.changed.lock().len()
+        let g = self.changed.lock();
+        let _w = lob_pagestore::witness::hold("backup/coordinator.changed");
+        lob_pagestore::witness::access("BackupCoordinator.changed");
+        g.len()
     }
 
     /// Decision statistics.

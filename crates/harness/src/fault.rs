@@ -52,10 +52,10 @@ pub enum FaultKind {
 
 /// Shared state behind the hook closure.
 struct PlanState {
-    counter: AtomicU64,
+    counter: AtomicU64, // lint: atomic(seqcst)
     /// Occurrences of the targeted kind seen so far (CrashAtEvent only).
-    kind_seen: AtomicU64,
-    fired: AtomicBool,
+    kind_seen: AtomicU64, // lint: atomic(seqcst)
+    fired: AtomicBool,  // lint: atomic(seqcst)
     fired_page: Mutex<Option<PageId>>,
     fired_event: Mutex<Option<(u64, IoEvent)>>,
 }

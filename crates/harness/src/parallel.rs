@@ -19,6 +19,11 @@
 //! - a fault-free (or silently-corrupting) session completes every sweep,
 //!   and the **fuzzy parallel images themselves** restore the store after
 //!   total media loss — combine, restore, roll forward, byte-verify.
+//!
+//! Every case additionally runs with the Eraser-style lock-set witness
+//! ([`lob_pagestore::witness`]) armed: instrumented shared-state accesses in
+//! the store, coordinator, tracker, and group-replay paths must keep a
+//! non-empty candidate lock-set, or the case fails even if it byte-verified.
 
 use crate::fault::{sample_indices, FaultKind, FaultPlan};
 use crate::shadow::ShadowOracle;
@@ -85,6 +90,9 @@ pub enum DrillPath {
 pub struct ParallelCaseResult {
     /// Whether the armed fault fired.
     pub fired: bool,
+    /// Access events the lock-set witness recorded during the case (zero
+    /// only if the witness was compiled out).
+    pub witness_events: u64,
     /// `(event index, event kind)` the fault fired at (racy across runs:
     /// the index is global over all threads' consults).
     pub fired_event: Option<(u64, IoEvent)>,
@@ -195,7 +203,37 @@ impl ParallelDrillRunner {
     /// Run one case with `kind` armed: begin a sweep in every domain,
     /// spawn one worker thread per run, race the writer against them on
     /// this thread, then classify whatever surfaced and verify recovery.
+    ///
+    /// The Eraser-style lock-set witness ([`lob_pagestore::witness`]) is
+    /// armed for the duration of the case: any instrumented shared site
+    /// whose candidate lock-set goes empty fails the case, fault or no
+    /// fault. Concurrent cases in one process share the global registry —
+    /// that can only lose coverage (a reset mid-case), never invent a
+    /// violation, because every instrumented access pairs with its hold.
     pub fn run_case(&self, kind: FaultKind) -> Result<ParallelCaseResult, String> {
+        lob_pagestore::witness::arm();
+        let res = self.run_case_inner(kind);
+        let events = lob_pagestore::witness::events();
+        let violations = lob_pagestore::witness::take_violations();
+        lob_pagestore::witness::disarm();
+        if !violations.is_empty() {
+            let tail = match &res {
+                Err(e) => format!(" (case also failed: {e})"),
+                Ok(_) => String::new(),
+            };
+            return Err(format!(
+                "lock witness flagged {} site(s): {}{tail}",
+                violations.len(),
+                violations.join("; ")
+            ));
+        }
+        res.map(|mut case| {
+            case.witness_events = events;
+            case
+        })
+    }
+
+    fn run_case_inner(&self, kind: FaultKind) -> Result<ParallelCaseResult, String> {
         let cfg = &self.cfg;
         let (mut engine, mut oracle, mut gen) = self.build()?;
         // The pre-session base image pins the media barrier and is what
@@ -335,6 +373,7 @@ impl ParallelDrillRunner {
         let result = |path| ParallelCaseResult {
             fired: plan.fired(),
             fired_event: plan.fired_event(),
+            witness_events: 0,
             path,
             workers: 0,
             worker_errors,

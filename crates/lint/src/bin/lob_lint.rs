@@ -1,0 +1,183 @@
+//! `lob-lint` CLI: run every pass and print findings, human-readable by
+//! default or as a JSON report with `--json`.
+//!
+//! The JSON report carries one object per finding
+//! (`{"pass", "file", "line", "rule", "msg"}`) plus the read-only status of
+//! both ratchets (`at-baseline` / `below-baseline` / `above-baseline` per
+//! tracked file). The exit code is non-zero when any finding or ratchet
+//! regression is present, so CI can gate on it directly.
+//!
+//! This binary never rewrites the ratchet files — tightening stays in the
+//! test-suite path (`cargo test -p lob-lint`), where the rewrite is
+//! deliberate and the diff is reviewed.
+
+use lob_lint::{guarded_by, panic_free, ratchet, run_all, Diagnostic};
+use std::collections::BTreeMap;
+
+/// Which pass a rule id belongs to, for the report's `pass` column.
+fn pass_of(rule: &str) -> &'static str {
+    match rule {
+        "panic" => "panic_free",
+        "lock-order" => "lock_order",
+        "nondet" => "determinism",
+        "fault-hook" => "fault_hook",
+        "effect-sets" => "effect_sets",
+        "guarded-by" => "guarded_by",
+        "atomics" => "atomics",
+        "spawn-escape" => "spawn_escape",
+        _ => "annotations",
+    }
+}
+
+/// One ratchet file's per-path status, computed without rewriting.
+struct RatchetStatus {
+    name: &'static str,
+    rows: Vec<(String, &'static str)>,
+    regressed: bool,
+}
+
+fn ratchet_status(
+    name: &'static str,
+    rel_path: &str,
+    current: &BTreeMap<String, (usize, usize)>,
+) -> RatchetStatus {
+    let root = lob_lint::workspace_root();
+    let baseline = std::fs::read_to_string(root.join(rel_path))
+        .map(|t| ratchet::parse(&t))
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    let mut regressed = false;
+    for (path, (base_a, base_b)) in &baseline {
+        let (a, b) = current.get(path).copied().unwrap_or((0, 0));
+        let status = if a > *base_a || b > *base_b {
+            regressed = true;
+            "above-baseline"
+        } else if a < *base_a || b < *base_b {
+            "below-baseline"
+        } else {
+            "at-baseline"
+        };
+        rows.push((path.clone(), status));
+    }
+    for (path, (a, b)) in current {
+        if !baseline.contains_key(path) && (*a > 0 || *b > 0) {
+            regressed = true;
+            rows.push((path.clone(), "above-baseline"));
+        }
+    }
+    RatchetStatus {
+        name,
+        rows,
+        regressed,
+    }
+}
+
+/// Minimal JSON string escaping (the report has no nested structures).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(diags: &[Diagnostic], ratchets: &[RatchetStatus]) {
+    println!("{{");
+    println!("  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        let comma = if i + 1 < diags.len() { "," } else { "" };
+        println!(
+            "    {{\"pass\": \"{}\", \"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}{comma}",
+            pass_of(d.rule),
+            esc(&d.path),
+            d.line,
+            d.rule,
+            esc(d.msg.as_str())
+        );
+    }
+    println!("  ],");
+    println!("  \"ratchets\": {{");
+    for (ri, r) in ratchets.iter().enumerate() {
+        println!("    \"{}\": {{", r.name);
+        println!("      \"regressed\": {},", r.regressed);
+        println!("      \"files\": {{");
+        for (i, (path, status)) in r.rows.iter().enumerate() {
+            let comma = if i + 1 < r.rows.len() { "," } else { "" };
+            println!("        \"{}\": \"{}\"{comma}", esc(path), status);
+        }
+        println!("      }}");
+        let comma = if ri + 1 < ratchets.len() { "," } else { "" };
+        println!("    }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let root = lob_lint::workspace_root();
+    let files = match lob_lint::load_workspace_sources(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lob-lint: cannot load workspace sources: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let diags = run_all(&files);
+
+    let (_, panic_counts) = panic_free::check_with_counts(&files, &panic_free::Config::workspace());
+    let panic_map: BTreeMap<String, (usize, usize)> = panic_counts
+        .iter()
+        .map(|c| (c.path.clone(), (c.allowed_panics, c.index_sites)))
+        .collect();
+    let (_, race_counts) = guarded_by::check_with_counts(&files, &guarded_by::Config::workspace());
+    let race_map: BTreeMap<String, (usize, usize)> = race_counts
+        .iter()
+        .map(|c| (c.path.clone(), (c.lockfree_fields, c.allowed_unguarded)))
+        .collect();
+    let ratchets = vec![
+        ratchet_status("panic", ratchet::RATCHET_PATH, &panic_map),
+        ratchet_status("race", ratchet::RACE_RATCHET_PATH, &race_map),
+    ];
+
+    if json {
+        print_json(&diags, &ratchets);
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        for r in &ratchets {
+            for (path, status) in &r.rows {
+                if *status != "at-baseline" {
+                    println!("ratchet[{}] {}: {}", r.name, path, status);
+                }
+            }
+        }
+        println!(
+            "lob-lint: {} finding(s), panic ratchet {}, race ratchet {}",
+            diags.len(),
+            if ratchets[0].regressed {
+                "REGRESSED"
+            } else {
+                "ok"
+            },
+            if ratchets[1].regressed {
+                "REGRESSED"
+            } else {
+                "ok"
+            },
+        );
+    }
+
+    if !diags.is_empty() || ratchets.iter().any(|r| r.regressed) {
+        std::process::exit(1);
+    }
+}

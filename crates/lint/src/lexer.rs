@@ -31,6 +31,12 @@ pub struct LineInfo {
     pub allows: Vec<String>,
     /// Directives that name a rule but carry no justification text.
     pub bad_allows: Vec<String>,
+    /// Declaration directives on this line: `lint: guarded-by(<spec>)` and
+    /// `lint: atomic(<contract>)`, collected as `(kind, argument)` pairs.
+    /// Unlike `allows`, these *declare a contract* for the item they
+    /// annotate (a struct field, an atomic declaration) rather than
+    /// silencing a rule.
+    pub decls: Vec<(String, String)>,
 }
 
 /// A function body span (1-based lines, inclusive).
@@ -80,11 +86,12 @@ impl SourceFile {
         let raw_lines = sanitize(text);
         let mut lines: Vec<LineInfo> = raw_lines
             .into_iter()
-            .map(|(code, allows, bad_allows)| LineInfo {
+            .map(|(code, allows, bad_allows, decls)| LineInfo {
                 code,
                 in_test: false,
                 allows,
                 bad_allows,
+                decls,
             })
             .collect();
         mark_test_spans(&mut lines);
@@ -110,6 +117,33 @@ impl SourceFile {
                 .is_some_and(|li| li.code.trim().is_empty())
         };
         hit(line) || (line >= 2 && hit(line - 1) && comment_only(line - 1))
+    }
+
+    /// The argument of the first `lint: <kind>(<arg>)` declaration directive
+    /// governing 1-based `line` — on the line itself, or on the line
+    /// immediately above when that line is comment-only (same placement
+    /// rules as [`SourceFile::allowed`]).
+    pub fn decl(&self, kind: &str, line: usize) -> Option<&str> {
+        let hit = |l: usize| {
+            self.lines.get(l.wrapping_sub(1)).and_then(|li| {
+                li.decls
+                    .iter()
+                    .find(|(k, _)| k == kind)
+                    .map(|(_, arg)| arg.as_str())
+            })
+        };
+        let comment_only = |l: usize| {
+            self.lines
+                .get(l.wrapping_sub(1))
+                .is_some_and(|li| li.code.trim().is_empty())
+        };
+        hit(line).or_else(|| {
+            if line >= 2 && comment_only(line - 1) {
+                hit(line - 1)
+            } else {
+                None
+            }
+        })
     }
 
     /// Sanitized code of 1-based `line` (empty if out of range).
@@ -233,16 +267,18 @@ pub fn norm(code: &str) -> String {
     code.chars().filter(|c| !c.is_whitespace()).collect()
 }
 
-/// Sanitize the whole file; returns per-line `(code, allows, bad_allows)`.
+/// Sanitize the whole file; returns per-line
+/// `(code, allows, bad_allows, decls)`.
 #[allow(clippy::type_complexity)]
-fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>)> {
+fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, String)>)> {
     let chars: Vec<char> = text.chars().collect();
     let mut st = St::Code;
     let mut line = String::new();
     let mut comment = String::new();
-    let mut out: Vec<(String, Vec<String>, Vec<String>)> = Vec::new();
+    let mut out: Vec<(String, Vec<String>, Vec<String>, Vec<(String, String)>)> = Vec::new();
     let mut allows: Vec<String> = Vec::new();
     let mut bad_allows: Vec<String> = Vec::new();
+    let mut decls: Vec<(String, String)> = Vec::new();
     // The identifier chars immediately before the cursor (for raw-string
     // and byte-literal prefix detection).
     let mut prev_word = String::new();
@@ -253,6 +289,7 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>)> {
         if c == '\n' {
             if st == St::LineComment {
                 collect_allows(&comment, &mut allows, &mut bad_allows);
+                collect_decls(&comment, &mut decls);
                 comment.clear();
                 st = St::Code;
             }
@@ -260,6 +297,7 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>)> {
                 std::mem::take(&mut line),
                 std::mem::take(&mut allows),
                 std::mem::take(&mut bad_allows),
+                std::mem::take(&mut decls),
             ));
             prev_word.clear();
             i += 1;
@@ -348,6 +386,7 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>)> {
                 } else if c == '*' && next == Some('/') {
                     if depth == 1 {
                         collect_allows(&comment, &mut allows, &mut bad_allows);
+                        collect_decls(&comment, &mut decls);
                         comment.clear();
                         st = St::Code;
                     } else {
@@ -421,9 +460,10 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>)> {
     }
     if st == St::LineComment {
         collect_allows(&comment, &mut allows, &mut bad_allows);
+        collect_decls(&comment, &mut decls);
     }
-    if !line.is_empty() || !allows.is_empty() || !bad_allows.is_empty() {
-        out.push((line, allows, bad_allows));
+    if !line.is_empty() || !allows.is_empty() || !bad_allows.is_empty() || !decls.is_empty() {
+        out.push((line, allows, bad_allows, decls));
     }
     out
 }
@@ -456,6 +496,32 @@ fn collect_allows(comment: &str, allows: &mut Vec<String>, bad: &mut Vec<String>
             }
             None => break,
         }
+    }
+}
+
+/// Extract `lint: guarded-by(<spec>)` / `lint: atomic(<contract>)`
+/// declaration directives from comment text. The space after `lint:` is
+/// optional; the argument is everything up to the closing paren, trimmed.
+fn collect_decls(comment: &str, decls: &mut Vec<(String, String)>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = rest.split_at(pos + "lint:".len()).1;
+        let body = rest.trim_start();
+        let Some((kind, after)) = ["guarded-by", "atomic"].iter().find_map(|k| {
+            body.strip_prefix(*k)
+                .and_then(|r| r.strip_prefix('('))
+                .map(|r| (*k, r))
+        }) else {
+            continue;
+        };
+        let Some((arg, tail)) = after.split_once(')') else {
+            break;
+        };
+        let arg = arg.trim();
+        if !arg.is_empty() {
+            decls.push((kind.to_string(), arg.to_string()));
+        }
+        rest = tail;
     }
 }
 
@@ -563,6 +629,18 @@ mod tests {
         );
         assert!(f.allowed("panic", 2));
         assert!(!f.allowed("lock-order", 2));
+    }
+
+    #[test]
+    fn declaration_directives_are_collected() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// lint: guarded-by(changed) refined under the changed mutex\nfoo: u32,\nbar: u64, // lint: atomic(relaxed-counter)\nbaz: u8,\n",
+        );
+        assert_eq!(f.decl("guarded-by", 2), Some("changed"));
+        assert_eq!(f.decl("atomic", 3), Some("relaxed-counter"));
+        assert_eq!(f.decl("guarded-by", 3), None);
+        assert_eq!(f.decl("atomic", 4), None);
     }
 
     #[test]

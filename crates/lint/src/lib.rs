@@ -1,6 +1,6 @@
 //! `lob-lint`: the workspace invariant checker.
 //!
-//! Five passes over a hand-rolled token scan of `crates/*/src` (see
+//! Eight passes over a hand-rolled token scan of `crates/*/src` (see
 //! [`lexer`]), each enforcing an invariant the compiler cannot see:
 //!
 //! - [`panic_free`] — no unannotated `unwrap`/`expect`/`panic!` family in
@@ -12,19 +12,38 @@
 //!   diffed against the declared-site registry in [`fault_hook::REGISTRY`];
 //! - [`effect_sets`] — each `OpBody` variant's declared `readset()` /
 //!   `writeset()` agrees with the pages its `apply()` actually reads
-//!   through `PageReader` and returns as writes.
+//!   through `PageReader` and returns as writes;
+//! - [`guarded_by`] — every plain field of an `Arc`-shared struct that
+//!   also carries a lock is either dominated by that lock at each access
+//!   or annotated with an explicit lock-free contract, ratcheted in
+//!   `race_ratchet.tsv`;
+//! - [`atomics`] — every atomic declares an ordering contract
+//!   (`// lint: atomic(…)`) that its operations are checked against, and
+//!   `Cell`/`RefCell`/`UnsafeCell`/`unsafe impl Send|Sync` are inventoried;
+//! - [`spawn_escape`] — closures handed to spawns `move` their captures,
+//!   and detached spawns never capture a local reference binding.
+//!
+//! The static guarded-by map from pass 6 is cross-validated at runtime by
+//! the Eraser-style lock witness in `lob-pagestore` (`witness` feature):
+//! the witness's declared contracts and the inferred map must agree, and
+//! the parallel drills fail if any shared access's candidate lock-set goes
+//! empty.
 //!
 //! The whole analyzer runs as `cargo test -p lob-lint` (tier-1) and as a
 //! dedicated CI job. Violations are justified in place with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory.
 
+pub mod atomics;
 pub mod determinism;
 pub mod effect_sets;
 pub mod fault_hook;
+pub mod guarded_by;
 pub mod lexer;
 pub mod lock_order;
 pub mod panic_free;
 pub mod ratchet;
+pub mod spawn_escape;
+pub mod structs;
 
 use lexer::SourceFile;
 use std::path::{Path, PathBuf};
@@ -33,7 +52,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Rule id: `panic`, `lock-order`, `nondet`, `fault-hook`,
-    /// `effect-sets`, or `annotation`.
+    /// `effect-sets`, `guarded-by`, `atomics`, `spawn-escape`, or
+    /// `annotation`.
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -147,5 +167,11 @@ pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
     out.extend(determinism::check(files, &determinism::Config::workspace()));
     out.extend(fault_hook::check(files, &fault_hook::Config::workspace()));
     out.extend(effect_sets::check(files, &effect_sets::Config::workspace()));
+    out.extend(guarded_by::check(files, &guarded_by::Config::workspace()));
+    out.extend(atomics::check(files, &atomics::Config::workspace()));
+    out.extend(spawn_escape::check(
+        files,
+        &spawn_escape::Config::workspace(),
+    ));
     out
 }

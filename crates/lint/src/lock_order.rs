@@ -11,10 +11,15 @@
 //! This is a *lexical over-approximation*: it assumes a lock acquired
 //! earlier in a function may still be held at every later acquisition, and
 //! it cannot see through calls (a helper that acquires internally is
-//! invisible unless aliased). False positives are silenced per-acquisition
-//! with `// lint:allow(lock-order) <reason>`; self-edges are ignored
-//! because lexical branches (`if`/`else` both locking the same field)
-//! would flood them with noise.
+//! invisible unless aliased). One level of method chaining *is* resolved:
+//! `self.coordinator().state.lock()` attributes the acquisition to the
+//! `state` field of whatever struct the zero-argument `coordinator()`
+//! accessor returns (via [`crate::structs::accessor_returns`]), even when
+//! that struct lives in another file — previously a blind spot, since the
+//! per-file field table never saw the foreign field. False positives are
+//! silenced per-acquisition with `// lint:allow(lock-order) <reason>`;
+//! self-edges are ignored because lexical branches (`if`/`else` both
+//! locking the same field) would flood them with noise.
 //!
 //! Rationale: the backup sweep (paper §5.3) takes tracker latches while
 //! the mainline takes them in domain order; a cycle between coordinator,
@@ -214,8 +219,63 @@ pub struct Edge {
     pub witness: (String, String, usize),
 }
 
+/// Workspace-wide facts for resolving one level of accessor chaining:
+/// which zero-argument accessors return a lock-owning struct, and where
+/// each such struct's lock fields are declared.
+struct ChainResolver {
+    /// Accessor method name → name of the struct it returns. Methods whose
+    /// return type resolves to different structs in different files are
+    /// dropped as ambiguous rather than guessed.
+    accessors: BTreeMap<String, String>,
+    /// `(struct name, lock field name)` → lock id at the declaring file.
+    lock_field: BTreeMap<(String, String), String>,
+}
+
+/// Build the chain resolver over *all* files (scope only filters whose
+/// functions are scanned; struct shapes are facts wherever they live).
+fn chain_resolver(files: &[SourceFile]) -> ChainResolver {
+    let mut lock_field: BTreeMap<(String, String), String> = BTreeMap::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        let stem = file_lock_prefix(&f.path);
+        for s in crate::structs::parse_structs(f) {
+            for fd in &s.fields {
+                if fd.kind == crate::structs::FieldKind::Lock {
+                    lock_field
+                        .entry((s.name.clone(), fd.name.clone()))
+                        .or_insert_with(|| format!("{stem}.{}", fd.name));
+                    names.insert(s.name.clone());
+                }
+            }
+        }
+    }
+    let cand: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let mut accessors: BTreeMap<String, String> = BTreeMap::new();
+    let mut ambiguous: BTreeSet<String> = BTreeSet::new();
+    for f in files {
+        for (m, target) in crate::structs::accessor_returns(f, &cand) {
+            match accessors.get(&m) {
+                Some(t) if *t != target => {
+                    ambiguous.insert(m);
+                }
+                _ => {
+                    accessors.insert(m, target);
+                }
+            }
+        }
+    }
+    for m in ambiguous {
+        accessors.remove(&m);
+    }
+    ChainResolver {
+        accessors,
+        lock_field,
+    }
+}
+
 /// Extract the lock-order graph (exposed for tests and reporting).
 pub fn build_graph(files: &[SourceFile], cfg: &Config) -> Vec<Edge> {
+    let resolver = chain_resolver(files);
     let mut edges: BTreeMap<(String, String), (String, String, usize)> = BTreeMap::new();
     for f in files {
         if !cfg.scope.is_empty() && !cfg.scope.iter().any(|s| f.path.ends_with(s.as_str())) {
@@ -226,7 +286,7 @@ pub fn build_graph(files: &[SourceFile], cfg: &Config) -> Vec<Edge> {
             if f.in_test(span.start_line) {
                 continue;
             }
-            let seq = acquisitions(f, span.start_line, span.end_line, &fields, cfg);
+            let seq = acquisitions(f, span.start_line, span.end_line, &fields, cfg, &resolver);
             for i in 0..seq.len() {
                 for j in (i + 1)..seq.len() {
                     let (a, b) = (&seq[i], &seq[j]);
@@ -365,6 +425,7 @@ fn acquisitions(
     end: usize,
     fields: &BTreeMap<String, String>,
     cfg: &Config,
+    resolver: &ChainResolver,
 ) -> Vec<Acq> {
     let mut out = Vec::new();
     for line in start..=end {
@@ -374,6 +435,46 @@ fn acquisitions(
         let toks = crate::lexer::tokenize(f.code(line));
         // `.FIELD.lock(` / `.FIELD.read(` / `.FIELD.write(`
         for i in 0..toks.len() {
+            // One-level accessor chain: `.ACCESSOR().FIELD.lock(` where the
+            // accessor's return struct owns `FIELD` — the field may be
+            // declared in another file, invisible to the per-file table.
+            if i + 8 < toks.len() {
+                if let (
+                    Tok::Sym('.'),
+                    Tok::Word(acc),
+                    Tok::Sym('('),
+                    Tok::Sym(')'),
+                    Tok::Sym('.'),
+                    Tok::Word(field),
+                    Tok::Sym('.'),
+                    Tok::Word(m),
+                    Tok::Sym('('),
+                ) = (
+                    &toks[i],
+                    &toks[i + 1],
+                    &toks[i + 2],
+                    &toks[i + 3],
+                    &toks[i + 4],
+                    &toks[i + 5],
+                    &toks[i + 6],
+                    &toks[i + 7],
+                    &toks[i + 8],
+                ) {
+                    if (m == "lock" || m == "read" || m == "write") && !fields.contains_key(field) {
+                        if let Some(lock) = resolver
+                            .accessors
+                            .get(acc)
+                            .and_then(|s| resolver.lock_field.get(&(s.clone(), field.clone())))
+                        {
+                            out.push(Acq {
+                                lock: lock.clone(),
+                                line,
+                            });
+                            continue;
+                        }
+                    }
+                }
+            }
             if i + 4 < toks.len() {
                 if let (
                     Tok::Sym('.'),

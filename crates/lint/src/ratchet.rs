@@ -10,6 +10,7 @@
 //!   forces the tightening to be committed.
 //! - Regenerate from scratch with `LOB_LINT_UPDATE_RATCHET=1`.
 
+use crate::guarded_by::RaceCounts;
 use crate::panic_free::FileCounts;
 use crate::Diagnostic;
 use std::collections::BTreeMap;
@@ -17,6 +18,9 @@ use std::path::Path;
 
 /// Location of the ratchet file, workspace-relative.
 pub const RATCHET_PATH: &str = "crates/lint/panic_ratchet.tsv";
+
+/// Location of the race ratchet (pass 6's tolerated lock-free surface).
+pub const RACE_RATCHET_PATH: &str = "crates/lint/race_ratchet.tsv";
 
 /// Parse a ratchet file: `path<TAB>allowed<TAB>index` per line.
 pub fn parse(text: &str) -> BTreeMap<String, (usize, usize)> {
@@ -56,21 +60,91 @@ pub fn render(counts: &[FileCounts]) -> String {
     s
 }
 
+/// Render race counts into the checked-in format.
+pub fn render_race(counts: &[RaceCounts]) -> String {
+    let mut s = String::from(
+        "# race ratchet: tolerated lock-free surface per file — counts may only go down.\n\
+         # columns: path\\tlockfree-field-contracts\\tallowed-unguarded-accesses\n\
+         # regenerate: LOB_LINT_UPDATE_RATCHET=1 cargo test -p lob-lint\n",
+    );
+    let mut sorted: Vec<&RaceCounts> = counts.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    for c in sorted {
+        s.push_str(&format!(
+            "{}\t{}\t{}\n",
+            c.path, c.lockfree_fields, c.allowed_unguarded
+        ));
+    }
+    s
+}
+
+/// Column labels and growth advice for one ratchet kind — the shared
+/// comparison engine below is otherwise identical for both files.
+struct Kind {
+    rel_path: &'static str,
+    rule: &'static str,
+    grow_a: &'static str,
+    grow_b: &'static str,
+}
+
 /// Compare current counts against the checked-in baseline.
 ///
 /// Increases become diagnostics. Decreases (and vanished files) rewrite the
 /// ratchet file in place so the tightening lands in the diff. A missing
 /// ratchet file is an error unless `LOB_LINT_UPDATE_RATCHET=1` is set.
 pub fn check(root: &Path, counts: &[FileCounts]) -> Vec<Diagnostic> {
-    let path = root.join(RATCHET_PATH);
+    let rows: Vec<(String, usize, usize)> = counts
+        .iter()
+        .map(|c| (c.path.clone(), c.allowed_panics, c.index_sites))
+        .collect();
+    check_kind(
+        root,
+        &rows,
+        render(counts),
+        &Kind {
+            rel_path: RATCHET_PATH,
+            rule: "panic",
+            grow_a: "annotated panic sites grew {a} -> {b} — the ratchet only goes down; remove a site instead of adding one",
+            grow_b: "slice-index sites grew {a} -> {b} — prefer .get()/iterators, or shrink elsewhere in this file",
+        },
+    )
+}
+
+/// Compare current race counts against the checked-in race baseline, with
+/// the same tighten-in-place semantics as [`check`].
+pub fn check_race(root: &Path, counts: &[RaceCounts]) -> Vec<Diagnostic> {
+    let rows: Vec<(String, usize, usize)> = counts
+        .iter()
+        .map(|c| (c.path.clone(), c.lockfree_fields, c.allowed_unguarded))
+        .collect();
+    check_kind(
+        root,
+        &rows,
+        render_race(counts),
+        &Kind {
+            rel_path: RACE_RATCHET_PATH,
+            rule: "guarded-by",
+            grow_a: "lock-free field contracts grew {a} -> {b} — the ratchet only goes down; guard the field instead of annotating it",
+            grow_b: "allowed-unguarded accesses grew {a} -> {b} — take the guard instead of widening the escape hatch",
+        },
+    )
+}
+
+fn check_kind(
+    root: &Path,
+    counts: &[(String, usize, usize)],
+    rendered: String,
+    kind: &Kind,
+) -> Vec<Diagnostic> {
+    let path = root.join(kind.rel_path);
     let update = std::env::var("LOB_LINT_UPDATE_RATCHET").is_ok_and(|v| v == "1");
     let baseline = match std::fs::read_to_string(&path) {
         Ok(t) => parse(&t),
         Err(_) if update => BTreeMap::new(),
         Err(e) => {
             return vec![Diagnostic::new(
-                "panic",
-                RATCHET_PATH,
+                kind.rule,
+                kind.rel_path,
                 0,
                 format!(
                 "cannot read ratchet file: {e} — run with LOB_LINT_UPDATE_RATCHET=1 to create it"
@@ -81,52 +155,46 @@ pub fn check(root: &Path, counts: &[FileCounts]) -> Vec<Diagnostic> {
 
     let mut out = Vec::new();
     let mut tightened = update;
-    for c in counts {
-        let (base_a, base_ix) = baseline.get(&c.path).copied().unwrap_or((0, 0));
-        if c.allowed_panics > base_a && !update {
-            out.push(Diagnostic::new(
-                "panic",
-                &c.path,
-                0,
-                format!(
-                    "annotated panic sites grew {base_a} -> {} — the ratchet only goes down; remove a site instead of adding one",
-                    c.allowed_panics
-                ),
-            ));
+    for (cpath, a, b) in counts {
+        let (base_a, base_b) = baseline.get(cpath).copied().unwrap_or((0, 0));
+        if *a > base_a && !update {
+            let msg = kind
+                .grow_a
+                .replace("{a}", &base_a.to_string())
+                .replace("{b}", &a.to_string());
+            out.push(Diagnostic::new(kind.rule, cpath, 0, msg));
         }
-        if c.index_sites > base_ix && !update {
-            out.push(Diagnostic::new(
-                "panic",
-                &c.path,
-                0,
-                format!(
-                    "slice-index sites grew {base_ix} -> {} — prefer .get()/iterators, or shrink elsewhere in this file",
-                    c.index_sites
-                ),
-            ));
+        if *b > base_b && !update {
+            let msg = kind
+                .grow_b
+                .replace("{a}", &base_b.to_string())
+                .replace("{b}", &b.to_string());
+            out.push(Diagnostic::new(kind.rule, cpath, 0, msg));
         }
-        if c.allowed_panics < base_a || c.index_sites < base_ix {
+        if *a < base_a || *b < base_b {
             tightened = true;
         }
     }
     // Files that dropped out of the counts entirely are also a tightening.
     for path in baseline.keys() {
-        if !counts.iter().any(|c| &c.path == path) {
+        if !counts.iter().any(|(p, _, _)| p == path) {
             tightened = true;
         }
     }
 
     if out.is_empty() && tightened {
-        let rendered = render(counts);
         if std::fs::write(&path, rendered).is_err() {
             out.push(Diagnostic::new(
-                "panic",
-                RATCHET_PATH,
+                kind.rule,
+                kind.rel_path,
                 0,
                 "ratchet tightened but the file could not be rewritten".to_string(),
             ));
         } else {
-            eprintln!("lob-lint: ratchet tightened — commit the updated {RATCHET_PATH}");
+            eprintln!(
+                "lob-lint: ratchet tightened — commit the updated {}",
+                kind.rel_path
+            );
         }
     }
     out

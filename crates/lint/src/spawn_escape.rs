@@ -1,0 +1,200 @@
+//! Pass 8: spawn-escape analysis.
+//!
+//! Every closure handed to a spawn must own what it captures. Two rules:
+//!
+//! - **Rule A (all spawns):** the closure must be a `move` closure.
+//!   A borrowing closure inside `thread::scope` compiles, but it makes the
+//!   capture set implicit — one refactor away from a borrow that outlives
+//!   the loop iteration it came from. We require `move` everywhere and let
+//!   authors take explicit `&` bindings (`let c = &coordinator;`) when a
+//!   scoped borrow is intended.
+//! - **Rule B (detached spawns only):** a closure passed to
+//!   `thread::spawn` must not capture a local reference binding
+//!   (`let r = &x;` / `let r = &mut x;`). The borrow checker already
+//!   rejects borrows of locals, but a reference *extracted from an
+//!   `Arc`/`'static`* slips through with a lifetime the reviewer has to
+//!   verify by hand; the lint makes the Arc-clone-per-thread idiom
+//!   (`let c = Arc::clone(&c);`) the path of least resistance. Scoped
+//!   spawns (`s.spawn`, `scope.spawn`) are exempt: their borrows are
+//!   checked against the scope by the compiler.
+//!
+//! Escape hatch: `// lint:allow(spawn-escape) <reason>`. Accepted
+//! approximation: reference bindings are recognized only in the
+//! `let [mut] name = &…` shape; a typed `let r: &T = …` is not matched
+//! (none exist in this workspace's spawn-adjacent code).
+
+use crate::lexer::{SourceFile, Tok};
+use crate::Diagnostic;
+
+/// Scope and exclusions for the pass.
+pub struct Config {
+    /// Path substrings to skip entirely.
+    pub exclude: Vec<String>,
+}
+
+impl Config {
+    /// Workspace default: library sources only.
+    pub fn workspace() -> Config {
+        Config {
+            exclude: vec!["/src/bin/".to_string()],
+        }
+    }
+
+    /// No exclusions (fixture tests).
+    pub fn bare() -> Config {
+        Config {
+            exclude: Vec::new(),
+        }
+    }
+}
+
+/// Run the pass.
+pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for f in files {
+        if cfg.exclude.iter().any(|e| f.path.contains(e)) {
+            continue;
+        }
+        check_file(f, &mut out);
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+fn check_file(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = f.all_tokens();
+    let fns = f.functions();
+    let mut i = 0;
+    while i < toks.len() {
+        let spawn_here = matches!(
+            (toks.get(i).map(|t| &t.0), toks.get(i + 1).map(|t| &t.0)),
+            (Some(Tok::Word(w)), Some(Tok::Sym('('))) if w == "spawn"
+        );
+        if !spawn_here {
+            i += 1;
+            continue;
+        }
+        let line = toks.get(i).map(|t| t.1).unwrap_or(0);
+        // `fn spawn(…)` is a declaration, not a call site.
+        let declares =
+            i >= 1 && matches!(toks.get(i - 1).map(|t| &t.0), Some(Tok::Word(w)) if w == "fn");
+        if f.in_test(line) || declares {
+            i += 2;
+            continue;
+        }
+        let detached = is_detached(&toks, i);
+        let open = i + 1;
+
+        // Rule A: first token inside the call must be `move`.
+        let moves = matches!(toks.get(open + 1).map(|t| &t.0), Some(Tok::Word(w)) if w == "move");
+        if !moves && !f.allowed("spawn-escape", line) {
+            out.push(Diagnostic::new(
+                "spawn-escape",
+                &f.path,
+                line,
+                "closure passed to spawn must be a `move` closure — make captures \
+                 explicit (Arc-clone or borrow into a named binding first)"
+                    .to_string(),
+            ));
+        }
+
+        // Rule B: detached spawns must not capture reference bindings.
+        if detached {
+            let close = matching_paren(&toks, open);
+            let span = fns
+                .iter()
+                .rfind(|s| s.start_line <= line && line <= s.end_line);
+            let fn_start = span.map(|s| s.start_line).unwrap_or(1);
+            let refs = ref_bindings(&toks, fn_start, line);
+            for (t, _) in toks.get(open + 1..close).unwrap_or(&[]) {
+                if let Tok::Word(w) = t {
+                    if refs.iter().any(|r| r == w) && !f.allowed("spawn-escape", line) {
+                        out.push(Diagnostic::new(
+                            "spawn-escape",
+                            &f.path,
+                            line,
+                            format!(
+                                "detached spawn captures `{w}`, a local reference binding — \
+                                 clone an Arc (or move an owned value) into the thread instead"
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+            i = close.max(i + 2);
+            continue;
+        }
+        i += 2;
+    }
+}
+
+/// Whether the spawn at token index `i` is detached (`thread::spawn` /
+/// bare `spawn(`) rather than scoped (`s.spawn`, `scope.spawn`).
+fn is_detached(toks: &[(Tok, usize)], i: usize) -> bool {
+    // `recv.spawn(` → scoped for any receiver other than a `thread` path.
+    if i >= 2 {
+        if let (Some((Tok::Sym('.'), _)), Some((recv, _))) = (toks.get(i - 1), toks.get(i - 2)) {
+            return matches!(recv, Tok::Word(w) if w == "thread");
+        }
+        // `thread::spawn(` / `std::thread::spawn(`.
+        if let (Some((Tok::Sym(':'), _)), Some((Tok::Sym(':'), _))) =
+            (toks.get(i - 1), toks.get(i - 2))
+        {
+            return matches!(
+                toks.get(i.wrapping_sub(3)).map(|t| &t.0),
+                Some(Tok::Word(w)) if w == "thread"
+            );
+        }
+    }
+    true
+}
+
+/// Token index of the `)` matching the `(` at `open` (or the end of the
+/// stream if unbalanced).
+fn matching_paren(toks: &[(Tok, usize)], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        match toks.get(j).map(|t| &t.0) {
+            Some(Tok::Sym('(')) => depth += 1,
+            Some(Tok::Sym(')')) => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Names bound as references (`let [mut] name = &…`) between `from_line`
+/// and `to_line` (exclusive).
+fn ref_bindings(toks: &[(Tok, usize)], from_line: usize, to_line: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for (j, (t, line)) in toks.iter().enumerate() {
+        if *line < from_line || *line >= to_line {
+            continue;
+        }
+        let Tok::Word(w) = t else { continue };
+        if w != "let" {
+            continue;
+        }
+        let mut k = j + 1;
+        if matches!(toks.get(k).map(|t| &t.0), Some(Tok::Word(w)) if w == "mut") {
+            k += 1;
+        }
+        let Some((Tok::Word(name), _)) = toks.get(k) else {
+            continue;
+        };
+        if toks.get(k + 1).map(|t| &t.0) == Some(&Tok::Sym('='))
+            && toks.get(k + 2).map(|t| &t.0) == Some(&Tok::Sym('&'))
+        {
+            out.push(name.clone());
+        }
+    }
+    out
+}

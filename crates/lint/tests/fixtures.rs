@@ -4,7 +4,10 @@
 //! with a usable file:line message.
 
 use lob_lint::lexer::SourceFile;
-use lob_lint::{determinism, effect_sets, fault_hook, lock_order, panic_free, Diagnostic};
+use lob_lint::{
+    determinism, effect_sets, fault_hook, guarded_by, lock_order, panic_free, spawn_escape,
+    Diagnostic,
+};
 
 /// Load a fixture file under a virtual workspace-relative path.
 fn fixture(virtual_path: &str, file: &str) -> SourceFile {
@@ -93,6 +96,92 @@ fn lock_cycle_fixture_is_detected() {
     assert!(diags[0].msg.contains("cycle"), "msg: {}", diags[0].msg);
     // The witness points at the second acquisition of the cycle edge.
     assert!(diags[0].line > 0);
+}
+
+#[test]
+fn lock_chain_fixture_resolves_the_accessor_and_detects_the_cycle() {
+    // `Inner.state` is declared in one file and only ever locked through
+    // the `coordinator()` accessor in the other: without the one-level
+    // chain resolver neither edge exists and the deadlock is invisible.
+    let load = || {
+        vec![
+            fixture("crates/fx/src/lock_chain_inner.rs", "lock_chain_inner.rs"),
+            fixture("crates/fx/src/lock_chain.rs", "lock_chain.rs"),
+        ]
+    };
+    let cfg = lock_order::Config {
+        scope: vec!["lock_chain.rs".into(), "lock_chain_inner.rs".into()],
+        aliases: vec![],
+    };
+    let edges = lock_order::build_graph(&load(), &cfg);
+    let got: Vec<(String, String, usize)> = edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone(), e.witness.2))
+        .collect();
+    assert!(
+        got.contains(&(
+            "fx/lock_chain_inner.state".to_string(),
+            "fx/lock_chain.other".to_string(),
+            24
+        )),
+        "edges: {edges:#?}"
+    );
+    assert!(
+        got.contains(&(
+            "fx/lock_chain.other".to_string(),
+            "fx/lock_chain_inner.state".to_string(),
+            30
+        )),
+        "edges: {edges:#?}"
+    );
+
+    let diags = lock_order::check(&load(), &cfg);
+    assert_eq!(
+        locs(&diags),
+        vec![("crates/fx/src/lock_chain.rs".to_string(), 24, "lock-order")],
+        "diags: {diags:#?}"
+    );
+    assert!(diags[0].msg.contains("cycle"), "msg: {}", diags[0].msg);
+}
+
+#[test]
+fn bad_guarded_fixture_yields_exact_diagnostics() {
+    // The static twin of `tests/race_witness.rs`'s dynamic fixture: the
+    // unlocked `hits` access is the one the witness catches at runtime.
+    let f = fixture("crates/fx/src/bad_guarded.rs", "bad_guarded.rs");
+    let diags = guarded_by::check(&[f], &guarded_by::Config::bare());
+    assert_eq!(
+        locs(&diags),
+        vec![("crates/fx/src/bad_guarded.rs".to_string(), 23, "guarded-by")],
+        "diags: {diags:#?}"
+    );
+    assert!(
+        diags[0].msg.contains("lock-set is empty here"),
+        "msg: {}",
+        diags[0].msg
+    );
+}
+
+#[test]
+fn bad_spawn_fixture_yields_exact_diagnostics() {
+    let f = fixture("crates/fx/src/bad_spawn.rs", "bad_spawn.rs");
+    let diags = spawn_escape::check(&[f], &spawn_escape::Config::bare());
+    let p = "crates/fx/src/bad_spawn.rs".to_string();
+    assert_eq!(
+        locs(&diags),
+        vec![(p.clone(), 5, "spawn-escape"), (p, 12, "spawn-escape")],
+        "diags: {diags:#?}"
+    );
+    assert!(
+        diags[0].msg.contains("`move` closure"),
+        "msg: {}",
+        diags[0].msg
+    );
+    assert!(
+        diags[1].msg.contains("captures `first`"),
+        "msg: {}",
+        diags[1].msg
+    );
 }
 
 #[test]

@@ -1,0 +1,15 @@
+//! Fixture: spawn-escape violations — a borrowing closure and a detached
+//! thread capturing a local reference binding.
+
+pub fn borrowing(counter: &'static std::sync::atomic::AtomicU64) {
+    std::thread::spawn(|| {
+        counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    });
+}
+
+pub fn ref_escape(data: &'static [u64]) {
+    let first = &data[0];
+    std::thread::spawn(move || {
+        let _ = first;
+    });
+}

@@ -1,0 +1,33 @@
+//! Fixture: lock acquisitions through a method-chained accessor.
+//!
+//! `state` lives on `Inner` (declared in `lock_chain_inner.rs`), so the
+//! per-file field table never sees it here: only the one-level chain
+//! resolver (`accessor_returns`) can attribute
+//! `self.coordinator().state.lock()` to `Inner.state`. The two methods
+//! below take the chained lock and the local `other` lock in opposite
+//! orders — a deadlock the blind spot used to hide.
+
+use crate::lock_chain_inner::Inner;
+
+pub struct Outer {
+    inner: Inner,
+    other: std::sync::Mutex<u32>,
+}
+
+impl Outer {
+    pub fn coordinator(&self) -> &Inner {
+        &self.inner
+    }
+
+    pub fn chained_then_other(&self) -> u32 {
+        let a = *self.coordinator().state.lock().unwrap();
+        let b = *self.other.lock().unwrap();
+        a + b
+    }
+
+    pub fn other_then_chained(&self) -> u32 {
+        let b = *self.other.lock().unwrap();
+        let a = *self.coordinator().state.lock().unwrap();
+        a + b
+    }
+}

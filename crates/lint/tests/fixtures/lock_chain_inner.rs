@@ -1,0 +1,6 @@
+//! Fixture: the inner struct whose lock is reached only through an
+//! accessor chain in `lock_chain.rs`.
+
+pub struct Inner {
+    pub state: std::sync::Mutex<u32>,
+}

@@ -1,9 +1,10 @@
-//! The tier-1 enforcement test: run all five passes over the real
+//! The tier-1 enforcement test: run all eight passes over the real
 //! workspace sources and fail on any unjustified violation.
 
 use lob_lint::{
-    determinism, effect_sets, fault_hook, lexer::SourceFile, load_workspace_sources, lock_order,
-    panic_free, ratchet, workspace_root, Diagnostic,
+    atomics, determinism, effect_sets, fault_hook, guarded_by, lexer::SourceFile,
+    load_workspace_sources, lock_order, panic_free, ratchet, spawn_escape, workspace_root,
+    Diagnostic,
 };
 
 fn sources() -> Vec<SourceFile> {
@@ -115,6 +116,74 @@ fn effect_sets_pass_bites_on_the_real_body() {
             .any(|d| d.rule == "effect-sets" && d.msg.contains("`MergeRec` reads `src`")),
         "under-declared MergeRec read not caught; diags: {diags:#?}"
     );
+}
+
+#[test]
+fn guarded_by_holds_and_race_ratchet_only_tightens() {
+    let files = sources();
+    let (diags, counts) = guarded_by::check_with_counts(&files, &guarded_by::Config::workspace());
+    assert_clean("guarded-by", diags);
+    assert_clean(
+        "race-ratchet",
+        ratchet::check_race(&workspace_root(), &counts),
+    );
+}
+
+#[test]
+fn atomics_declare_their_ordering_contracts() {
+    assert_clean(
+        "atomics",
+        atomics::check(&sources(), &atomics::Config::workspace()),
+    );
+}
+
+#[test]
+fn spawned_closures_own_their_captures() {
+    assert_clean(
+        "spawn-escape",
+        spawn_escape::check(&sources(), &spawn_escape::Config::workspace()),
+    );
+}
+
+#[test]
+fn static_map_agrees_with_the_dynamic_witness_contracts() {
+    // The agreement contract (DESIGN.md §5.11): every row the runtime
+    // witness enforces must be exactly what the static pass infers from
+    // the same sources. A drifted annotation, a renamed field, or a freshly
+    // unguarded access breaks this before the drills ever run.
+    let map = guarded_by::guarded_map(&sources(), &guarded_by::Config::workspace());
+    for (s, field, spec) in lob_pagestore::witness::CONTRACTS {
+        let got = map.get(*s).and_then(|fields| fields.get(*field));
+        assert_eq!(
+            got.map(String::as_str),
+            Some(*spec),
+            "witness contract ({s}, {field}, {spec}) disagrees with the static map: {:?}",
+            map.get(*s)
+        );
+    }
+}
+
+#[test]
+fn pagestore_index_sites_are_burned_down() {
+    // Satellite of the concurrency PR: the 11 checked-index sites in
+    // pagestore/src/store.rs were rewritten with slice patterns, so the
+    // file must be *gone* from the panic ratchet (unknown files baseline
+    // at zero), and no row may idle at (0, 0) — auto-tightening removes
+    // rows that reach zero.
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join(ratchet::RATCHET_PATH)).expect("panic ratchet");
+    let baseline = ratchet::parse(&text);
+    assert!(
+        !baseline.contains_key("crates/pagestore/src/store.rs"),
+        "store.rs still carries ratcheted index sites: {:?}",
+        baseline.get("crates/pagestore/src/store.rs")
+    );
+    for (path, (a, b)) in &baseline {
+        assert!(
+            *a > 0 || *b > 0,
+            "ratchet row {path} is (0, 0) — auto-tightening should have removed it"
+        );
+    }
 }
 
 #[test]

@@ -37,6 +37,9 @@
 //! * [`stats`] — I/O accounting shared by stores.
 //! * [`fault`] — deterministic fault injection: the [`FaultHook`] consulted
 //!   by every I/O site in the system.
+//! * [`witness`] — the Eraser-style dynamic lock-set witness
+//!   cross-validating `lob-lint`'s static guarded-by map (compiled under
+//!   `cfg(any(test, feature = "witness"))`, no-op stubs otherwise).
 
 pub mod fault;
 pub mod id;
@@ -45,6 +48,7 @@ pub mod lsn;
 pub mod page;
 pub mod stats;
 pub mod store;
+pub mod witness;
 
 pub use fault::{FaultHook, FaultVerdict, IoEvent};
 pub use id::{PageId, PagePos, PartitionId};

@@ -193,10 +193,12 @@ impl PartitionState {
 /// resolved by disk access order": a page copied by the backup process is
 /// captured either entirely before or entirely after any concurrent flush.
 pub struct StableStore {
+    // lint: guarded-by(immutable) geometry is fixed at construction
     config: StoreConfig,
     partitions: Vec<RwLock<PartitionState>>,
     /// One counter block per partition (cache-line padded): concurrent
     /// sweep threads account I/O without sharing a line.
+    // lint: guarded-by(atomic) counters are atomics all the way down
     stats: Vec<IoStats>,
     /// Optional fault hook consulted before every page write.
     hook: RwLock<Option<FaultHook>>,
@@ -272,11 +274,20 @@ impl StableStore {
 
     /// Install (or clear) the fault hook consulted before every page write.
     pub fn set_fault_hook(&self, hook: Option<FaultHook>) {
-        *self.hook.write() = hook;
+        let mut g = self.hook.write();
+        let _w = crate::witness::hold("pagestore/store.hook");
+        crate::witness::access("StableStore.hook");
+        *g = hook;
     }
 
     fn consult(&self, ev: IoEvent, page: Option<PageId>) -> FaultVerdict {
-        match self.hook.read().clone() {
+        let hook = {
+            let g = self.hook.read();
+            let _w = crate::witness::hold("pagestore/store.hook");
+            crate::witness::access("StableStore.hook");
+            g.clone()
+        };
+        match hook {
             Some(h) => h(ev, page),
             None => FaultVerdict::Proceed,
         }
@@ -312,6 +323,8 @@ impl StableStore {
                 // stored bytes (checksums stay the intended values, so the
                 // mismatch is detected below, never silently returned).
                 let mut guard = part.write();
+                let _w = crate::witness::hold("pagestore/store.partitions");
+                crate::witness::access("StableStore.partitions");
                 let idx = id.index as usize;
                 if let Some(slot) = guard.pages.get_mut(idx) {
                     let damaged = damage_stored_page(slot, v);
@@ -321,6 +334,8 @@ impl StableStore {
             FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
         }
         let guard = part.read();
+        let _w = crate::witness::hold("pagestore/store.partitions");
+        crate::witness::access("StableStore.partitions");
         if guard.quarantined.contains(&id.index) {
             return Err(StoreError::Quarantined(id));
         }
@@ -340,7 +355,9 @@ impl StableStore {
         if page.checksum() != expected {
             return Err(StoreError::Corrupt(id));
         }
-        self.stats[id.partition.0 as usize].record_read(page.len());
+        if let Some(s) = self.stats.get(id.partition.0 as usize) {
+            s.record_read(page.len());
+        }
         Ok(page)
     }
 
@@ -381,6 +398,8 @@ impl StableStore {
         out.reserve((hi - lo) as usize);
         let mut bytes = 0u64;
         let guard = part.read();
+        let _w = crate::witness::hold("pagestore/store.partitions");
+        crate::witness::access("StableStore.partitions");
         // Hoist the emptiness checks: a healthy partition (the common
         // case) skips the per-page quarantine and failed-range probes.
         let quarantine_free = guard.quarantined.is_empty();
@@ -441,6 +460,8 @@ impl StableStore {
         }
         let part = self.part(id.partition)?;
         let mut guard = part.write();
+        let _w = crate::witness::hold("pagestore/store.partitions");
+        crate::witness::access("StableStore.partitions");
         let idx = id.index as usize;
         if idx >= guard.pages.len() {
             return Err(StoreError::NoSuchPage(id));
@@ -454,25 +475,40 @@ impl StableStore {
         let stored = match verdict {
             FaultVerdict::TornWrite => {
                 let half = self.config.page_size / 2;
-                let mut buf = Vec::with_capacity(self.config.page_size);
-                buf.extend_from_slice(&page.data()[..half]);
-                buf.extend_from_slice(&guard.pages[idx].data()[half..]);
+                let old = guard
+                    .pages
+                    .get(idx)
+                    .cloned()
+                    .ok_or(StoreError::NoSuchPage(id))?;
+                let mut buf: Vec<u8> = Vec::with_capacity(self.config.page_size);
+                buf.extend(page.data().iter().take(half));
+                buf.extend(old.data().iter().skip(half));
                 Page::new(page.lsn(), Bytes::from(buf))
             }
             FaultVerdict::CorruptWrite => {
                 let mut buf = page.data().to_vec();
                 let pos = buf.len() / 2;
-                buf[pos] ^= 0x40;
+                if let Some(b) = buf.get_mut(pos) {
+                    *b ^= 0x40;
+                }
                 Page::new(page.lsn(), Bytes::from(buf))
             }
             _ => page,
         };
-        guard.pages[idx] = stored;
-        guard.sums[idx] = intended_sum;
+        match guard.pages.get_mut(idx) {
+            Some(slot) => *slot = stored,
+            None => return Err(StoreError::NoSuchPage(id)),
+        }
+        match guard.sums.get_mut(idx) {
+            Some(slot) => *slot = intended_sum,
+            None => return Err(StoreError::NoSuchPage(id)),
+        }
         // A full overwrite supersedes whatever bad bytes put the slot in
         // quarantine: the write IS the repair (or the restore).
         guard.quarantined.remove(&id.index);
-        self.stats[id.partition.0 as usize].record_write(self.config.page_size);
+        if let Some(s) = self.stats.get(id.partition.0 as usize) {
+            s.record_write(self.config.page_size);
+        }
         if verdict == FaultVerdict::TornWrite {
             return Err(StoreError::InjectedCrash);
         }
@@ -521,6 +557,8 @@ impl StableStore {
         let part = self.part(pid)?;
         let n = pages.len() as u32;
         let mut guard = part.write();
+        let _w = crate::witness::hold("pagestore/store.partitions");
+        crate::witness::access("StableStore.partitions");
         if (lo as usize) + (n as usize) > guard.pages.len() {
             return Err(StoreError::NoSuchPage(PageId::new(
                 pid.0,
@@ -555,6 +593,8 @@ impl StableStore {
     pub fn page_lsn(&self, id: PageId) -> Result<crate::Lsn, StoreError> {
         let part = self.part(id.partition)?;
         let guard = part.read();
+        let _w = crate::witness::hold("pagestore/store.partitions");
+        crate::witness::access("StableStore.partitions");
         if guard.quarantined.contains(&id.index) {
             return Err(StoreError::Quarantined(id));
         }
@@ -565,7 +605,12 @@ impl StableStore {
             .pages
             .get(id.index as usize)
             .ok_or(StoreError::NoSuchPage(id))?;
-        if page.checksum() != guard.sums[id.index as usize] {
+        let expected = guard
+            .sums
+            .get(id.index as usize)
+            .copied()
+            .ok_or(StoreError::NoSuchPage(id))?;
+        if page.checksum() != expected {
             return Err(StoreError::Corrupt(id));
         }
         Ok(page.lsn())
@@ -674,7 +719,7 @@ impl StableStore {
             if guard.failed {
                 return Err(StoreError::MediaFailure(PageId::new(pi as u32, 0)));
             }
-            for (i, page) in guard.pages.iter().enumerate() {
+            for (i, (page, sum)) in guard.pages.iter().zip(&guard.sums).enumerate() {
                 let id = PageId::new(pi as u32, i as u32);
                 if guard.quarantined.contains(&id.index) {
                     return Err(StoreError::Quarantined(id));
@@ -682,10 +727,12 @@ impl StableStore {
                 if guard.is_failed(id.index) {
                     return Err(StoreError::MediaFailure(id));
                 }
-                if page.checksum() != guard.sums[i] {
+                if page.checksum() != *sum {
                     return Err(StoreError::Corrupt(id));
                 }
-                self.stats[pi].record_read(page.len());
+                if let Some(s) = self.stats.get(pi) {
+                    s.record_read(page.len());
+                }
                 img.put(id, page.clone());
             }
         }

@@ -1,0 +1,349 @@
+//! An Eraser-style dynamic lock-set witness.
+//!
+//! The static guarded-by pass in `lob-lint` infers which lock protects each
+//! shared field by reading the source. This module is the *dynamic* half of
+//! that contract: instrumented acquisition sites push the lock they hold
+//! onto a thread-local stack, instrumented accesses intersect the set of
+//! *candidate* locks for their site with the locks currently held, and a
+//! site whose candidate set goes **empty** while shared between threads is
+//! a witnessed race — reported by [`take_violations`] and failed on by the
+//! parallel drills and `tests/race_witness.rs`.
+//!
+//! State machine per site (classic Eraser, per Savage et al.):
+//!
+//! - **Virgin** → first access moves to **Exclusive(tid)**: one thread has
+//!   touched the site; no lock discipline is required yet.
+//! - **Exclusive(tid)** → an access from a *different* thread moves to
+//!   **Shared** and initializes the candidate set to the locks held at
+//!   that moment.
+//! - **Shared** → every access intersects the candidate set with the held
+//!   set; an empty result records a violation (once per site).
+//!
+//! [`access_exclusive`] covers the `unit-local` contract instead: the site
+//! is keyed by a unit id from [`new_unit`], and any second thread touching
+//! the same unit is an immediate violation — no lock can excuse it.
+//!
+//! The witness compiles to no-ops unless `cfg(any(test, feature =
+//! "witness"))`; with the feature on, a disarmed witness costs one atomic
+//! load per access probe and a thread-local push/pop per acquisition. `lob-harness` enables the feature, so any
+//! workspace-level build carries the instrumented paths, while
+//! `cargo test -p lob-pagestore` alone still exercises the real registry
+//! (the `test` cfg).
+//!
+//! Accepted approximation (documented in DESIGN.md §5.11): the registry's
+//! own mutex is not itself an instrumented lock, so it never appears in
+//! candidate sets, and `hold`/`access` calls cannot deadlock against
+//! instrumented locks because the registry lock is never held across user
+//! code.
+
+/// Declared guarded-by contracts for the hot structs, as
+/// `(struct, field, spec)` rows. The static pass's inferred map must agree
+/// with every row (see the agreement test in `lob-lint`); the dynamic
+/// registry checks the `lock` rows via [`access`] and the `unit-local`
+/// rows via [`access_exclusive`].
+pub const CONTRACTS: &[(&str, &str, &str)] = &[
+    ("StableStore", "config", "immutable"),
+    ("StableStore", "partitions", "lock"),
+    ("StableStore", "stats", "atomic"),
+    ("StableStore", "hook", "lock"),
+    ("BackupCoordinator", "domains", "immutable"),
+    ("BackupCoordinator", "by_partition", "immutable"),
+    ("BackupCoordinator", "changed", "lock"),
+    ("BackupCoordinator", "stats", "atomic"),
+    ("BackupCoordinator", "hook", "lock"),
+    ("ProgressTracker", "state", "lock"),
+    ("GroupReplay", "store", "immutable"),
+    ("GroupReplay", "batch", "immutable"),
+    ("GroupReplay", "table", "unit-local"),
+    ("GroupReplay", "dirty", "unit-local"),
+    ("GroupReplay", "unit", "immutable"),
+];
+
+#[cfg(any(test, feature = "witness"))]
+mod imp {
+    use parking_lot::Mutex;
+    use std::cell::{Cell, RefCell};
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    static ARMED: AtomicBool = AtomicBool::new(false); // lint: atomic(seqcst)
+    static NEXT_THREAD: AtomicU64 = AtomicU64::new(1); // lint: atomic(seqcst)
+    static NEXT_UNIT: AtomicU64 = AtomicU64::new(1); // lint: atomic(seqcst)
+
+    thread_local! {
+        // lint:allow(atomics) thread-local lock stack is single-threaded by construction
+        static HELD: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+        // lint:allow(atomics) thread-local id cache is single-threaded by construction
+        static TID: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Eraser state for one site.
+    enum SiteState {
+        Exclusive(u64),
+        Shared(BTreeSet<&'static str>),
+    }
+
+    struct Registry {
+        sites: BTreeMap<&'static str, SiteState>,
+        /// `unit-local` sites: (site, unit) → owning thread.
+        units: BTreeMap<(&'static str, u64), u64>,
+        violations: Vec<String>,
+        /// Sites already reported, so a hot loop logs once.
+        reported: BTreeSet<String>,
+        events: u64,
+    }
+
+    static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+    fn tid() -> u64 {
+        TID.with(|t| {
+            if t.get() == 0 {
+                t.set(NEXT_THREAD.fetch_add(1, Ordering::SeqCst));
+            }
+            t.get()
+        })
+    }
+
+    /// RAII handle for an instrumented lock acquisition.
+    pub struct Held {
+        lock: &'static str,
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(pos) = h.iter().rposition(|l| *l == self.lock) {
+                    h.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Arm the witness: reset all site state and start recording.
+    pub fn arm() {
+        let mut reg = REGISTRY.lock();
+        *reg = Some(Registry {
+            sites: BTreeMap::new(),
+            units: BTreeMap::new(),
+            violations: Vec::new(),
+            reported: BTreeSet::new(),
+            events: 0,
+        });
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm without reading the violations (they stay until re-armed).
+    pub fn disarm() {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the witness is currently recording.
+    pub fn enabled() -> bool {
+        ARMED.load(Ordering::SeqCst)
+    }
+
+    /// Number of access events recorded since the last [`arm`].
+    pub fn events() -> u64 {
+        REGISTRY.lock().as_ref().map(|r| r.events).unwrap_or(0)
+    }
+
+    /// Drain recorded violations (empty when the discipline held).
+    pub fn take_violations() -> Vec<String> {
+        REGISTRY
+            .lock()
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.violations))
+            .unwrap_or_default()
+    }
+
+    /// Record that `lock` is held until the returned guard drops. Call at
+    /// the acquisition site, *after* the real lock is taken.
+    ///
+    /// The held stack is maintained even while disarmed: if it were gated
+    /// on [`enabled`], an [`arm`] landing between a real acquisition and
+    /// its access probe would observe an artificially empty held set and
+    /// report a phantom race.
+    pub fn hold(lock: &'static str) -> Held {
+        HELD.with(|h| h.borrow_mut().push(lock));
+        Held { lock }
+    }
+
+    /// Record an access to the shared site `site` under the current
+    /// thread's held-lock set.
+    pub fn access(site: &'static str) {
+        if !ARMED.load(Ordering::SeqCst) {
+            return;
+        }
+        let me = tid();
+        let held: BTreeSet<&'static str> = HELD.with(|h| h.borrow().iter().copied().collect());
+        let mut guard = REGISTRY.lock();
+        let Some(reg) = guard.as_mut() else { return };
+        reg.events += 1;
+        match reg.sites.get_mut(site) {
+            None => {
+                reg.sites.insert(site, SiteState::Exclusive(me));
+            }
+            Some(SiteState::Exclusive(owner)) => {
+                if *owner != me {
+                    // Second thread: the discipline starts now, seeded with
+                    // what this thread holds.
+                    reg.sites.insert(site, SiteState::Shared(held));
+                }
+            }
+            Some(SiteState::Shared(candidates)) => {
+                let next: BTreeSet<&'static str> =
+                    candidates.intersection(&held).copied().collect();
+                if next.is_empty() && reg.reported.insert(site.to_string()) {
+                    reg.violations.push(format!(
+                        "lock-set for `{site}` went empty: shared access with held set {:?}",
+                        held
+                    ));
+                }
+                *candidates = next;
+            }
+        }
+    }
+
+    /// A fresh unit id for a `unit-local` contract holder.
+    pub fn new_unit() -> u64 {
+        NEXT_UNIT.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Record an access to unit-local state: `site` instance `unit` must
+    /// only ever be touched by one thread.
+    pub fn access_exclusive(site: &'static str, unit: u64) {
+        if !ARMED.load(Ordering::SeqCst) {
+            return;
+        }
+        let me = tid();
+        let mut guard = REGISTRY.lock();
+        let Some(reg) = guard.as_mut() else { return };
+        reg.events += 1;
+        let owner = reg.units.entry((site, unit)).or_insert(me);
+        if *owner != me {
+            let key = format!("{site}#{unit}");
+            if reg.reported.insert(key) {
+                reg.violations.push(format!(
+                    "unit-local `{site}` unit {unit} touched by two threads ({} then {me})",
+                    *owner
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(any(test, feature = "witness"))]
+pub use imp::{
+    access, access_exclusive, arm, disarm, enabled, events, hold, new_unit, take_violations, Held,
+};
+
+#[cfg(not(any(test, feature = "witness")))]
+mod stub {
+    /// No-op guard (witness compiled out).
+    pub struct Held;
+
+    /// No-op (witness compiled out).
+    #[inline(always)]
+    pub fn arm() {}
+    /// No-op (witness compiled out).
+    #[inline(always)]
+    pub fn disarm() {}
+    /// Always false (witness compiled out).
+    #[inline(always)]
+    pub fn enabled() -> bool {
+        false
+    }
+    /// Always zero (witness compiled out).
+    #[inline(always)]
+    pub fn events() -> u64 {
+        0
+    }
+    /// Always empty (witness compiled out).
+    #[inline(always)]
+    pub fn take_violations() -> Vec<String> {
+        Vec::new()
+    }
+    /// No-op guard (witness compiled out).
+    #[inline(always)]
+    pub fn hold(_lock: &'static str) -> Held {
+        Held
+    }
+    /// No-op (witness compiled out).
+    #[inline(always)]
+    pub fn access(_site: &'static str) {}
+    /// Always zero (witness compiled out).
+    #[inline(always)]
+    pub fn new_unit() -> u64 {
+        0
+    }
+    /// No-op (witness compiled out).
+    #[inline(always)]
+    pub fn access_exclusive(_site: &'static str, _unit: u64) {}
+}
+
+#[cfg(not(any(test, feature = "witness")))]
+pub use stub::{
+    access, access_exclusive, arm, disarm, enabled, events, hold, new_unit, take_violations, Held,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry is process-global, so tests that arm/disarm must not
+    /// interleave.
+    static TEST_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    #[test]
+    fn exclusive_then_shared_discipline() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        // One thread alone never trips the discipline.
+        access("T.f");
+        access("T.f");
+        // A second thread holding the right lock keeps the candidate set
+        // alive; dropping the lock and touching again empties it.
+        std::thread::spawn(|| {
+            let _g = hold("T.lock");
+            access("T.f");
+        })
+        .join()
+        .unwrap();
+        assert!(take_violations().is_empty());
+        // First thread now touches without the lock → intersection empties.
+        access("T.f");
+        let v = take_violations();
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        assert!(v[0].contains("T.f"));
+        disarm();
+    }
+
+    #[test]
+    fn unit_local_single_owner() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        let unit = new_unit();
+        access_exclusive("G.table", unit);
+        access_exclusive("G.table", unit);
+        assert!(take_violations().is_empty());
+        std::thread::spawn(move || access_exclusive("G.table", unit))
+            .join()
+            .unwrap();
+        let v = take_violations();
+        assert_eq!(v.len(), 1, "violations: {v:?}");
+        disarm();
+    }
+
+    #[test]
+    fn disarmed_probes_are_free_of_effects() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        disarm();
+        let baseline = events();
+        let _g = hold("X.lock");
+        access("X.f");
+        access_exclusive("X.g", new_unit());
+        assert_eq!(events(), baseline);
+    }
+}

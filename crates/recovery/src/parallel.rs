@@ -332,10 +332,18 @@ struct PageSlot {
 /// drain, so memory stays proportional to the knob, as with the
 /// page-at-a-time path.
 struct GroupReplay<'a> {
+    // lint: guarded-by(immutable) shared store reference, never reseated
     store: &'a StableStore,
+    // lint: guarded-by(immutable) drain threshold is fixed at construction
     batch: usize,
+    // lint: guarded-by(unit-local) one replay unit = one worker thread
     table: FxHashMap<PageId, PageSlot>,
+    // lint: guarded-by(unit-local) one replay unit = one worker thread
     dirty: usize,
+    /// Witness identity: the lock-set witness verifies that exactly one
+    /// thread ever touches this replay's table/dirty state.
+    // lint: guarded-by(immutable) witness unit id is fixed at construction
+    unit: u64,
 }
 
 impl<'a> GroupReplay<'a> {
@@ -347,11 +355,13 @@ impl<'a> GroupReplay<'a> {
             batch: batch.max(2),
             table: FxHashMap::with_capacity_and_hasher(pages_hint, Default::default()),
             dirty: 0,
+            unit: lob_pagestore::witness::new_unit(),
         }
     }
 
     /// The slot for `id`, faulted in from the store on first touch.
     fn slot(&mut self, id: PageId) -> Result<&mut PageSlot, RedoError> {
+        lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         match self.table.entry(id) {
             Entry::Occupied(e) => Ok(e.into_mut()),
             Entry::Vacant(v) => {
@@ -367,6 +377,7 @@ impl<'a> GroupReplay<'a> {
 
     /// Record a replayed write; drains when `batch` dirty pages pend.
     fn set(&mut self, id: PageId, lsn: Lsn, data: Bytes) -> Result<(), RedoError> {
+        lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         match self.table.entry(id) {
             Entry::Occupied(mut e) => {
                 let slot = e.get_mut();
@@ -397,6 +408,7 @@ impl<'a> GroupReplay<'a> {
     /// logged value is aliased, never re-derived — replaying `W_P` is an
     /// install, not a re-computation. Returns whether the page was written.
     fn install_if_newer(&mut self, id: PageId, lsn: Lsn, value: &Bytes) -> Result<bool, RedoError> {
+        lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         let written = match self.table.entry(id) {
             Entry::Occupied(mut e) => {
                 let slot = e.get_mut();
@@ -441,6 +453,7 @@ impl<'a> GroupReplay<'a> {
     /// Install every dirty slot as contiguous runs. Slots stay resident
     /// (now clean) so later records still read locally.
     fn drain(&mut self) -> Result<(), RedoError> {
+        lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         if self.dirty == 0 {
             return Ok(());
         }

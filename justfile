@@ -1,0 +1,33 @@
+# Developer entry points. `just --list` shows these; everything here is
+# also runnable as plain cargo/bash commands (CI does not depend on just).
+
+# Build and test the whole workspace, release profile.
+test:
+    cargo build --release --workspace
+    cargo test -q --workspace
+
+# Format + clippy, matching the CI `check` job.
+check:
+    cargo fmt --all -- --check
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# All eight lint passes plus both ratchets, matching the CI lint jobs.
+lint:
+    cargo test --release -p lob-lint
+    git diff --exit-code crates/lint/panic_ratchet.tsv crates/lint/race_ratchet.tsv
+
+# Machine-readable concurrency/lint report.
+lint-json:
+    cargo run --release -p lob-lint --bin lob-lint -- --json
+
+# Re-baseline both ratchets after burning down violations.
+ratchet:
+    LOB_LINT_UPDATE_RATCHET=1 cargo test --release -p lob-lint --test workspace
+
+# The dynamic race witness over the threaded drills.
+witness:
+    cargo test --release -q -p lob-harness --test race_witness
+
+# ThreadSanitizer sweep (needs nightly + rust-src; skips gracefully).
+tsan:
+    bash scripts/tsan.sh
