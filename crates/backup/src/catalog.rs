@@ -249,6 +249,7 @@ impl BackupCatalog {
             backup_id,
             page: id,
         })?;
+        // lint:allow(durability-order) fault-injection tamper of an already-stored copy, not a backup copy
         gen.image.pages.put(id, flip_mid_bit(page));
         Ok(())
     }
@@ -260,6 +261,7 @@ impl BackupCatalog {
         let mut gens = self.generations.write();
         if let Some(gen) = gens.iter_mut().find(|g| g.image.backup_id == backup_id) {
             if let Some(page) = gen.image.pages.get(id) {
+                // lint:allow(durability-order) latent-damage injection into a stored copy, not a backup copy
                 gen.image.pages.put(id, flip_mid_bit(page));
             }
         }

@@ -225,6 +225,7 @@ impl BackupRun {
         let Some(&hi) = self.boundaries.get(self.next_step) else {
             return Err(BackupError::BadState("step past the last boundary".into()));
         };
+        let copied_before = self.pages_copied;
         if self.filter.is_some() || coordinator.has_fault_hook() {
             self.copy_pages_checked(coordinator, store, hi)?;
         } else {
@@ -232,6 +233,12 @@ impl BackupRun {
         }
         self.cursor = hi;
         self.next_step += 1;
+        // Ordering witness: the cursor only moves past data this step
+        // actually copied — an empty step (everything filtered out) may
+        // advance freely, so the probe is gated on the copy delta.
+        if self.pages_copied > copied_before {
+            lob_pagestore::witness::io_order("CursorAdvance");
+        }
         if self.next_step == self.boundaries.len() {
             self.tracker.finish();
             self.finished = true;
@@ -280,6 +287,7 @@ impl BackupRun {
                 }
             }
             let page = store.read_page(page_id)?;
+            lob_pagestore::witness::io_order("BackupCopy");
             self.image.put(page_id, page);
             self.pages_copied += 1;
         }
@@ -297,6 +305,9 @@ impl BackupRun {
             let stop = hi.min(pos + batch);
             for (pid, lo_idx, hi_idx) in self.order.runs_in(pos, stop) {
                 store.read_run(pid, lo_idx, hi_idx, &mut self.buf)?;
+                if !self.buf.is_empty() {
+                    lob_pagestore::witness::io_order("BackupCopy");
+                }
                 self.pages_copied += self.buf.len() as u64;
                 self.image.put_run(pid, lo_idx, &mut self.buf);
             }
@@ -318,6 +329,7 @@ impl BackupRun {
     /// Abort the sweep: deactivate the tracker and discard the image.
     pub fn abort(self, _coordinator: &BackupCoordinator) {
         if !self.finished {
+            // lint:allow(durability-order) abort deactivates the tracker and discards the image; nothing is claimed copied
             self.tracker.finish();
         }
     }

@@ -82,6 +82,7 @@ impl ProgressTracker {
 
     /// The backup finished copying everything below the current `P`;
     /// advance `D` to `P` and `P` to the next boundary (exclusive latch).
+    // lint: durability(CursorAdvance requires BackupCopy)
     pub fn advance(&self, next_boundary: u64) {
         let mut s = self.state.write();
         let _w = lob_pagestore::witness::hold("backup/tracker.state");

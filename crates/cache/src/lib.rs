@@ -218,6 +218,7 @@ impl CacheManager {
     /// the simulation treats one `write_out` call as atomic (the paper's
     /// multi-object atomic flush — usually a single page, where disk write
     /// atomicity suffices).
+    // lint: durability(PageFlush requires LogForce)
     pub fn write_out(
         &mut self,
         ids: &[PageId],
@@ -235,6 +236,11 @@ impl CacheManager {
                 });
             }
         }
+        // Ordering witness: after validation, before any install — a call
+        // rejected above writes nothing and must not count as a flush.
+        if !ids.is_empty() {
+            lob_pagestore::witness::io_order("PageFlush");
+        }
         for &id in ids {
             if let Some(h) = &self.hook {
                 if matches!(
@@ -251,6 +257,7 @@ impl CacheManager {
                 .frames
                 .get_mut(&id)
                 .ok_or(CacheError::NotResident(id))?;
+            // lint:allow(durability-order) the WAL guard above rejects any frame with lsn > durable, so the caller's force is already proven
             store.write_page(id, f.page.clone())?;
             f.dirty = false;
             f.rlsn = Lsn::NULL;

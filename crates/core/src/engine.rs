@@ -555,6 +555,7 @@ impl Engine {
                 let mut g = img.lock();
                 for &v in &vars {
                     if let Some(p) = self.cache.peek(v) {
+                        // lint:allow(durability-order) linked image mirrors the page just flushed, read from the cache, not the store
                         g.put(v, p.clone());
                     }
                 }

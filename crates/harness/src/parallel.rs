@@ -207,24 +207,35 @@ impl ParallelDrillRunner {
     /// The Eraser-style lock-set witness ([`lob_pagestore::witness`]) is
     /// armed for the duration of the case: any instrumented shared site
     /// whose candidate lock-set goes empty fails the case, fault or no
-    /// fault. Concurrent cases in one process share the global registry —
-    /// that can only lose coverage (a reset mid-case), never invent a
-    /// violation, because every instrumented access pairs with its hold.
+    /// fault — and so is the ordering witness
+    /// ([`lob_pagestore::witness::ORDER_CONTRACTS`]): a consumer I/O event
+    /// observed before its required generator fails the case the same way.
+    /// Concurrent cases in one process share the global registry — arming
+    /// is depth-counted, so an overlapping case never resets the seen-set
+    /// mid-flight, and every instrumented access pairs with its hold.
     pub fn run_case(&self, kind: FaultKind) -> Result<ParallelCaseResult, String> {
         lob_pagestore::witness::arm();
         let res = self.run_case_inner(kind);
         let events = lob_pagestore::witness::events();
         let violations = lob_pagestore::witness::take_violations();
+        let order_violations = lob_pagestore::witness::take_order_violations();
         lob_pagestore::witness::disarm();
+        let tail = match &res {
+            Err(e) => format!(" (case also failed: {e})"),
+            Ok(_) => String::new(),
+        };
         if !violations.is_empty() {
-            let tail = match &res {
-                Err(e) => format!(" (case also failed: {e})"),
-                Ok(_) => String::new(),
-            };
             return Err(format!(
                 "lock witness flagged {} site(s): {}{tail}",
                 violations.len(),
                 violations.join("; ")
+            ));
+        }
+        if !order_violations.is_empty() {
+            return Err(format!(
+                "ordering witness flagged {} event(s): {}{tail}",
+                order_violations.len(),
+                order_violations.join("; ")
             ));
         }
         res.map(|mut case| {

@@ -552,7 +552,34 @@ impl TortureRunner {
     /// Run one case with `kind` armed: drive, classify the outcome, scrub,
     /// recover, and verify byte-equality with the oracle at the surviving
     /// log prefix.
+    ///
+    /// The ordering witness ([`lob_pagestore::witness::ORDER_CONTRACTS`])
+    /// is armed for the duration of the case: any instrumented install,
+    /// flush, backup copy, or cursor advance observed before its required
+    /// generator event fails the case even if it byte-verified. The
+    /// single-threaded torture runner does not assert on the lock-set
+    /// half — that is the parallel drill's job — so lock-set violations
+    /// are left in the registry, not drained here.
     pub fn run_case(&self, kind: FaultKind) -> Result<CaseResult, String> {
+        lob_pagestore::witness::arm();
+        let res = self.run_case_inner(kind);
+        let order_violations = lob_pagestore::witness::take_order_violations();
+        lob_pagestore::witness::disarm();
+        if !order_violations.is_empty() {
+            let tail = match &res {
+                Err(e) => format!(" (case also failed: {e})"),
+                Ok(_) => String::new(),
+            };
+            return Err(format!(
+                "ordering witness flagged {} event(s): {}{tail}",
+                order_violations.len(),
+                order_violations.join("; ")
+            ));
+        }
+        res
+    }
+
+    fn run_case_inner(&self, kind: FaultKind) -> Result<CaseResult, String> {
         let plan = FaultPlan::new(kind);
         let DriveOutcome {
             mut engine,

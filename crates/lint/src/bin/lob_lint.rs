@@ -1,18 +1,24 @@
 //! `lob-lint` CLI: run every pass and print findings, human-readable by
 //! default or as a JSON report with `--json`.
 //!
-//! The JSON report carries one object per finding
-//! (`{"pass", "file", "line", "rule", "msg"}`) plus the read-only status of
-//! both ratchets (`at-baseline` / `below-baseline` / `above-baseline` per
-//! tracked file). The exit code is non-zero when any finding or ratchet
-//! regression is present, so CI can gate on it directly.
+//! The JSON report (`"schema": 2`) carries a per-pass timing array
+//! (`{"name", "ms", "findings", "ok"}` — one entry per pass, in run
+//! order), one object per finding
+//! (`{"pass", "file", "line", "rule", "msg"}`), and the read-only status
+//! of all three ratchets: per tracked file a status
+//! (`at-baseline` / `below-baseline` / `above-baseline`) plus the
+//! baseline and current count pairs, so a consumer can compute deltas
+//! without re-parsing the TSVs. The exit code is non-zero when any
+//! finding or ratchet regression is present, so CI can gate on it
+//! directly.
 //!
 //! This binary never rewrites the ratchet files — tightening stays in the
 //! test-suite path (`cargo test -p lob-lint`), where the rewrite is
 //! deliberate and the diff is reviewed.
 
-use lob_lint::{guarded_by, panic_free, ratchet, run_all, Diagnostic};
+use lob_lint::{durability, guarded_by, panic_free, ratchet, Diagnostic};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Which pass a rule id belongs to, for the report's `pass` column.
 fn pass_of(rule: &str) -> &'static str {
@@ -25,14 +31,26 @@ fn pass_of(rule: &str) -> &'static str {
         "guarded-by" => "guarded_by",
         "atomics" => "atomics",
         "spawn-escape" => "spawn_escape",
+        "durability-order" => "durability",
+        "error-flow" => "error_flow",
         _ => "annotations",
     }
 }
 
+/// One pass's wall-clock and outcome for the report.
+struct PassReport {
+    name: &'static str,
+    ms: u128,
+    findings: usize,
+}
+
+/// One ratchet row: `(path, status, baseline (a, b), current (a, b))`.
+type RatchetRow = (String, &'static str, (usize, usize), (usize, usize));
+
 /// One ratchet file's per-path status, computed without rewriting.
 struct RatchetStatus {
     name: &'static str,
-    rows: Vec<(String, &'static str)>,
+    rows: Vec<RatchetRow>,
     regressed: bool,
 }
 
@@ -47,22 +65,22 @@ fn ratchet_status(
         .unwrap_or_default();
     let mut rows = Vec::new();
     let mut regressed = false;
-    for (path, (base_a, base_b)) in &baseline {
+    for (path, &(base_a, base_b)) in &baseline {
         let (a, b) = current.get(path).copied().unwrap_or((0, 0));
-        let status = if a > *base_a || b > *base_b {
+        let status = if a > base_a || b > base_b {
             regressed = true;
             "above-baseline"
-        } else if a < *base_a || b < *base_b {
+        } else if a < base_a || b < base_b {
             "below-baseline"
         } else {
             "at-baseline"
         };
-        rows.push((path.clone(), status));
+        rows.push((path.clone(), status, (base_a, base_b), (a, b)));
     }
-    for (path, (a, b)) in current {
-        if !baseline.contains_key(path) && (*a > 0 || *b > 0) {
+    for (path, &(a, b)) in current {
+        if !baseline.contains_key(path) && (a > 0 || b > 0) {
             regressed = true;
-            rows.push((path.clone(), "above-baseline"));
+            rows.push((path.clone(), "above-baseline", (0, 0), (a, b)));
         }
     }
     RatchetStatus {
@@ -88,8 +106,21 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn print_json(diags: &[Diagnostic], ratchets: &[RatchetStatus]) {
+fn print_json(passes: &[PassReport], diags: &[Diagnostic], ratchets: &[RatchetStatus]) {
     println!("{{");
+    println!("  \"schema\": 2,");
+    println!("  \"passes\": [");
+    for (i, p) in passes.iter().enumerate() {
+        let comma = if i + 1 < passes.len() { "," } else { "" };
+        println!(
+            "    {{\"name\": \"{}\", \"ms\": {}, \"findings\": {}, \"ok\": {}}}{comma}",
+            p.name,
+            p.ms,
+            p.findings,
+            p.findings == 0
+        );
+    }
+    println!("  ],");
     println!("  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
         let comma = if i + 1 < diags.len() { "," } else { "" };
@@ -108,9 +139,17 @@ fn print_json(diags: &[Diagnostic], ratchets: &[RatchetStatus]) {
         println!("    \"{}\": {{", r.name);
         println!("      \"regressed\": {},", r.regressed);
         println!("      \"files\": {{");
-        for (i, (path, status)) in r.rows.iter().enumerate() {
+        for (i, (path, status, base, cur)) in r.rows.iter().enumerate() {
             let comma = if i + 1 < r.rows.len() { "," } else { "" };
-            println!("        \"{}\": \"{}\"{comma}", esc(path), status);
+            println!(
+                "        \"{}\": {{\"status\": \"{}\", \"baseline\": [{}, {}], \"current\": [{}, {}]}}{comma}",
+                esc(path),
+                status,
+                base.0,
+                base.1,
+                cur.0,
+                cur.1
+            );
         }
         println!("      }}");
         let comma = if ri + 1 < ratchets.len() { "," } else { "" };
@@ -131,7 +170,18 @@ fn main() {
         }
     };
 
-    let diags = run_all(&files);
+    let mut passes = Vec::new();
+    let mut diags = Vec::new();
+    for (name, pass) in lob_lint::passes() {
+        let t0 = Instant::now();
+        let found = pass(&files);
+        passes.push(PassReport {
+            name,
+            ms: t0.elapsed().as_millis(),
+            findings: found.len(),
+        });
+        diags.extend(found);
+    }
 
     let (_, panic_counts) = panic_free::check_with_counts(&files, &panic_free::Config::workspace());
     let panic_map: BTreeMap<String, (usize, usize)> = panic_counts
@@ -143,37 +193,47 @@ fn main() {
         .iter()
         .map(|c| (c.path.clone(), (c.lockfree_fields, c.allowed_unguarded)))
         .collect();
+    let (_, dur_counts) = durability::check_with_counts(&files, &durability::Config::workspace());
+    let dur_map: BTreeMap<String, (usize, usize)> = dur_counts
+        .iter()
+        .map(|c| (c.path.clone(), (c.allowed_force, c.allowed_copy)))
+        .collect();
     let ratchets = vec![
         ratchet_status("panic", ratchet::RATCHET_PATH, &panic_map),
         ratchet_status("race", ratchet::RACE_RATCHET_PATH, &race_map),
+        ratchet_status("durability", ratchet::DURABILITY_RATCHET_PATH, &dur_map),
     ];
 
     if json {
-        print_json(&diags, &ratchets);
+        print_json(&passes, &diags, &ratchets);
     } else {
         for d in &diags {
             println!("{d}");
         }
         for r in &ratchets {
-            for (path, status) in &r.rows {
+            for (path, status, base, cur) in &r.rows {
                 if *status != "at-baseline" {
-                    println!("ratchet[{}] {}: {}", r.name, path, status);
+                    println!(
+                        "ratchet[{}] {}: {} (baseline {}/{}, current {}/{})",
+                        r.name, path, status, base.0, base.1, cur.0, cur.1
+                    );
                 }
             }
         }
+        let ratchet_word = |r: &RatchetStatus| if r.regressed { "REGRESSED" } else { "ok" };
+        let slowest = passes.iter().max_by_key(|p| p.ms);
         println!(
-            "lob-lint: {} finding(s), panic ratchet {}, race ratchet {}",
+            "lob-lint: {} finding(s) across {} passes{}; ratchets: {}",
             diags.len(),
-            if ratchets[0].regressed {
-                "REGRESSED"
-            } else {
-                "ok"
-            },
-            if ratchets[1].regressed {
-                "REGRESSED"
-            } else {
-                "ok"
-            },
+            passes.len(),
+            slowest
+                .map(|p| format!(" (slowest: {} at {}ms)", p.name, p.ms))
+                .unwrap_or_default(),
+            ratchets
+                .iter()
+                .map(|r| format!("{} {}", r.name, ratchet_word(r)))
+                .collect::<Vec<_>>()
+                .join(", "),
         );
     }
 

@@ -31,8 +31,9 @@ pub struct LineInfo {
     pub allows: Vec<String>,
     /// Directives that name a rule but carry no justification text.
     pub bad_allows: Vec<String>,
-    /// Declaration directives on this line: `lint: guarded-by(<spec>)` and
-    /// `lint: atomic(<contract>)`, collected as `(kind, argument)` pairs.
+    /// Declaration directives on this line: `lint: guarded-by(<spec>)`,
+    /// `lint: atomic(<contract>)`, and `lint: durability(<event> requires
+    /// <event>)`, collected as `(kind, argument)` pairs.
     /// Unlike `allows`, these *declare a contract* for the item they
     /// annotate (a struct field, an atomic declaration) rather than
     /// silencing a rule.
@@ -166,62 +167,62 @@ impl SourceFile {
         let toks = self.all_tokens();
         let mut out = Vec::new();
         let mut i = 0;
-        while i < toks.len() {
-            if let (Tok::Word(w), line) = (&toks[i].0, toks[i].1) {
-                if w == "fn" {
-                    if let Some((Tok::Word(name), _)) = toks.get(i + 1).map(|t| (&t.0, t.1)) {
-                        // Walk to the body's `{` or a trailing `;` (trait
-                        // method without a default body).
-                        let mut j = i + 2;
-                        let mut body_open = None;
-                        while j < toks.len() {
-                            match &toks[j].0 {
-                                Tok::Sym('{') => {
-                                    body_open = Some(j);
-                                    break;
-                                }
-                                Tok::Sym(';') => break,
-                                _ => j += 1,
-                            }
-                        }
-                        if let Some(open) = body_open {
-                            let mut depth = 0i64;
-                            let mut k = open;
-                            let mut end = toks[open].1;
-                            while k < toks.len() {
-                                match &toks[k].0 {
-                                    Tok::Sym('{') => depth += 1,
-                                    Tok::Sym('}') => {
-                                        depth -= 1;
-                                        if depth == 0 {
-                                            end = toks[k].1;
-                                            break;
-                                        }
-                                    }
-                                    _ => {}
-                                }
-                                k += 1;
-                            }
-                            out.push(FnSpan {
-                                name: name.clone(),
-                                start_line: line,
-                                end_line: end,
-                            });
-                            // Continue scanning *inside* the body too, so
-                            // nested fns are found; just move past `fn name`.
-                        } else {
-                            out.push(FnSpan {
-                                name: name.clone(),
-                                start_line: line,
-                                end_line: line,
-                            });
-                        }
-                        i += 2;
-                        continue;
+        while let Some((t, line)) = toks.get(i).map(|t| (&t.0, t.1)) {
+            let is_fn = matches!(t, Tok::Word(w) if w == "fn");
+            let name = match toks.get(i + 1) {
+                Some((Tok::Word(name), _)) if is_fn => name.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            // Walk to the body's `{` or a trailing `;` (trait method
+            // without a default body).
+            let mut j = i + 2;
+            let mut body_open = None;
+            while let Some((t, _)) = toks.get(j) {
+                match t {
+                    Tok::Sym('{') => {
+                        body_open = Some(j);
+                        break;
                     }
+                    Tok::Sym(';') => break,
+                    _ => j += 1,
                 }
             }
-            i += 1;
+            if let Some(open) = body_open {
+                let mut depth = 0i64;
+                let mut k = open;
+                let mut end = line;
+                while let Some((t, tline)) = toks.get(k) {
+                    match t {
+                        Tok::Sym('{') => depth += 1,
+                        Tok::Sym('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = *tline;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                out.push(FnSpan {
+                    name,
+                    start_line: line,
+                    end_line: end,
+                });
+                // Continue scanning *inside* the body too, so nested fns
+                // are found; just move past `fn name`.
+            } else {
+                out.push(FnSpan {
+                    name,
+                    start_line: line,
+                    end_line: line,
+                });
+            }
+            i += 2;
         }
         out
     }
@@ -243,16 +244,20 @@ pub fn tokenize(code: &str) -> Vec<Tok> {
     let mut out = Vec::new();
     let chars: Vec<char> = code.chars().collect();
     let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
+    while let Some(&c) = chars.get(i) {
         if c.is_whitespace() {
             i += 1;
         } else if c.is_alphanumeric() || c == '_' {
             let start = i;
-            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            while chars
+                .get(i)
+                .is_some_and(|&ch| ch.is_alphanumeric() || ch == '_')
+            {
                 i += 1;
             }
-            out.push(Tok::Word(chars[start..i].iter().collect()));
+            out.push(Tok::Word(
+                chars.get(start..i).unwrap_or_default().iter().collect(),
+            ));
         } else {
             out.push(Tok::Sym(c));
             i += 1;
@@ -282,14 +287,20 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, S
     // The identifier chars immediately before the cursor (for raw-string
     // and byte-literal prefix detection).
     let mut prev_word = String::new();
+    // Whether the comment being accumulated is a doc comment (`///`,
+    // `//!`, `/**`, `/*!`). Doc comments *describe* directives — prose
+    // like "justify with `lint:allow(rule) reason`" — so directives are
+    // only collected from plain comments.
+    let mut doc = false;
 
     let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
+    while let Some(&c) = chars.get(i) {
         if c == '\n' {
             if st == St::LineComment {
-                collect_allows(&comment, &mut allows, &mut bad_allows);
-                collect_decls(&comment, &mut decls);
+                if !doc {
+                    collect_allows(&comment, &mut allows, &mut bad_allows);
+                    collect_decls(&comment, &mut decls);
+                }
                 comment.clear();
                 st = St::Code;
             }
@@ -308,12 +319,14 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, S
                 let next = chars.get(i + 1).copied();
                 if c == '/' && next == Some('/') {
                     st = St::LineComment;
+                    doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
                     line.push(' ');
                     line.push(' ');
                     i += 2;
                     prev_word.clear();
                 } else if c == '/' && next == Some('*') {
                     st = St::BlockComment(1);
+                    doc = matches!(chars.get(i + 2), Some('*') | Some('!'));
                     line.push(' ');
                     line.push(' ');
                     i += 2;
@@ -385,8 +398,10 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, S
                     i += 2;
                 } else if c == '*' && next == Some('/') {
                     if depth == 1 {
-                        collect_allows(&comment, &mut allows, &mut bad_allows);
-                        collect_decls(&comment, &mut decls);
+                        if !doc {
+                            collect_allows(&comment, &mut allows, &mut bad_allows);
+                            collect_decls(&comment, &mut decls);
+                        }
                         comment.clear();
                         st = St::Code;
                     } else {
@@ -458,7 +473,7 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, S
             }
         }
     }
-    if st == St::LineComment {
+    if st == St::LineComment && !doc {
         collect_allows(&comment, &mut allows, &mut bad_allows);
         collect_decls(&comment, &mut decls);
     }
@@ -472,15 +487,15 @@ fn sanitize(text: &str) -> Vec<(String, Vec<String>, Vec<String>, Vec<(String, S
 fn collect_allows(comment: &str, allows: &mut Vec<String>, bad: &mut Vec<String>) {
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:allow(") {
-        let after = &rest[pos + "lint:allow(".len()..];
+        let after = rest.get(pos + "lint:allow(".len()..).unwrap_or("");
         match after.find(')') {
             Some(close) => {
-                let rule = after[..close].trim().to_string();
-                let reason = &after[close + 1..];
+                let rule = after.get(..close).unwrap_or("").trim().to_string();
+                let reason = after.get(close + 1..).unwrap_or("");
                 // Directives are per-line; the justification is whatever
                 // follows on the same comment up to the next directive.
                 let reason_text = match reason.find("lint:allow(") {
-                    Some(n) => &reason[..n],
+                    Some(n) => reason.get(..n).unwrap_or(""),
                     None => reason,
                 };
                 if rule.is_empty() {
@@ -499,15 +514,16 @@ fn collect_allows(comment: &str, allows: &mut Vec<String>, bad: &mut Vec<String>
     }
 }
 
-/// Extract `lint: guarded-by(<spec>)` / `lint: atomic(<contract>)`
-/// declaration directives from comment text. The space after `lint:` is
-/// optional; the argument is everything up to the closing paren, trimmed.
+/// Extract `lint: guarded-by(<spec>)` / `lint: atomic(<contract>)` /
+/// `lint: durability(<event> requires <event>)` declaration directives
+/// from comment text. The space after `lint:` is optional; the argument is
+/// everything up to the closing paren, trimmed.
 fn collect_decls(comment: &str, decls: &mut Vec<(String, String)>) {
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:") {
         rest = rest.split_at(pos + "lint:".len()).1;
         let body = rest.trim_start();
-        let Some((kind, after)) = ["guarded-by", "atomic"].iter().find_map(|k| {
+        let Some((kind, after)) = ["guarded-by", "atomic", "durability"].iter().find_map(|k| {
             body.strip_prefix(*k)
                 .and_then(|r| r.strip_prefix('('))
                 .map(|r| (*k, r))
@@ -529,7 +545,7 @@ fn collect_decls(comment: &str, decls: &mut Vec<(String, String)>) {
 fn mark_test_spans(lines: &mut [LineInfo]) {
     let mut i = 0;
     while i < lines.len() {
-        if lines[i].code.contains("cfg(test)") {
+        if lines.get(i).is_some_and(|l| l.code.contains("cfg(test)")) {
             // Find the first `{` at or after the attribute and match braces.
             let mut depth = 0i64;
             let mut opened = false;
@@ -537,11 +553,15 @@ fn mark_test_spans(lines: &mut [LineInfo]) {
             let mut j = i;
             'outer: while j < lines.len() {
                 let col0 = if j == i {
-                    lines[i].code.find("cfg(test)").unwrap_or(0)
+                    lines
+                        .get(i)
+                        .and_then(|l| l.code.find("cfg(test)"))
+                        .unwrap_or(0)
                 } else {
                     0
                 };
-                for c in lines[j].code[col0..].chars() {
+                let code = lines.get(j).map(|l| l.code.as_str()).unwrap_or("");
+                for c in code.get(col0..).unwrap_or("").chars() {
                     match c {
                         '{' => {
                             depth += 1;
@@ -652,6 +672,93 @@ mod tests {
         assert!(f.in_test(4));
         assert!(f.in_test(5));
         assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn durability_decls_are_collected() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// lint: durability(PageWrite requires LogForce)\npub fn write_page() {}\n",
+        );
+        assert_eq!(f.decl("durability", 2), Some("PageWrite requires LogForce"));
+        assert_eq!(f.decl("durability", 1), Some("PageWrite requires LogForce"));
+    }
+
+    #[test]
+    fn doc_comments_never_declare_directives() {
+        // Prose *describing* the directive syntax must not create
+        // directives: `///`, `//!`, and `/**` comments are documentation.
+        let f = SourceFile::parse(
+            "x.rs",
+            "//! `lint: durability(<event> requires <event>)` rows\n\
+             /// justify with `lint:allow(panic) some reason`\n\
+             /** also lint: durability(A requires B) */\n\
+             // lint: durability(PageWrite requires LogForce)\n\
+             fn f() {}\n",
+        );
+        assert_eq!(f.decl("durability", 1), None);
+        assert!(!f.allowed("panic", 2));
+        assert!(!f.allowed("panic", 3));
+        assert_eq!(f.decl("durability", 3), None);
+        assert_eq!(f.decl("durability", 4), Some("PageWrite requires LogForce"));
+    }
+
+    #[test]
+    fn hashed_raw_strings_with_inner_quotes_and_hashes() {
+        // `r##"…"# …"##` — the single-hash terminator inside must not
+        // close the literal; tokens after the real terminator survive.
+        let f = SourceFile::parse(
+            "x.rs",
+            "let r = r##\"quote \" hash \"# unwrap()\"##; force();\n",
+        );
+        assert!(!f.code(1).contains("unwrap"), "{:?}", f.code(1));
+        assert!(f.code(1).contains("force"));
+    }
+
+    #[test]
+    fn nested_generic_close_is_two_syms_not_a_shift() {
+        let toks = tokenize("let m: BTreeMap<u32, Vec<Vec<u8>>> = x >> 2;");
+        let shifts = toks
+            .windows(2)
+            .filter(|w| matches!(w, [Tok::Sym('>'), Tok::Sym('>')]))
+            .count();
+        // Both `>>>` (two adjacent pairs) and the real shift tokenize as
+        // plain `>` syms — the scanner never glues them into one token, so
+        // brace/paren matching in the CFG builder is unaffected.
+        assert_eq!(shifts, 3);
+        assert!(toks.iter().any(|t| matches!(t, Tok::Word(w) if w == "u8")));
+    }
+
+    #[test]
+    fn labeled_loops_are_not_char_literals() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "'outer: for x in xs {\n    break 'outer;\n}\nlet c = 'x';\n",
+        );
+        assert!(f.code(1).contains("'outer"), "{:?}", f.code(1));
+        assert!(f.code(2).contains("'outer"));
+        assert!(
+            !f.code(4).contains('x'),
+            "char literal blanked: {:?}",
+            f.code(4)
+        );
+        let toks = tokenize(f.code(2));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Word(w) if w == "outer")));
+    }
+
+    #[test]
+    fn question_mark_chains_tokenize_per_call() {
+        let toks = tokenize("let p = self.store.read_page(id)?.verify()?;");
+        let questions = toks.iter().filter(|t| matches!(t, Tok::Sym('?'))).count();
+        assert_eq!(questions, 2);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Word(w) if w == "read_page")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Tok::Word(w) if w == "verify")));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! `lob-lint`: the workspace invariant checker.
 //!
-//! Eight passes over a hand-rolled token scan of `crates/*/src` (see
+//! Ten passes over a hand-rolled token scan of `crates/*/src` (see
 //! [`lexer`]), each enforcing an invariant the compiler cannot see:
 //!
 //! - [`panic_free`] — no unannotated `unwrap`/`expect`/`panic!` family in
@@ -21,21 +21,34 @@
 //!   (`// lint: atomic(…)`) that its operations are checked against, and
 //!   `Cell`/`RefCell`/`UnsafeCell`/`unsafe impl Send|Sync` are inventoried;
 //! - [`spawn_escape`] — closures handed to spawns `move` their captures,
-//!   and detached spawns never capture a local reference binding.
+//!   and detached spawns never capture a local reference binding;
+//! - [`durability`] — the paper's log-before-install order, proven on the
+//!   intra-procedural CFG/dataflow engine in [`cfg`]: every store
+//!   write / cache write-out / backup-image copy site is preceded by its
+//!   declared `lint: durability(<event> requires <event>)` requirement on
+//!   every path, tolerated sites ratcheted in `durability_ratchet.tsv`;
+//! - [`error_flow`] — `Result`s born at fault-consulting I/O sites are
+//!   never silently discarded (`let _ =`, trailing `.ok()`, `unwrap_or`
+//!   swallowing, `if let Ok` with no else).
 //!
-//! The static guarded-by map from pass 6 is cross-validated at runtime by
-//! the Eraser-style lock witness in `lob-pagestore` (`witness` feature):
-//! the witness's declared contracts and the inferred map must agree, and
-//! the parallel drills fail if any shared access's candidate lock-set goes
-//! empty.
+//! Two of the static maps are cross-validated at runtime by witnesses in
+//! `lob-pagestore` (`witness` feature): the guarded-by map against the
+//! Eraser-style lock-set witness (`witness::CONTRACTS`), and the
+//! durability contract table against the ordering witness
+//! (`witness::ORDER_CONTRACTS`) armed in the parallel drills and the
+//! torture runner. Both agreements are asserted row-for-row in the
+//! workspace test.
 //!
 //! The whole analyzer runs as `cargo test -p lob-lint` (tier-1) and as a
 //! dedicated CI job. Violations are justified in place with
 //! `// lint:allow(<rule>) <reason>` — the reason is mandatory.
 
 pub mod atomics;
+pub mod cfg;
 pub mod determinism;
+pub mod durability;
 pub mod effect_sets;
+pub mod error_flow;
 pub mod fault_hook;
 pub mod guarded_by;
 pub mod lexer;
@@ -52,8 +65,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Rule id: `panic`, `lock-order`, `nondet`, `fault-hook`,
-    /// `effect-sets`, `guarded-by`, `atomics`, `spawn-escape`, or
-    /// `annotation`.
+    /// `effect-sets`, `guarded-by`, `atomics`, `spawn-escape`,
+    /// `durability-order`, `error-flow`, or `annotation`.
     pub rule: &'static str,
     /// Workspace-relative path.
     pub path: String,
@@ -156,22 +169,56 @@ pub fn check_annotations(files: &[SourceFile]) -> Vec<Diagnostic> {
     out
 }
 
+/// Every pass under its workspace configuration, as `(name, runner)`
+/// pairs — the single source of truth for [`run_all`] and the CLI's
+/// per-pass timing report.
+#[allow(clippy::type_complexity)]
+pub fn passes() -> Vec<(&'static str, fn(&[SourceFile]) -> Vec<Diagnostic>)> {
+    vec![
+        (
+            "annotations",
+            check_annotations as fn(&[SourceFile]) -> Vec<Diagnostic>,
+        ),
+        ("panic_free", |f| {
+            panic_free::check(f, &panic_free::Config::workspace())
+        }),
+        ("lock_order", |f| {
+            lock_order::check(f, &lock_order::Config::workspace())
+        }),
+        ("determinism", |f| {
+            determinism::check(f, &determinism::Config::workspace())
+        }),
+        ("fault_hook", |f| {
+            fault_hook::check(f, &fault_hook::Config::workspace())
+        }),
+        ("effect_sets", |f| {
+            effect_sets::check(f, &effect_sets::Config::workspace())
+        }),
+        ("guarded_by", |f| {
+            guarded_by::check(f, &guarded_by::Config::workspace())
+        }),
+        ("atomics", |f| {
+            atomics::check(f, &atomics::Config::workspace())
+        }),
+        ("spawn_escape", |f| {
+            spawn_escape::check(f, &spawn_escape::Config::workspace())
+        }),
+        ("durability", |f| {
+            durability::check(f, &durability::Config::workspace())
+        }),
+        ("error_flow", |f| {
+            error_flow::check(f, &error_flow::Config::workspace())
+        }),
+    ]
+}
+
 /// Run every pass with its default workspace configuration (everything
 /// except the ratchet comparison, which needs filesystem access — see
 /// [`ratchet::check`]).
 pub fn run_all(files: &[SourceFile]) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    out.extend(check_annotations(files));
-    out.extend(panic_free::check(files, &panic_free::Config::workspace()));
-    out.extend(lock_order::check(files, &lock_order::Config::workspace()));
-    out.extend(determinism::check(files, &determinism::Config::workspace()));
-    out.extend(fault_hook::check(files, &fault_hook::Config::workspace()));
-    out.extend(effect_sets::check(files, &effect_sets::Config::workspace()));
-    out.extend(guarded_by::check(files, &guarded_by::Config::workspace()));
-    out.extend(atomics::check(files, &atomics::Config::workspace()));
-    out.extend(spawn_escape::check(
-        files,
-        &spawn_escape::Config::workspace(),
-    ));
+    for (_, pass) in passes() {
+        out.extend(pass(files));
+    }
     out
 }

@@ -287,9 +287,8 @@ pub fn build_graph(files: &[SourceFile], cfg: &Config) -> Vec<Edge> {
                 continue;
             }
             let seq = acquisitions(f, span.start_line, span.end_line, &fields, cfg, &resolver);
-            for i in 0..seq.len() {
-                for j in (i + 1)..seq.len() {
-                    let (a, b) = (&seq[i], &seq[j]);
+            for (i, a) in seq.iter().enumerate() {
+                for b in seq.iter().skip(i + 1) {
                     if a.lock == b.lock {
                         continue;
                     }
@@ -332,14 +331,19 @@ pub fn check(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
         let mut on_path: BTreeSet<&str> = [start].into_iter().collect();
         while let Some((node, next_idx)) = stack.last_mut() {
             let succs = adj.get(*node).map(|v| v.as_slice()).unwrap_or(&[]);
-            if *next_idx < succs.len() {
-                let e = succs[*next_idx];
+            if let Some(&e) = succs.get(*next_idx) {
                 *next_idx += 1;
                 let to = e.to.as_str();
                 if on_path.contains(to) {
                     // Cycle: slice the path from `to` onward.
                     let pos = path.iter().position(|&n| n == to).unwrap_or(0);
-                    let cycle: Vec<&str> = path[pos..].iter().copied().chain([to]).collect();
+                    let cycle: Vec<&str> = path
+                        .get(pos..)
+                        .unwrap_or_default()
+                        .iter()
+                        .copied()
+                        .chain([to])
+                        .collect();
                     let (wf, wfn, wl) = &e.witness;
                     out.push(Diagnostic::new(
                         "lock-order",
@@ -384,12 +388,14 @@ fn lock_fields(f: &SourceFile) -> BTreeMap<String, String> {
         // Field declaration shape: `name: …Mutex<…` — take the word right
         // before the first `:`.
         let toks = crate::lexer::tokenize(code);
-        for i in 0..toks.len().saturating_sub(1) {
-            if let (Tok::Word(name), Tok::Sym(':')) = (&toks[i], &toks[i + 1]) {
+        for (i, pair) in toks.windows(2).enumerate() {
+            if let [Tok::Word(name), Tok::Sym(':')] = pair {
                 // Make sure a Mutex/RwLock token appears after the colon
                 // and before any further colon-name pair (single-line
                 // declarations only, which is all this workspace has).
-                let rest_has_lock = toks[i + 2..]
+                let rest_has_lock = toks
+                    .get(i + 2..)
+                    .unwrap_or_default()
                     .iter()
                     .any(|t| matches!(t, Tok::Word(w) if w == "Mutex" || w == "RwLock"));
                 if rest_has_lock {
@@ -435,63 +441,34 @@ fn acquisitions(
         let toks = crate::lexer::tokenize(f.code(line));
         // `.FIELD.lock(` / `.FIELD.read(` / `.FIELD.write(`
         for i in 0..toks.len() {
+            let rest = toks.get(i..).unwrap_or_default();
             // One-level accessor chain: `.ACCESSOR().FIELD.lock(` where the
             // accessor's return struct owns `FIELD` — the field may be
             // declared in another file, invisible to the per-file table.
-            if i + 8 < toks.len() {
-                if let (
-                    Tok::Sym('.'),
-                    Tok::Word(acc),
-                    Tok::Sym('('),
-                    Tok::Sym(')'),
-                    Tok::Sym('.'),
-                    Tok::Word(field),
-                    Tok::Sym('.'),
-                    Tok::Word(m),
-                    Tok::Sym('('),
-                ) = (
-                    &toks[i],
-                    &toks[i + 1],
-                    &toks[i + 2],
-                    &toks[i + 3],
-                    &toks[i + 4],
-                    &toks[i + 5],
-                    &toks[i + 6],
-                    &toks[i + 7],
-                    &toks[i + 8],
-                ) {
-                    if (m == "lock" || m == "read" || m == "write") && !fields.contains_key(field) {
-                        if let Some(lock) = resolver
-                            .accessors
-                            .get(acc)
-                            .and_then(|s| resolver.lock_field.get(&(s.clone(), field.clone())))
-                        {
-                            out.push(Acq {
-                                lock: lock.clone(),
-                                line,
-                            });
-                            continue;
-                        }
+            if let [Tok::Sym('.'), Tok::Word(acc), Tok::Sym('('), Tok::Sym(')'), Tok::Sym('.'), Tok::Word(field), Tok::Sym('.'), Tok::Word(m), Tok::Sym('('), ..] =
+                rest
+            {
+                if (m == "lock" || m == "read" || m == "write") && !fields.contains_key(field) {
+                    if let Some(lock) = resolver
+                        .accessors
+                        .get(acc)
+                        .and_then(|s| resolver.lock_field.get(&(s.clone(), field.clone())))
+                    {
+                        out.push(Acq {
+                            lock: lock.clone(),
+                            line,
+                        });
+                        continue;
                     }
                 }
             }
-            if i + 4 < toks.len() {
-                if let (
-                    Tok::Sym('.'),
-                    Tok::Word(field),
-                    Tok::Sym('.'),
-                    Tok::Word(m),
-                    Tok::Sym('('),
-                ) = (
-                    &toks[i],
-                    &toks[i + 1],
-                    &toks[i + 2],
-                    &toks[i + 3],
-                    &toks[i + 4],
-                ) {
-                    if (m == "lock" || m == "read" || m == "write") && fields.contains_key(field) {
+            if let [Tok::Sym('.'), Tok::Word(field), Tok::Sym('.'), Tok::Word(m), Tok::Sym('('), ..] =
+                rest
+            {
+                if m == "lock" || m == "read" || m == "write" {
+                    if let Some(lock) = fields.get(field) {
                         out.push(Acq {
-                            lock: fields[field].clone(),
+                            lock: lock.clone(),
                             line,
                         });
                         continue;
@@ -499,23 +476,17 @@ fn acquisitions(
                 }
             }
             // Alias calls: `recv.method(` or `.method(` for any receiver.
-            if i + 2 < toks.len() {
-                if let (Tok::Word(recv), Tok::Sym('.'), Tok::Word(m)) =
-                    (&toks[i], &toks[i + 1], &toks[i + 2])
-                {
-                    if toks.get(i + 3) == Some(&Tok::Sym('(')) {
-                        for a in &cfg.aliases {
-                            if !a.file_contains.is_empty() && !f.path.contains(a.file_contains) {
-                                continue;
-                            }
-                            if a.method == m && (a.recv.is_empty() || a.recv == recv) {
-                                out.push(Acq {
-                                    lock: a.lock.to_string(),
-                                    line,
-                                });
-                                break;
-                            }
-                        }
+            if let [Tok::Word(recv), Tok::Sym('.'), Tok::Word(m), Tok::Sym('('), ..] = rest {
+                for a in &cfg.aliases {
+                    if !a.file_contains.is_empty() && !f.path.contains(a.file_contains) {
+                        continue;
+                    }
+                    if a.method == m && (a.recv.is_empty() || a.recv == recv) {
+                        out.push(Acq {
+                            lock: a.lock.to_string(),
+                            line,
+                        });
+                        break;
                     }
                 }
             }

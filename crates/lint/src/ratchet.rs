@@ -10,6 +10,7 @@
 //!   forces the tightening to be committed.
 //! - Regenerate from scratch with `LOB_LINT_UPDATE_RATCHET=1`.
 
+use crate::durability::DurabilityCounts;
 use crate::guarded_by::RaceCounts;
 use crate::panic_free::FileCounts;
 use crate::Diagnostic;
@@ -21,6 +22,11 @@ pub const RATCHET_PATH: &str = "crates/lint/panic_ratchet.tsv";
 
 /// Location of the race ratchet (pass 6's tolerated lock-free surface).
 pub const RACE_RATCHET_PATH: &str = "crates/lint/race_ratchet.tsv";
+
+/// Location of the durability ratchet (pass 9's tolerated ordering sites —
+/// installs justified by a caller's force, restore-from-durable-image
+/// writes).
+pub const DURABILITY_RATCHET_PATH: &str = "crates/lint/durability_ratchet.tsv";
 
 /// Parse a ratchet file: `path<TAB>allowed<TAB>index` per line.
 pub fn parse(text: &str) -> BTreeMap<String, (usize, usize)> {
@@ -78,8 +84,26 @@ pub fn render_race(counts: &[RaceCounts]) -> String {
     s
 }
 
+/// Render durability counts into the checked-in format.
+pub fn render_durability(counts: &[DurabilityCounts]) -> String {
+    let mut s = String::from(
+        "# durability ratchet: tolerated ordering sites per file — counts may only go down.\n\
+         # columns: path\\tallowed-force-order-sites\\tallowed-copy-order-sites\n\
+         # regenerate: LOB_LINT_UPDATE_RATCHET=1 cargo test -p lob-lint\n",
+    );
+    let mut sorted: Vec<&DurabilityCounts> = counts.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    for c in sorted {
+        s.push_str(&format!(
+            "{}\t{}\t{}\n",
+            c.path, c.allowed_force, c.allowed_copy
+        ));
+    }
+    s
+}
+
 /// Column labels and growth advice for one ratchet kind — the shared
-/// comparison engine below is otherwise identical for both files.
+/// comparison engine below is otherwise identical for all three files.
 struct Kind {
     rel_path: &'static str,
     rule: &'static str,
@@ -126,6 +150,26 @@ pub fn check_race(root: &Path, counts: &[RaceCounts]) -> Vec<Diagnostic> {
             rule: "guarded-by",
             grow_a: "lock-free field contracts grew {a} -> {b} — the ratchet only goes down; guard the field instead of annotating it",
             grow_b: "allowed-unguarded accesses grew {a} -> {b} — take the guard instead of widening the escape hatch",
+        },
+    )
+}
+
+/// Compare current durability counts against the checked-in baseline, with
+/// the same tighten-in-place semantics as [`check`].
+pub fn check_durability(root: &Path, counts: &[DurabilityCounts]) -> Vec<Diagnostic> {
+    let rows: Vec<(String, usize, usize)> = counts
+        .iter()
+        .map(|c| (c.path.clone(), c.allowed_force, c.allowed_copy))
+        .collect();
+    check_kind(
+        root,
+        &rows,
+        render_durability(counts),
+        &Kind {
+            rel_path: DURABILITY_RATCHET_PATH,
+            rule: "durability-order",
+            grow_a: "allowed force-order sites grew {a} -> {b} — the ratchet only goes down; establish the force locally instead of annotating",
+            grow_b: "allowed copy-order sites grew {a} -> {b} — the ratchet only goes down; read before copying instead of annotating",
         },
     )
 }

@@ -5,8 +5,8 @@
 
 use lob_lint::lexer::SourceFile;
 use lob_lint::{
-    determinism, effect_sets, fault_hook, guarded_by, lock_order, panic_free, spawn_escape,
-    Diagnostic,
+    determinism, durability, effect_sets, error_flow, fault_hook, guarded_by, lock_order,
+    panic_free, spawn_escape, Diagnostic,
 };
 
 /// Load a fixture file under a virtual workspace-relative path.
@@ -298,6 +298,82 @@ fn effect_over_write_fixture_yields_exact_diagnostics() {
         "msg: {}",
         diags[0].msg
     );
+}
+
+#[test]
+fn bad_durability_fixture_yields_exact_diagnostics() {
+    // The static twin of `tests/order_witness.rs`'s dynamic fixture: an
+    // install before the force, a force covering only one branch arm, and
+    // a cursor advance before any copy — each pinned to its exact line.
+    let f = fixture("crates/fx/src/bad_durability.rs", "bad_durability.rs");
+    let diags = durability::check(&[f], &durability::Config::bare());
+    let p = "crates/fx/src/bad_durability.rs".to_string();
+    let mut got = locs(&diags);
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            (p.clone(), 12, "durability-order"),
+            (p.clone(), 23, "durability-order"),
+            (p, 29, "durability-order"),
+        ],
+        "diags: {diags:#?}"
+    );
+    for d in &diags {
+        match d.line {
+            12 | 23 => {
+                assert!(d.msg.contains("write_page"), "msg: {}", d.msg);
+                assert!(d.msg.contains("LogForce"), "msg: {}", d.msg);
+            }
+            29 => {
+                assert!(d.msg.contains("advance"), "msg: {}", d.msg);
+                assert!(d.msg.contains("BackupCopy"), "msg: {}", d.msg);
+            }
+            other => panic!("unexpected line {other}: {}", d.msg),
+        }
+    }
+}
+
+#[test]
+fn bad_error_flow_fixture_yields_exact_diagnostics() {
+    // Four discard idioms flagged, and the `legal` fn (`.ok()?`, if-let
+    // with an else arm, `.map_err(…).ok()?`) contributes nothing.
+    let f = fixture("crates/fx/src/bad_error_flow.rs", "bad_error_flow.rs");
+    let diags = error_flow::check(&[f], &error_flow::Config::bare());
+    let p = "crates/fx/src/bad_error_flow.rs".to_string();
+    let mut got = locs(&diags);
+    got.sort();
+    assert_eq!(
+        got,
+        vec![
+            (p.clone(), 8, "error-flow"),
+            (p.clone(), 13, "error-flow"),
+            (p.clone(), 18, "error-flow"),
+            (p, 23, "error-flow"),
+        ],
+        "diags: {diags:#?}"
+    );
+    for d in &diags {
+        match d.line {
+            8 => assert!(
+                d.msg.contains("`let _ =`") && d.msg.contains("write_page"),
+                "msg: {}",
+                d.msg
+            ),
+            13 => assert!(
+                d.msg.contains("`.ok()`") && d.msg.contains("force"),
+                "msg: {}",
+                d.msg
+            ),
+            18 => assert!(
+                d.msg.contains("unwrap_or_default") && d.msg.contains("read_page"),
+                "msg: {}",
+                d.msg
+            ),
+            23 => assert!(d.msg.contains("if let Ok"), "msg: {}", d.msg),
+            other => panic!("unexpected line {other}: {}", d.msg),
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,34 @@
+// Fixture: the paper's log-before-install discipline, violated three ways.
+// lint: durability(PageWrite requires LogForce)
+// lint: durability(BackupCopy requires PageRead)
+// lint: durability(CursorAdvance requires BackupCopy)
+
+struct Engine;
+
+impl Engine {
+    // Install before the force: the page hits the stable store while its
+    // update records are still in the volatile log tail.
+    fn flush_backwards(&mut self) -> Result<(), E> {
+        self.store.write_page(id, page)?;
+        self.log.force(lsn)?;
+        Ok(())
+    }
+
+    // The force only covers one arm of the branch; the install after the
+    // join is unprotected on the other path.
+    fn flush_half_guarded(&mut self, fast: bool) -> Result<(), E> {
+        if fast {
+            self.log.force(lsn)?;
+        }
+        self.store.write_page(id, page)?;
+        Ok(())
+    }
+
+    // The cursor advances before anything was copied into the image.
+    fn sweep_eagerly(&mut self) -> Result<(), E> {
+        self.tracker.advance(next);
+        let p = self.store.read_page(id)?;
+        self.image.put(id, p);
+        Ok(())
+    }
+}

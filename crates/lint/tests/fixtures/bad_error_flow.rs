@@ -1,0 +1,40 @@
+// Fixture: fault verdicts silently dropped on the way to the caller.
+
+struct Runner;
+
+impl Runner {
+    // Explicit discard: the injected crash never reaches EngineError.
+    fn drop_it(&mut self) {
+        let _ = self.store.write_page(id, page);
+    }
+
+    // Converted to Option and dropped on the floor.
+    fn ok_it(&mut self) {
+        self.log.force(lsn).ok();
+    }
+
+    // The error arm is swallowed into a default page.
+    fn default_it(&mut self) -> Page {
+        self.store.read_page(id).unwrap_or_default()
+    }
+
+    // Success path only; the error path falls through silently.
+    fn if_let_it(&mut self) {
+        if let Ok(p) = self.store.read_page(id) {
+            self.cache.insert(id, p);
+        }
+    }
+
+    // Legal uses the pass must not flag: `.ok()?` propagates, an `else`
+    // arm handles the error, and `?` is ordinary propagation.
+    fn legal(&mut self) -> Option<()> {
+        self.log.force(lsn).ok()?;
+        if let Ok(p) = self.store.read_page(id) {
+            self.cache.insert(id, p);
+        } else {
+            self.fail();
+        }
+        self.store.write_page(id, page).map_err(log_it).ok()?;
+        Some(())
+    }
+}

@@ -1,10 +1,10 @@
-//! The tier-1 enforcement test: run all eight passes over the real
+//! The tier-1 enforcement test: run all ten passes over the real
 //! workspace sources and fail on any unjustified violation.
 
 use lob_lint::{
-    atomics, determinism, effect_sets, fault_hook, guarded_by, lexer::SourceFile,
-    load_workspace_sources, lock_order, panic_free, ratchet, spawn_escape, workspace_root,
-    Diagnostic,
+    atomics, determinism, durability, effect_sets, error_flow, fault_hook, guarded_by,
+    lexer::SourceFile, load_workspace_sources, lock_order, panic_free, ratchet, spawn_escape,
+    workspace_root, Diagnostic,
 };
 
 fn sources() -> Vec<SourceFile> {
@@ -143,6 +143,80 @@ fn spawned_closures_own_their_captures() {
         "spawn-escape",
         spawn_escape::check(&sources(), &spawn_escape::Config::workspace()),
     );
+}
+
+#[test]
+fn durability_order_holds_and_ratchet_only_tightens() {
+    // The tentpole invariant: every store install, cache write-out, and
+    // backup-image copy in the workspace is preceded by its declared
+    // requirement on every CFG path, or carries a justified allow counted
+    // by the durability ratchet.
+    let files = sources();
+    let (diags, counts) = durability::check_with_counts(&files, &durability::Config::workspace());
+    assert_clean("durability-order", diags);
+    assert_clean(
+        "durability-ratchet",
+        ratchet::check_durability(&workspace_root(), &counts),
+    );
+}
+
+#[test]
+fn error_flow_never_swallows_io_results() {
+    assert_clean(
+        "error-flow",
+        error_flow::check(&sources(), &error_flow::Config::workspace()),
+    );
+}
+
+#[test]
+fn durability_contracts_agree_with_the_ordering_witness() {
+    // The two-witness contract (DESIGN.md §5.12): the contract table the
+    // static pass parses from `// lint: durability(X requires Y)`
+    // declarations must match `witness::ORDER_CONTRACTS` row-for-row in
+    // both directions — a contract enforced only at runtime (or only
+    // statically) is a silent coverage gap.
+    let (table, diags) = durability::contract_table(&sources());
+    assert_clean("durability-contracts", diags);
+    for (consumer, requires) in lob_pagestore::witness::ORDER_CONTRACTS {
+        assert_eq!(
+            table.get(*consumer).map(String::as_str),
+            Some(*requires),
+            "witness row ({consumer} requires {requires}) missing or drifted in the declared table: {table:?}"
+        );
+    }
+    for (consumer, requires) in &table {
+        assert!(
+            lob_pagestore::witness::ORDER_CONTRACTS
+                .iter()
+                .any(|(c, r)| c == consumer && r == requires),
+            "declared contract ({consumer} requires {requires}) has no runtime witness row"
+        );
+    }
+    assert_eq!(table.len(), lob_pagestore::witness::ORDER_CONTRACTS.len());
+}
+
+#[test]
+fn lint_index_sites_are_burned_down() {
+    // Satellite of the durability PR: the 19 checked-index sites in
+    // lint/src/lexer.rs and the 25 in lint/src/lock_order.rs were
+    // rewritten with `.get()` and slice patterns, so both files must be
+    // gone from the panic ratchet (unknown files baseline at zero).
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join(ratchet::RATCHET_PATH)).expect("panic ratchet");
+    let baseline = ratchet::parse(&text);
+    for path in [
+        "crates/lint/src/lexer.rs",
+        "crates/lint/src/lock_order.rs",
+        "crates/lint/src/cfg.rs",
+        "crates/lint/src/durability.rs",
+        "crates/lint/src/error_flow.rs",
+    ] {
+        assert!(
+            !baseline.contains_key(path),
+            "{path} still carries ratcheted index sites: {:?}",
+            baseline.get(path)
+        );
+    }
 }
 
 #[test]

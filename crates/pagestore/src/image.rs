@@ -72,6 +72,7 @@ impl PageImage {
     }
 
     /// Insert (or replace) a page copy.
+    // lint: durability(BackupCopy requires PageRead)
     pub fn put(&mut self, id: PageId, page: Page) {
         let part = self
             .parts

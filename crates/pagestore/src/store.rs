@@ -310,6 +310,7 @@ impl StableStore {
     /// detected by checksum like any other corruption), or fail the medium
     /// under the page.
     pub fn read_page(&self, id: PageId) -> Result<Page, StoreError> {
+        crate::witness::io_order("PageRead");
         let part = self.part(id.partition)?;
         match self.consult(IoEvent::PageRead, Some(id)) {
             FaultVerdict::Crash => return Err(StoreError::InjectedCrash),
@@ -385,6 +386,7 @@ impl StableStore {
         if hi <= lo {
             return Ok(());
         }
+        crate::witness::io_order("PageRead");
         if self.hook.read().is_some() {
             for index in lo..hi {
                 out.push(self.read_page(PageId {
@@ -446,6 +448,7 @@ impl StableStore {
     /// the new payload spliced onto the back half of the old, then crash),
     /// a silent corruption (bit flip, reported as success), or a media
     /// failure of the target page.
+    // lint: durability(PageWrite requires LogForce)
     pub fn write_page(&self, id: PageId, page: Page) -> Result<(), StoreError> {
         if page.len() != self.config.page_size {
             return Err(StoreError::PageSizeMismatch {
@@ -454,6 +457,7 @@ impl StableStore {
                 want: self.config.page_size,
             });
         }
+        crate::witness::io_order("PageWrite");
         let verdict = self.consult(IoEvent::PageWrite, Some(id));
         if verdict == FaultVerdict::Crash {
             return Err(StoreError::InjectedCrash);
@@ -550,10 +554,15 @@ impl StableStore {
         }
         if self.hook.read().is_some() {
             for (off, page) in pages.drain(..).enumerate() {
+                // lint:allow(durability-order) degrade path of write_run; the ordering contract is the caller's, checked at every write_run site
                 self.write_page(PageId::new(pid.0, lo + off as u32), page)?;
             }
             return Ok(());
         }
+        // Ordering witness: the fast path bypasses `write_page`, so it
+        // carries its own `PageWrite` probe (the degrade path above
+        // probes per page inside `write_page`).
+        crate::witness::io_order("PageWrite");
         let part = self.part(pid)?;
         let n = pages.len() as u32;
         let mut guard = part.write();
@@ -733,6 +742,7 @@ impl StableStore {
                 if let Some(s) = self.stats.get(pi) {
                     s.record_read(page.len());
                 }
+                // lint:allow(durability-order) offline snapshot copies raw frames it just checksummed under the partition lock
                 img.put(id, page.clone());
             }
         }
@@ -743,6 +753,7 @@ impl StableStore {
     /// Pages in failed regions are written too (replacement medium).
     pub fn apply_image(&self, image: &PageImage) -> Result<(), StoreError> {
         for (id, page) in image.iter() {
+            // lint:allow(durability-order) restore installs pages from a durable image; media recovery forces the log at entry
             self.write_page(id, page.clone())?;
         }
         Ok(())

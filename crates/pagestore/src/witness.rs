@@ -35,6 +35,28 @@
 //! candidate sets, and `hold`/`access` calls cannot deadlock against
 //! instrumented locks because the registry lock is never held across user
 //! code.
+//!
+//! # The ordering witness
+//!
+//! The same registry carries a second, independent check: the paper's
+//! log-before-install discipline as *event ordering* contracts
+//! ([`ORDER_CONTRACTS`], mirrored row-for-row by `lob-lint`'s static
+//! `durability` pass — the agreement is asserted in the lint workspace
+//! test). Instrumented I/O sites call [`io_order`] with their event name;
+//! a consumer event observed before any occurrence of its required
+//! generator event *since arming* is a witnessed ordering violation,
+//! drained separately via [`take_order_violations`] so lock-set
+//! assertions in tests running in the same process are never polluted by
+//! ordering traffic (and vice versa).
+//!
+//! The seen-since-arm set is deliberately **global**, not per-thread: the
+//! parallel drills force the log from the coordinator thread while worker
+//! threads install pages, which is exactly the discipline the paper
+//! requires — per-thread tracking would flag it. Arming is
+//! **depth-counted** ([`arm`]/[`disarm`] nest): concurrent armed cases in
+//! one test process must not reset the global seen-set mid-case, so only
+//! the outermost `arm` resets the registry and only the matching final
+//! `disarm` stops recording.
 
 /// Declared guarded-by contracts for the hot structs, as
 /// `(struct, field, spec)` rows. The static pass's inferred map must agree
@@ -59,14 +81,39 @@ pub const CONTRACTS: &[(&str, &str, &str)] = &[
     ("GroupReplay", "unit", "immutable"),
 ];
 
+/// Declared durability-ordering contracts, as `(consumer, requires)` rows:
+/// the consumer event must never be the first of the pair observed since
+/// arming. These rows mirror the `// lint: durability(X requires Y)`
+/// declarations the static pass verifies on the CFG — `lob-lint`'s
+/// workspace test asserts the two tables agree row-for-row.
+///
+/// - `PageFlush requires LogForce` — cache write-out installs a page whose
+///   update records must already be on stable log (WAL, paper §2).
+/// - `PageWrite requires LogForce` — ditto for direct store installs
+///   (recovery redo, restore) — no page version may hit the stable store
+///   before *some* force has made the log tail durable.
+/// - `BackupCopy requires PageRead` — the backup image only receives pages
+///   that were actually read from the store under the sweep's latches
+///   (paper §5.3's fuzzy-copy protocol), never fabricated state.
+/// - `CursorAdvance requires BackupCopy` — the sweep cursor only moves
+///   past a batch after the batch's pages landed in the image; advancing
+///   first would leave an unrecoverable hole on crash.
+pub const ORDER_CONTRACTS: &[(&str, &str)] = &[
+    ("PageFlush", "LogForce"),
+    ("PageWrite", "LogForce"),
+    ("BackupCopy", "PageRead"),
+    ("CursorAdvance", "BackupCopy"),
+];
+
 #[cfg(any(test, feature = "witness"))]
 mod imp {
     use parking_lot::Mutex;
     use std::cell::{Cell, RefCell};
     use std::collections::{BTreeMap, BTreeSet};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
     static ARMED: AtomicBool = AtomicBool::new(false); // lint: atomic(seqcst)
+    static ARM_DEPTH: AtomicU32 = AtomicU32::new(0); // lint: atomic(seqcst)
     static NEXT_THREAD: AtomicU64 = AtomicU64::new(1); // lint: atomic(seqcst)
     static NEXT_UNIT: AtomicU64 = AtomicU64::new(1); // lint: atomic(seqcst)
 
@@ -91,6 +138,14 @@ mod imp {
         /// Sites already reported, so a hot loop logs once.
         reported: BTreeSet<String>,
         events: u64,
+        /// Ordering witness: event kinds observed since arming (global
+        /// across threads — see the module docs for why).
+        order_seen: BTreeSet<&'static str>,
+        /// Consumer events already reported, so a hot loop logs once.
+        order_reported: BTreeSet<&'static str>,
+        /// Ordering violations, drained separately from lock-set ones.
+        order_violations: Vec<String>,
+        order_events: u64,
     }
 
     static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
@@ -120,22 +175,38 @@ mod imp {
         }
     }
 
-    /// Arm the witness: reset all site state and start recording.
+    /// Arm the witness. Arming nests: only the outermost `arm` (depth
+    /// 0 → 1) resets the site state and the ordering seen-set — a reset in
+    /// the middle of a concurrently armed case would fabricate ordering
+    /// violations. Depth transitions happen under the registry lock so an
+    /// `arm`/`disarm` race cannot observe a half-reset registry.
     pub fn arm() {
         let mut reg = REGISTRY.lock();
-        *reg = Some(Registry {
-            sites: BTreeMap::new(),
-            units: BTreeMap::new(),
-            violations: Vec::new(),
-            reported: BTreeSet::new(),
-            events: 0,
-        });
-        ARMED.store(true, Ordering::SeqCst);
+        if ARM_DEPTH.fetch_add(1, Ordering::SeqCst) == 0 {
+            *reg = Some(Registry {
+                sites: BTreeMap::new(),
+                units: BTreeMap::new(),
+                violations: Vec::new(),
+                reported: BTreeSet::new(),
+                events: 0,
+                order_seen: BTreeSet::new(),
+                order_reported: BTreeSet::new(),
+                order_violations: Vec::new(),
+                order_events: 0,
+            });
+            ARMED.store(true, Ordering::SeqCst);
+        }
     }
 
     /// Disarm without reading the violations (they stay until re-armed).
+    /// Recording only stops when the outermost `arm` is matched (depth
+    /// 1 → 0); an unmatched `disarm` is a no-op.
     pub fn disarm() {
-        ARMED.store(false, Ordering::SeqCst);
+        let _reg = REGISTRY.lock();
+        let prev = ARM_DEPTH.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |d| d.checked_sub(1));
+        if prev == Ok(1) {
+            ARMED.store(false, Ordering::SeqCst);
+        }
     }
 
     /// Whether the witness is currently recording.
@@ -155,6 +226,51 @@ mod imp {
             .as_mut()
             .map(|r| std::mem::take(&mut r.violations))
             .unwrap_or_default()
+    }
+
+    /// Number of ordering events recorded since the last outermost
+    /// [`arm`].
+    pub fn order_events() -> u64 {
+        REGISTRY
+            .lock()
+            .as_ref()
+            .map(|r| r.order_events)
+            .unwrap_or(0)
+    }
+
+    /// Drain recorded ordering violations (empty when every consumer
+    /// event was preceded by its required generator).
+    pub fn take_order_violations() -> Vec<String> {
+        REGISTRY
+            .lock()
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.order_violations))
+            .unwrap_or_default()
+    }
+
+    /// Record an I/O ordering event by kind (a name from
+    /// [`super::ORDER_CONTRACTS`]). A consumer event whose required
+    /// generator has not been seen since arming is a violation, reported
+    /// once per consumer kind.
+    pub fn io_order(event: &'static str) {
+        if !ARMED.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut guard = REGISTRY.lock();
+        let Some(reg) = guard.as_mut() else { return };
+        reg.order_events += 1;
+        for (consumer, requires) in super::ORDER_CONTRACTS {
+            if *consumer == event
+                && !reg.order_seen.contains(requires)
+                && reg.order_reported.insert(event)
+            {
+                reg.order_violations.push(format!(
+                    "ordering witness: `{event}` observed before any `{requires}` since arm — \
+                     the log-before-install discipline was violated"
+                ));
+            }
+        }
+        reg.order_seen.insert(event);
     }
 
     /// Record that `lock` is held until the returned guard drops. Call at
@@ -235,7 +351,8 @@ mod imp {
 
 #[cfg(any(test, feature = "witness"))]
 pub use imp::{
-    access, access_exclusive, arm, disarm, enabled, events, hold, new_unit, take_violations, Held,
+    access, access_exclusive, arm, disarm, enabled, events, hold, io_order, new_unit, order_events,
+    take_order_violations, take_violations, Held,
 };
 
 #[cfg(not(any(test, feature = "witness")))]
@@ -264,6 +381,19 @@ mod stub {
     pub fn take_violations() -> Vec<String> {
         Vec::new()
     }
+    /// Always zero (witness compiled out).
+    #[inline(always)]
+    pub fn order_events() -> u64 {
+        0
+    }
+    /// Always empty (witness compiled out).
+    #[inline(always)]
+    pub fn take_order_violations() -> Vec<String> {
+        Vec::new()
+    }
+    /// No-op (witness compiled out).
+    #[inline(always)]
+    pub fn io_order(_event: &'static str) {}
     /// No-op guard (witness compiled out).
     #[inline(always)]
     pub fn hold(_lock: &'static str) -> Held {
@@ -284,7 +414,8 @@ mod stub {
 
 #[cfg(not(any(test, feature = "witness")))]
 pub use stub::{
-    access, access_exclusive, arm, disarm, enabled, events, hold, new_unit, take_violations, Held,
+    access, access_exclusive, arm, disarm, enabled, events, hold, io_order, new_unit, order_events,
+    take_order_violations, take_violations, Held,
 };
 
 #[cfg(test)]
@@ -341,9 +472,64 @@ mod tests {
         arm();
         disarm();
         let baseline = events();
+        let order_baseline = order_events();
         let _g = hold("X.lock");
         access("X.f");
         access_exclusive("X.g", new_unit());
+        io_order("PageWrite");
         assert_eq!(events(), baseline);
+        assert_eq!(order_events(), order_baseline);
+    }
+
+    /// Store/engine unit tests in this crate run in parallel with these
+    /// tests and also hit `io_order` probes while we are armed, so
+    /// ordering assertions must be robust to foreign traffic: the clean
+    /// case seeds the generator first (making any later consumer legal no
+    /// matter who emits it), and the teeth case filters violations by the
+    /// event it provoked.
+    #[test]
+    fn consumer_after_generator_is_clean() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        io_order("LogForce");
+        io_order("PageRead");
+        io_order("BackupCopy");
+        io_order("PageFlush");
+        io_order("PageWrite");
+        io_order("CursorAdvance");
+        let v = take_order_violations();
+        assert!(v.is_empty(), "violations: {v:?}");
+        disarm();
+    }
+
+    #[test]
+    fn consumer_before_generator_is_flagged_once() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        io_order("CursorAdvance");
+        io_order("CursorAdvance");
+        let v = take_order_violations();
+        let cursor: Vec<&String> = v.iter().filter(|m| m.contains("CursorAdvance")).collect();
+        assert_eq!(cursor.len(), 1, "violations: {v:?}");
+        assert!(cursor.first().is_some_and(|m| m.contains("BackupCopy")));
+        disarm();
+    }
+
+    #[test]
+    fn nested_arm_does_not_reset_the_seen_set() {
+        let _serial = TEST_LOCK.lock();
+        arm();
+        io_order("LogForce");
+        // A second armed case starting in parallel must not erase the
+        // force already seen by the first.
+        arm();
+        io_order("PageWrite");
+        disarm();
+        assert!(enabled(), "outer arm still holds");
+        let v = take_order_violations();
+        let wr: Vec<&String> = v.iter().filter(|m| m.contains("PageWrite")).collect();
+        assert!(wr.is_empty(), "violations: {v:?}");
+        disarm();
+        assert!(!enabled());
     }
 }

@@ -297,6 +297,7 @@ fn write_pending_run(
     }
     match start {
         Some(s) => store
+            // lint:allow(durability-order) restore installs runs from a durable backup image; no log records are at risk
             .write_run(s.partition, s.index, run)
             .map_err(map_store_err),
         None => Ok(()),

@@ -165,6 +165,11 @@ impl LogManager {
     /// lost when the crash is completed with [`LogManager::crash`] —
     /// exactly the "lost unforced tail" a real power failure produces.
     pub fn force(&mut self, upto: Lsn) -> Result<(), LogError> {
+        // Ordering witness: every force generates `LogForce`, including an
+        // empty-tail force — the caller's durability point is established
+        // either way. The single probe here covers every engine force
+        // site (`force_all` funnels through this method).
+        lob_pagestore::witness::io_order("LogForce");
         let n = self.tail.partition_point(|(l, _)| *l <= upto);
         if n == 0 {
             return Ok(());

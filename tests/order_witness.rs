@@ -1,0 +1,115 @@
+//! The dynamic half of the durability-lint contract (DESIGN.md §5.12).
+//!
+//! `lob-lint`'s durability pass proves, statically, that every stable-store
+//! install, cache write-out, and backup-image copy is preceded by its
+//! declared requirement (`witness::ORDER_CONTRACTS`) on every CFG path;
+//! `lob_pagestore::witness::io_order` checks the same discipline at
+//! runtime. This test drives the real engine paths — a parallel backup
+//! sweep and a single-threaded torture case — with the witness armed and
+//! demands zero ordering violations, then proves the witness has teeth by
+//! installing a page with no log force at all and requiring a violation.
+//!
+//! The install-before-force fixture here mirrors the *static* fixture
+//! `crates/lint/tests/fixtures/bad_durability.rs`: the same shape is
+//! caught by pass 9 at lint time and by the ordering witness at run time.
+
+use lob_harness::{
+    DrillPath, FaultKind, ParallelDrillConfig, ParallelDrillRunner, TortureConfig, TortureRunner,
+    TortureWorkload,
+};
+use lob_pagestore::{witness, Lsn, Page, PageId, PartitionSpec, StableStore, StoreConfig};
+use std::sync::Mutex;
+
+/// The witness registry is process-global, so tests that arm/disarm it
+/// must not interleave within this binary.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn parallel_sweep_observes_the_declared_order() {
+    let _serial = serial();
+    // `run_case` arms the witness itself and fails the case on any
+    // ordering violation; a clean sweep therefore *is* the
+    // log-before-install assertion. The registry outlives the disarm (it
+    // is only reset on the next outermost arm), so the event count read
+    // here proves the probes actually fired during the sweep.
+    let runner = ParallelDrillRunner::new(ParallelDrillConfig::small(0x0D0E));
+    let case = runner.run_case(FaultKind::CountOnly).unwrap();
+    assert_eq!(case.path, DrillPath::CleanSweep);
+    assert!(
+        witness::order_events() > 10,
+        "parallel sweep recorded only {} ordering events — probes missing?",
+        witness::order_events()
+    );
+}
+
+#[test]
+fn torture_case_observes_the_declared_order() {
+    let _serial = serial();
+    // The single-threaded runner arms the same witness: a concurrent
+    // backup under injected crash points must still force the log before
+    // every install and copy before every cursor advance.
+    let cfg = TortureConfig::small(0x0D0E, TortureWorkload::BackupConcurrent);
+    let runner = TortureRunner::new(cfg);
+    let case = runner.run_case(FaultKind::CountOnly).unwrap();
+    assert!(!case.fired);
+    assert!(
+        witness::order_events() > 10,
+        "torture case recorded only {} ordering events — probes missing?",
+        witness::order_events()
+    );
+}
+
+#[test]
+fn install_before_force_is_caught_dynamically() {
+    let _serial = serial();
+    // The teeth test: write a page straight into the stable store with no
+    // log force since arming. Statically this same shape is the
+    // `flush_backwards` fixture; dynamically the `PageWrite` probe must
+    // flag it exactly once per consumer kind.
+    let store = StableStore::new(StoreConfig { page_size: 8 }, &[PartitionSpec { pages: 4 }]);
+    witness::arm();
+    store
+        .write_page(PageId::new(0, 0), Page::new(Lsn(1), vec![7u8; 8].into()))
+        .unwrap();
+    store
+        .write_page(PageId::new(0, 1), Page::new(Lsn(2), vec![9u8; 8].into()))
+        .unwrap();
+    let violations: Vec<String> = witness::take_order_violations()
+        .into_iter()
+        .filter(|v| v.contains("PageWrite"))
+        .collect();
+    witness::disarm();
+    assert_eq!(
+        violations.len(),
+        1,
+        "expected one report per consumer kind: {violations:?}"
+    );
+    assert!(
+        violations[0].contains("LogForce"),
+        "unexpected report: {}",
+        violations[0]
+    );
+}
+
+#[test]
+fn install_after_force_is_clean() {
+    let _serial = serial();
+    // Control: the identical install is legal once any log force has been
+    // observed since arming — the witness tracks order, not mere use.
+    let store = StableStore::new(StoreConfig { page_size: 8 }, &[PartitionSpec { pages: 4 }]);
+    witness::arm();
+    witness::io_order("LogForce");
+    store
+        .write_page(PageId::new(0, 0), Page::new(Lsn(1), vec![7u8; 8].into()))
+        .unwrap();
+    let violations: Vec<String> = witness::take_order_violations()
+        .into_iter()
+        .filter(|v| v.contains("PageWrite"))
+        .collect();
+    witness::disarm();
+    assert!(violations.is_empty(), "witness flagged: {violations:?}");
+}
