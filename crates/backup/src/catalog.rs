@@ -14,10 +14,12 @@
 //! — is detected and reported as a typed [`BackupError::CorruptImage`],
 //! never silently restored into `S`.
 
+use crate::archive::LogArchive;
 use crate::error::BackupError;
 use crate::image::BackupImage;
 use lob_pagestore::fault::{FaultHook, FaultVerdict, IoEvent};
-use lob_pagestore::{Lsn, Page, PageId};
+use lob_pagestore::{Lsn, Page, PageId, PartitionId};
+use lob_wal::LogRecord;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 
@@ -27,6 +29,11 @@ struct Generation {
     /// Checksum of every page copy, recorded at registration time. Damage
     /// injected into the stored image afterwards leaves a mismatch.
     sums: BTreeMap<PageId, u64>,
+    /// The generation's log suffix sorted and partitioned by page, when
+    /// one has been attached ([`BackupCatalog::extend_archive`]). Instant
+    /// restore and index-assisted repair fetch redo suffixes from here
+    /// without a full log scan.
+    archive: Option<LogArchive>,
 }
 
 /// A catalog of registered backup generations, newest last.
@@ -97,7 +104,11 @@ impl BackupCatalog {
             .iter()
             .map(|(id, p)| (id, p.checksum()))
             .collect();
-        gens.push(Generation { image, sums });
+        gens.push(Generation {
+            image,
+            sums,
+            archive: None,
+        });
         Ok(())
     }
 
@@ -232,6 +243,189 @@ impl BackupCatalog {
             }
         }
         Ok(gen.image.clone())
+    }
+
+    /// Attach (if absent) and extend the page-indexed media-log archive of
+    /// a generation: records at or past the archive's watermark are sorted
+    /// into per-page runs; earlier records are skipped. Returns the new
+    /// watermark — the exclusive LSN bound the archive now covers.
+    ///
+    /// This is the incremental half of archive maintenance: register the
+    /// generation once, then feed it the log suffix as it grows (or all at
+    /// once just before an instant restore).
+    pub fn extend_archive(
+        &self,
+        backup_id: u64,
+        records: &[LogRecord],
+    ) -> Result<Lsn, BackupError> {
+        let mut gens = self.generations.write();
+        let gen = gens
+            .iter_mut()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        let archive = gen
+            .archive
+            .get_or_insert_with(|| LogArchive::new(gen.image.start_lsn));
+        archive.extend(records);
+        Ok(archive.watermark())
+    }
+
+    /// Whether a generation has a page-indexed archive attached.
+    pub fn has_archive(&self, backup_id: u64) -> bool {
+        let gens = self.generations.read();
+        gens.iter()
+            .any(|g| g.image.backup_id == backup_id && g.archive.is_some())
+    }
+
+    /// The archive's watermark (exclusive LSN bound of indexed records),
+    /// or `None` when the generation has no archive.
+    pub fn archive_watermark(&self, backup_id: u64) -> Result<Option<Lsn>, BackupError> {
+        let gens = self.generations.read();
+        gens.iter()
+            .find(|g| g.image.backup_id == backup_id)
+            .map(|g| g.archive.as_ref().map(|a| a.watermark()))
+            .ok_or(BackupError::UnknownBackup(backup_id))
+    }
+
+    /// Fetch one page's sorted record run from a generation's archive —
+    /// every indexed record whose writeset includes `id`, ascending LSN —
+    /// verifying the run checksum recorded at indexing time. A page with
+    /// no indexed writers yields an empty run.
+    ///
+    /// The fault hook (if installed) is consulted first with
+    /// [`IoEvent::ArchiveRead`]: a crash verdict kills the process here, a
+    /// transient verdict fails this attempt only (typed
+    /// [`BackupError::TransientArchive`], retry succeeds), and damage
+    /// verdicts rot the *stored* run so the checksum comparison — not the
+    /// hook — detects and reports the corruption.
+    pub fn fetch_records(&self, backup_id: u64, id: PageId) -> Result<Vec<LogRecord>, BackupError> {
+        lob_pagestore::witness::io_order("ArchiveRead");
+        match self.consult_fault(IoEvent::ArchiveRead, Some(id)) {
+            FaultVerdict::Crash => return Err(BackupError::InjectedCrash),
+            FaultVerdict::TransientRead => return Err(BackupError::TransientArchive { backup_id }),
+            FaultVerdict::TornRead | FaultVerdict::CorruptRead | FaultVerdict::MediaFail => {
+                let mut gens = self.generations.write();
+                if let Some(a) = gens
+                    .iter_mut()
+                    .find(|g| g.image.backup_id == backup_id)
+                    .and_then(|g| g.archive.as_mut())
+                {
+                    a.damage_any_run(id);
+                }
+            }
+            FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
+        }
+        let gens = self.generations.read();
+        let gen = gens
+            .iter()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        let archive = gen
+            .archive
+            .as_ref()
+            .ok_or(BackupError::NoArchive(backup_id))?;
+        archive.decode_run(backup_id, id)
+    }
+
+    /// Fetch every indexed run for one partition's pages — the
+    /// segment-granular batch behind instant restore's closure fixpoint.
+    /// The runs live contiguously in the page-sorted archive, so the whole
+    /// segment's suffix streams off the archive medium in one sequential
+    /// read: one [`IoEvent::ArchiveRead`] consult (with the partition's
+    /// first page) covers the batch, exactly as one [`IoEvent::ImageRead`]
+    /// covers [`BackupCatalog::fetch_image`]. Pages absent from the result
+    /// have no indexed writers (their run is empty by construction).
+    /// Verdicts behave exactly as in [`BackupCatalog::fetch_records`];
+    /// each run is still verified against its own recorded checksum.
+    pub fn fetch_partition_records(
+        &self,
+        backup_id: u64,
+        partition: PartitionId,
+    ) -> Result<Vec<(PageId, Vec<LogRecord>)>, BackupError> {
+        lob_pagestore::witness::io_order("ArchiveRead");
+        match self.consult_fault(IoEvent::ArchiveRead, Some(PageId::new(partition.0, 0))) {
+            FaultVerdict::Crash => return Err(BackupError::InjectedCrash),
+            FaultVerdict::TransientRead => return Err(BackupError::TransientArchive { backup_id }),
+            FaultVerdict::TornRead | FaultVerdict::CorruptRead | FaultVerdict::MediaFail => {
+                let mut gens = self.generations.write();
+                if let Some(a) = gens
+                    .iter_mut()
+                    .find(|g| g.image.backup_id == backup_id)
+                    .and_then(|g| g.archive.as_mut())
+                {
+                    a.damage_any_run(PageId::new(partition.0, 0));
+                }
+            }
+            FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
+        }
+        let gens = self.generations.read();
+        let gen = gens
+            .iter()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        let archive = gen
+            .archive
+            .as_ref()
+            .ok_or(BackupError::NoArchive(backup_id))?;
+        archive.decode_partition_runs(backup_id, partition)
+    }
+
+    /// Fetch the archive's control-record run (backup markers — counted by
+    /// every closure replay, applied by none), checksum-verified. One
+    /// [`IoEvent::ArchiveRead`] consult (with no page) covers the fetch;
+    /// verdicts behave exactly as in [`BackupCatalog::fetch_records`].
+    pub fn fetch_control_records(&self, backup_id: u64) -> Result<Vec<LogRecord>, BackupError> {
+        lob_pagestore::witness::io_order("ArchiveRead");
+        match self.consult_fault(IoEvent::ArchiveRead, None) {
+            FaultVerdict::Crash => return Err(BackupError::InjectedCrash),
+            FaultVerdict::TransientRead => return Err(BackupError::TransientArchive { backup_id }),
+            FaultVerdict::TornRead | FaultVerdict::CorruptRead | FaultVerdict::MediaFail => {
+                let mut gens = self.generations.write();
+                if let Some(a) = gens
+                    .iter_mut()
+                    .find(|g| g.image.backup_id == backup_id)
+                    .and_then(|g| g.archive.as_mut())
+                {
+                    a.damage_control();
+                }
+            }
+            FaultVerdict::Proceed | FaultVerdict::TornWrite | FaultVerdict::CorruptWrite => {}
+        }
+        let gens = self.generations.read();
+        let gen = gens
+            .iter()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        let archive = gen
+            .archive
+            .as_ref()
+            .ok_or(BackupError::NoArchive(backup_id))?;
+        archive.decode_control(backup_id)
+    }
+
+    /// Deliberately corrupt a page's stored archive run (one bit flipped
+    /// mid-frame), leaving the recorded run checksum untouched. Public
+    /// injection API for tests and drills: the next
+    /// [`BackupCatalog::fetch_records`] for the page reports
+    /// [`BackupError::CorruptArchive`]. Errors if the generation has no
+    /// archive or the page has no run to rot.
+    pub fn tamper_archive_run(&self, backup_id: u64, id: PageId) -> Result<(), BackupError> {
+        let mut gens = self.generations.write();
+        let gen = gens
+            .iter_mut()
+            .find(|g| g.image.backup_id == backup_id)
+            .ok_or(BackupError::UnknownBackup(backup_id))?;
+        let archive = gen
+            .archive
+            .as_mut()
+            .ok_or(BackupError::NoArchive(backup_id))?;
+        if !archive.tamper_run(id) {
+            return Err(BackupError::MissingPage {
+                backup_id,
+                page: id,
+            });
+        }
+        Ok(())
     }
 
     /// Deliberately corrupt the stored image copy of `id` in generation

@@ -48,6 +48,25 @@ pub enum BackupError {
         /// The page being fetched.
         page: PageId,
     },
+    /// The generation has no page-indexed media-log archive attached
+    /// (instant restore and index-assisted repair need one).
+    NoArchive(u64),
+    /// A sorted record run in a generation's media-log archive no longer
+    /// matches the checksum recorded at indexing time: the archive medium
+    /// has rotted. Instant restore falls back to an older generation,
+    /// exactly like [`BackupError::CorruptImage`].
+    CorruptArchive {
+        /// The generation holding the bad run.
+        backup_id: u64,
+        /// The run's key page (`None` for the control-record run).
+        page: Option<PageId>,
+    },
+    /// A transient I/O error failed this archive read attempt only; the
+    /// stored run is intact and a retry may succeed.
+    TransientArchive {
+        /// The generation being read.
+        backup_id: u64,
+    },
     /// The fault hook simulated a process crash during a backup copy.
     InjectedCrash,
 }
@@ -79,6 +98,25 @@ impl fmt::Display for BackupError {
                 write!(
                     f,
                     "backup {backup_id}: transient I/O error reading image copy of {page}"
+                )
+            }
+            BackupError::NoArchive(id) => {
+                write!(f, "backup {id} has no page-indexed media-log archive")
+            }
+            BackupError::CorruptArchive { backup_id, page } => match page {
+                Some(p) => write!(
+                    f,
+                    "backup {backup_id}: checksum mismatch reading archive run of {p}"
+                ),
+                None => write!(
+                    f,
+                    "backup {backup_id}: checksum mismatch reading archive control run"
+                ),
+            },
+            BackupError::TransientArchive { backup_id } => {
+                write!(
+                    f,
+                    "backup {backup_id}: transient I/O error reading archive run"
                 )
             }
             BackupError::InjectedCrash => {

@@ -46,6 +46,7 @@
 //! log and the cache; the coordinator only *tells* it which objects need
 //! Iw/oF.
 
+pub mod archive;
 pub mod catalog;
 pub mod coordinator;
 pub mod decide;
@@ -57,6 +58,7 @@ pub mod parallel;
 pub mod run;
 pub mod tracker;
 
+pub use archive::{merge_runs, LogArchive};
 pub use catalog::BackupCatalog;
 pub use coordinator::{BackupCoordinator, CoordinatorStats, DomainId};
 pub use decide::{needs_iwof_general, needs_iwof_tree};

@@ -5,8 +5,8 @@ use crate::error::EngineError;
 use crate::stats::EngineStats;
 use bytes::Bytes;
 use lob_backup::{
-    BackupCatalog, BackupCoordinator, BackupError, BackupImage, BackupRun, DomainId, ParallelSweep,
-    RunConfig, SuccessorTable,
+    merge_runs, BackupCatalog, BackupCoordinator, BackupError, BackupImage, BackupRun, DomainId,
+    ParallelSweep, RunConfig, SuccessorTable,
 };
 use lob_cache::{CacheError, CacheManager, CacheReader};
 use lob_ops::{OpBody, OpError, TreeForm};
@@ -15,8 +15,8 @@ use lob_pagestore::{
 };
 use lob_recovery::redo::StoreRedoTarget;
 use lob_recovery::repair::{dependency_closure, replay_closure, BackoffSchedule, RepairReport};
-use lob_recovery::{redo_scan, NodeId, RedoOutcome, WriteGraph};
-use lob_wal::{FileLogStore, LogError, LogManager, RecordBody};
+use lob_recovery::{redo_scan, InstantRestore, InstantStats, NodeId, RedoOutcome, WriteGraph};
+use lob_wal::{FileLogStore, LogError, LogManager, LogRecord, RecordBody};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::Arc;
@@ -63,6 +63,14 @@ pub struct Engine {
     /// While it is empty, self-healing is disengaged and every read path
     /// behaves exactly as it did before the repair subsystem existed.
     catalog: Arc<BackupCatalog>,
+    /// The in-flight instant-restore epoch, if media recovery is serving
+    /// in degraded mode. While `Some`, reads and writes gate on their own
+    /// segment's restore ([`Engine::ensure_segment`]); `None` is normal
+    /// operation.
+    instant: Option<InstantRestore>,
+    /// The installed fault hook, kept so a mid-epoch
+    /// [`Engine::install_fault_hook`] can re-fan it into the scheduler.
+    hook: Option<lob_pagestore::FaultHook>,
     stats: EngineStats,
 }
 
@@ -123,6 +131,8 @@ impl Engine {
             taken_changed: Vec::new(),
             linked_images: Vec::new(),
             catalog: Arc::new(BackupCatalog::new()),
+            instant: None,
+            hook: None,
             stats: EngineStats::default(),
             store,
             config,
@@ -246,6 +256,12 @@ impl Engine {
     /// propagates untouched (quarantined slots as the typed
     /// [`EngineError::Quarantined`]).
     pub fn read_page(&mut self, id: PageId) -> Result<Page, EngineError> {
+        // Degraded mode: during an instant-restore epoch a read blocks
+        // only on its *own* segment's (prioritized) restore, never on the
+        // whole device — that is the bounded-degradation contract.
+        if self.instant.is_some() {
+            self.ensure_segment(id.partition)?;
+        }
         match self.cache.get(id, &self.store) {
             Ok(p) => Ok(p),
             Err(CacheError::Store(e)) if self.self_healing() => self.read_page_healing(id, e),
@@ -360,6 +376,20 @@ impl Engine {
     /// never double-logs). Transient read errors retry the same way. The
     /// engine never aborts an operation over a repairable page.
     pub fn execute(&mut self, body: OpBody) -> Result<Lsn, EngineError> {
+        // Degraded mode: every segment the operation touches (read set
+        // and write set) must be servable before evaluation — each gates
+        // on its own restore only.
+        if self.instant.is_some() {
+            let parts: BTreeSet<PartitionId> = body
+                .readset()
+                .into_iter()
+                .chain(body.writeset())
+                .map(|p| p.partition)
+                .collect();
+            for p in parts {
+                self.ensure_segment(p)?;
+            }
+        }
         if !self.self_healing() {
             return self.execute_once(body);
         }
@@ -677,7 +707,11 @@ impl Engine {
         self.log.set_fault_hook(hook.clone());
         self.cache.set_fault_hook(hook.clone());
         self.coordinator.set_fault_hook(hook.clone());
-        self.catalog.set_fault_hook(hook);
+        self.catalog.set_fault_hook(hook.clone());
+        if let Some(r) = self.instant.as_mut() {
+            r.set_fault_hook(hook.clone());
+        }
+        self.hook = hook;
     }
 
     /// Crash: all volatile state (cache, write graph, successor table, the
@@ -693,6 +727,10 @@ impl Engine {
         // The backup coordinator's trackers and changed set live in the
         // same process: any in-flight sweep dies with it.
         self.coordinator.reset_volatile();
+        // The instant-restore scheduler is volatile too; its on-disk
+        // progress is exactly the cleared failure flags, so a reboot
+        // re-enters through [`Engine::recover_instant`].
+        self.instant = None;
     }
 
     /// Crash recovery: forward redo over the surviving log suffix, write-
@@ -866,6 +904,17 @@ impl Engine {
                     }
                     let _ticks = backoff.delay_ticks(transient_attempts - 1);
                     self.stats.transient_retries += 1;
+                }
+                // During an instant-restore epoch a sweep copy that lands
+                // on a failed segment waits for that segment's restore
+                // (prioritized), not a single-page repair — the whole
+                // partition is coming back anyway. This is what keeps
+                // `backup_step` working mid-epoch.
+                Err(BackupError::Store(StoreError::MediaFailure(p)))
+                    if self.instant.is_some() && rounds < HEAL_ROUNDS =>
+                {
+                    rounds += 1;
+                    self.ensure_segment(p.partition)?;
                 }
                 Err(BackupError::Store(
                     StoreError::Corrupt(p)
@@ -1518,6 +1567,8 @@ impl Engine {
                 generations_tried: Vec::new(),
                 start_lsn: Lsn::NULL,
                 records_replayed: 0,
+                records_scanned: 0,
+                index_used: false,
                 retries: 0,
                 backoff_ticks: 0,
                 corruption,
@@ -1532,34 +1583,55 @@ impl Engine {
         'generations: for backup_id in self.catalog.generations() {
             generations_tried.push(backup_id);
             let start_lsn = self.catalog.start_lsn(backup_id)?;
-            // The generation's media-recovery log suffix. A truncated
-            // suffix means the generation was released — fail over (older
-            // generations need even earlier records, but the uniform loop
-            // keeps the report honest about what was tried).
-            let records = {
-                let mut attempt = 0u32;
-                loop {
-                    match self.log.scan_from(start_lsn) {
-                        Ok(r) => break r,
-                        Err(LogError::Transient) => {
-                            attempt += 1;
-                            if attempt >= backoff.max_attempts {
-                                return Err(EngineError::Log(LogError::Transient));
+            // A generation with a page-indexed archive serves the closure
+            // from sorted per-page runs instead of a full suffix scan —
+            // fewer records examined, and the report's telemetry says so.
+            // Archive corruption or exhausted retries fall back to the
+            // scan of the *same* generation.
+            let indexed = if self.catalog.has_archive(backup_id) {
+                self.archive_closure(backup_id, id, &backoff, &mut retries, &mut backoff_ticks)?
+            } else {
+                None
+            };
+            let (records, closure, records_scanned, index_used) = match indexed {
+                Some((records, closure, scanned)) => {
+                    self.stats.repair_index_hits += 1;
+                    (records, closure, scanned, true)
+                }
+                None => {
+                    // The generation's media-recovery log suffix. A
+                    // truncated suffix means the generation was released —
+                    // fail over (older generations need even earlier
+                    // records, but the uniform loop keeps the report
+                    // honest about what was tried).
+                    let records = {
+                        let mut attempt = 0u32;
+                        loop {
+                            match self.log.scan_from(start_lsn) {
+                                Ok(r) => break r,
+                                Err(LogError::Transient) => {
+                                    attempt += 1;
+                                    if attempt >= backoff.max_attempts {
+                                        return Err(EngineError::Log(LogError::Transient));
+                                    }
+                                    backoff_ticks += backoff.delay_ticks(attempt - 1);
+                                    retries += 1;
+                                    self.stats.transient_retries += 1;
+                                }
+                                Err(LogError::Truncated { .. }) => {
+                                    self.stats.repair_fallbacks += 1;
+                                    continue 'generations;
+                                }
+                                Err(e) => return Err(EngineError::Log(e)),
                             }
-                            backoff_ticks += backoff.delay_ticks(attempt - 1);
-                            retries += 1;
-                            self.stats.transient_retries += 1;
                         }
-                        Err(LogError::Truncated { .. }) => {
-                            self.stats.repair_fallbacks += 1;
-                            continue 'generations;
-                        }
-                        Err(e) => return Err(EngineError::Log(e)),
-                    }
+                    };
+                    let targets: BTreeSet<PageId> = [id].into();
+                    let closure = dependency_closure(&records, &targets);
+                    let scanned = records.len() as u64;
+                    (records, closure, scanned, false)
                 }
             };
-            let targets: BTreeSet<PageId> = [id].into();
-            let closure = dependency_closure(&records, &targets);
             // Backup-vintage copies of the whole closure, from this
             // generation only (mixing generations would mix vintages).
             let mut seed_pages: BTreeMap<PageId, Page> = BTreeMap::new();
@@ -1624,6 +1696,8 @@ impl Engine {
                 generations_tried,
                 start_lsn,
                 records_replayed: outcome.replayed,
+                records_scanned,
+                index_used,
                 retries,
                 backoff_ticks,
                 corruption,
@@ -1660,6 +1734,390 @@ impl Engine {
             reports.push(self.repair_page(id)?);
         }
         Ok(reports)
+    }
+
+    /// The dependency closure of `target` over one generation's
+    /// page-indexed archive: catch the archive up to the durable log end,
+    /// then run the closure fixpoint over per-page runs (every fetched
+    /// record writes its run's page, so its read and write sets join the
+    /// closure — the fixpoint reproduces `dependency_closure` over the
+    /// full suffix while examining only the runs the target pulls in).
+    /// Returns the merged closure-filtered suffix, the closure, and the
+    /// number of records examined — or `None` to fall back to the
+    /// full-suffix scan of the same generation.
+    #[allow(clippy::type_complexity)]
+    fn archive_closure(
+        &mut self,
+        backup_id: u64,
+        target: PageId,
+        backoff: &BackoffSchedule,
+        retries: &mut u32,
+        backoff_ticks: &mut u64,
+    ) -> Result<Option<(Vec<LogRecord>, BTreeSet<PageId>, u64)>, EngineError> {
+        // Catch up first: records past the watermark are indexed now, so
+        // the runs cover the full durable suffix. A truncated tail means
+        // the archive fell behind a released suffix — scan path's problem.
+        let from = match self.catalog.archive_watermark(backup_id)? {
+            Some(w) => w,
+            None => return Ok(None),
+        };
+        let tail = {
+            let mut attempt = 0u32;
+            loop {
+                match self.log.scan_from(from) {
+                    Ok(t) => break t,
+                    Err(LogError::Transient) => {
+                        attempt += 1;
+                        if attempt >= backoff.max_attempts {
+                            self.stats.repair_index_fallbacks += 1;
+                            return Ok(None);
+                        }
+                        *backoff_ticks += backoff.delay_ticks(attempt - 1);
+                        *retries += 1;
+                        self.stats.transient_retries += 1;
+                    }
+                    Err(LogError::Truncated { .. }) => {
+                        self.stats.repair_index_fallbacks += 1;
+                        return Ok(None);
+                    }
+                    Err(e) => return Err(EngineError::Log(e)),
+                }
+            }
+        };
+        // The catch-up indexes each record once per generation — amortized
+        // maintenance, not per-repair examination — so it stays out of
+        // `records_scanned` (the suffix scan re-examines its records on
+        // every repair; that asymmetry is the point of the telemetry).
+        self.catalog.extend_archive(backup_id, &tail)?;
+        let mut scanned = 0u64;
+
+        let control =
+            match self.fetch_archive_run(backup_id, None, backoff, retries, backoff_ticks)? {
+                Some(run) => run,
+                None => return Ok(None),
+            };
+        scanned += control.len() as u64;
+        let mut closure: BTreeSet<PageId> = [target].into();
+        let mut frontier = vec![target];
+        let mut runs: BTreeMap<PageId, Vec<LogRecord>> = BTreeMap::new();
+        while let Some(id) = frontier.pop() {
+            if runs.contains_key(&id) {
+                continue;
+            }
+            let run = match self.fetch_archive_run(
+                backup_id,
+                Some(id),
+                backoff,
+                retries,
+                backoff_ticks,
+            )? {
+                Some(run) => run,
+                None => return Ok(None),
+            };
+            scanned += run.len() as u64;
+            for rec in &run {
+                if let Some(op) = rec.body.as_op() {
+                    for touched in op.readset().into_iter().chain(op.writeset()) {
+                        if closure.insert(touched) {
+                            frontier.push(touched);
+                        }
+                    }
+                }
+            }
+            runs.insert(id, run);
+        }
+        let mut all_runs: Vec<Vec<LogRecord>> = runs.into_values().collect();
+        all_runs.push(control);
+        Ok(Some((merge_runs(all_runs), closure, scanned)))
+    }
+
+    /// One archive run (`Some(page)`) or the control run (`None`),
+    /// retried under backoff on transient faults. Corruption or exhausted
+    /// retries return `Ok(None)` — "fall back to the suffix scan"; an
+    /// injected crash propagates.
+    fn fetch_archive_run(
+        &mut self,
+        backup_id: u64,
+        page: Option<PageId>,
+        backoff: &BackoffSchedule,
+        retries: &mut u32,
+        backoff_ticks: &mut u64,
+    ) -> Result<Option<Vec<LogRecord>>, EngineError> {
+        let mut attempt = 0u32;
+        loop {
+            let fetched = match page {
+                Some(id) => self.catalog.fetch_records(backup_id, id),
+                None => self.catalog.fetch_control_records(backup_id),
+            };
+            match fetched {
+                Ok(run) => return Ok(Some(run)),
+                Err(BackupError::TransientArchive { .. }) => {
+                    attempt += 1;
+                    if attempt >= backoff.max_attempts {
+                        self.stats.repair_index_fallbacks += 1;
+                        return Ok(None);
+                    }
+                    *backoff_ticks += backoff.delay_ticks(attempt - 1);
+                    *retries += 1;
+                    self.stats.transient_retries += 1;
+                }
+                Err(BackupError::CorruptArchive { .. } | BackupError::NoArchive(_)) => {
+                    self.stats.repair_index_fallbacks += 1;
+                    return Ok(None);
+                }
+                Err(e) => return Err(EngineError::Backup(e)),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instant restore (serve during media recovery)
+    // ------------------------------------------------------------------
+
+    /// Catch one generation's page-indexed archive up to the durable end
+    /// of the log: force, scan from the archive's watermark (its start
+    /// LSN if no archive exists yet — this call *creates* the archive),
+    /// and index the tail. Returns the new watermark. Backups keep their
+    /// archives current by calling this as the log grows; instant restore
+    /// calls it for every archived generation when an epoch begins.
+    pub fn extend_backup_archive(&mut self, backup_id: u64) -> Result<Lsn, EngineError> {
+        self.log.force_all()?;
+        let from = match self.catalog.archive_watermark(backup_id)? {
+            Some(w) => w,
+            None => self.catalog.start_lsn(backup_id)?,
+        };
+        let records = self.log.scan_from(from)?;
+        Ok(self.catalog.extend_archive(backup_id, &records)?)
+    }
+
+    /// Catch every archived generation's archive up to the durable log
+    /// end; a catalog with no archive at all gets one built on the newest
+    /// generation (the full suffix is indexed in one pass).
+    fn catch_up_archives(&mut self) -> Result<(), EngineError> {
+        let gens = self.catalog.generations();
+        if gens.is_empty() {
+            return Err(EngineError::Backup(BackupError::BadState(
+                "no backup generation registered to restore from".into(),
+            )));
+        }
+        if gens.iter().any(|&g| self.catalog.has_archive(g)) {
+            for backup_id in gens {
+                if self.catalog.has_archive(backup_id) {
+                    self.extend_backup_archive(backup_id)?;
+                }
+            }
+        } else if let Some(&newest) = gens.first() {
+            self.extend_backup_archive(newest)?;
+        }
+        Ok(())
+    }
+
+    /// Begin an instant-restore epoch over the current failure set: the
+    /// engine keeps serving *during* media recovery. Every failed
+    /// partition becomes a restore segment; reads and writes gate on
+    /// their own segment's prioritized restore
+    /// ([`Engine::ensure_segment`] inside [`Engine::read_page`] and
+    /// [`Engine::execute`]) while [`Engine::instant_restore_step`] sweeps
+    /// the rest in the background. The epoch closes itself — verified
+    /// against a sequential witness restore — when the last segment
+    /// comes back.
+    pub fn begin_instant_restore(&mut self) -> Result<(), EngineError> {
+        if self.instant.is_some() {
+            return Err(EngineError::Discipline(
+                "an instant-restore epoch is already active".into(),
+            ));
+        }
+        self.catch_up_archives()?;
+        self.start_instant_epoch(false)
+    }
+
+    /// Reboot re-entry after a crash mid-epoch: every partition becomes a
+    /// `Failed` segment re-derived from archive plus image (a crash may
+    /// have left any partition with a half-installed — but always
+    /// correctly-versioned — page set, and the flush-order rule bounds
+    /// every store page LSN by the durable end, so unconditional
+    /// re-install of the full replay is sound). Call after
+    /// [`Engine::crash`] instead of [`Engine::recover`] when an epoch was
+    /// in flight; normal redo is subsumed by the full re-derivation.
+    pub fn recover_instant(&mut self) -> Result<(), EngineError> {
+        if self.instant.is_some() {
+            return Err(EngineError::Discipline(
+                "an instant-restore epoch is already active".into(),
+            ));
+        }
+        self.catch_up_archives()?;
+        self.stats.instant_reboots += 1;
+        self.stats.recoveries += 1;
+        self.start_instant_epoch(true)
+    }
+
+    fn start_instant_epoch(&mut self, all_segments: bool) -> Result<(), EngineError> {
+        let r = InstantRestore::begin(
+            Arc::clone(&self.store),
+            Arc::clone(&self.catalog),
+            self.config.recovery.batch.max(1),
+            0x1257_C0DE,
+            REPAIR_FETCH_ATTEMPTS,
+            self.hook.clone(),
+            all_segments,
+        )
+        .map_err(EngineError::from)?;
+        self.stats.instant_epochs += 1;
+        self.instant = Some(r);
+        // Nothing failed → the epoch completes (and verifies) right away.
+        self.maybe_complete_instant()
+    }
+
+    /// Whether an instant-restore epoch is in flight.
+    pub fn instant_restore_active(&self) -> bool {
+        self.instant.is_some()
+    }
+
+    /// The in-flight epoch's state for one segment (`None` outside an
+    /// epoch or for an unknown partition).
+    pub fn instant_segment_state(&self, p: PartitionId) -> Option<lob_recovery::SegmentState> {
+        self.instant.as_ref().and_then(|r| r.segment_state(p))
+    }
+
+    /// Segments not yet restored (0 outside an epoch).
+    pub fn instant_pending(&self) -> usize {
+        self.instant.as_ref().map_or(0, |r| r.pending())
+    }
+
+    /// The in-flight epoch's counters (`None` outside an epoch).
+    pub fn instant_restore_stats(&self) -> Option<InstantStats> {
+        self.instant.as_ref().map(|r| r.stats())
+    }
+
+    /// Gate one partition on its segment's restore during an epoch; a
+    /// no-op in normal operation. A request against a not-yet-restored
+    /// segment jumps the sweep queue (foreground priority) and blocks
+    /// only for that one segment's restore.
+    fn ensure_segment(&mut self, p: PartitionId) -> Result<(), EngineError> {
+        let Some(r) = self.instant.as_mut() else {
+            return Ok(());
+        };
+        r.ensure(p).map_err(EngineError::from)?;
+        self.maybe_complete_instant()
+    }
+
+    /// One background sweep step of the in-flight epoch: restore the next
+    /// queued segment. Returns the segment restored, or `None` when no
+    /// epoch is active. The engine thread interleaves these with
+    /// foreground work — that is the "serving during recovery".
+    pub fn instant_restore_step(&mut self) -> Result<Option<PartitionId>, EngineError> {
+        let Some(r) = self.instant.as_mut() else {
+            return Ok(None);
+        };
+        let stepped = r.step().map_err(EngineError::from)?;
+        if stepped.is_none() && self.instant.as_ref().is_some_and(|r| !r.finished()) {
+            return Err(EngineError::Internal(
+                "instant-restore queue drained with segments still failed".into(),
+            ));
+        }
+        self.maybe_complete_instant()?;
+        Ok(stepped)
+    }
+
+    /// Drive the background sweep until the epoch completes (and is
+    /// verified + closed). Drill and bench convenience.
+    pub fn instant_restore_drain(&mut self) -> Result<(), EngineError> {
+        while self.instant.is_some() {
+            self.instant_restore_step()?;
+        }
+        Ok(())
+    }
+
+    /// If every segment is restored, verify the epoch against a
+    /// sequential witness restore, fold its counters into the engine
+    /// stats, and return to normal operation.
+    fn maybe_complete_instant(&mut self) -> Result<(), EngineError> {
+        if !self.instant.as_ref().is_some_and(|r| r.finished()) {
+            return Ok(());
+        }
+        self.verify_instant_restore()?;
+        let Some(r) = self.instant.take() else {
+            return Ok(());
+        };
+        let s = r.stats();
+        self.stats.instant_completions += 1;
+        self.stats.instant_on_demand += s.on_demand_restores;
+        self.stats.instant_swept += s.sweep_restores;
+        self.stats.transient_retries += s.transient_retries;
+        self.stats.media_recoveries += 1;
+        self.reseed_allocator()?;
+        self.truncate_log()?;
+        Ok(())
+    }
+
+    /// The completion witness — the differential oracle in production
+    /// form: flush everything (so `S` sits at its pageLSN frontier), then
+    /// sequentially restore the newest fetchable generation into a
+    /// *scratch* store, roll it forward over the full suffix, and demand
+    /// byte-for-byte agreement with what the per-segment restores (plus
+    /// subsequent flushes) produced. Divergence is an engine bug,
+    /// surfaced loudly.
+    fn verify_instant_restore(&mut self) -> Result<(), EngineError> {
+        self.log.force_all()?;
+        self.flush_all()?;
+        let image = self.fetch_witness_image()?;
+        let scratch = StableStore::new(
+            StoreConfig {
+                page_size: self.config.page_size,
+            },
+            &self.config.partitions,
+        );
+        image.restore_to(&scratch)?;
+        let records = self.log.scan_from(image.start_lsn)?;
+        let mut target = StoreRedoTarget::new(&scratch);
+        redo_scan(&records, &mut target)?;
+        let live = self.store.snapshot()?;
+        let witness = scratch.snapshot()?;
+        for (id, expect) in witness.iter() {
+            match live.get(id) {
+                Some(got) if got == expect => {}
+                _ => {
+                    return Err(EngineError::Internal(format!(
+                        "instant restore diverged from the sequential witness at {id}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The newest generation whose complete image is fetchable (transient
+    /// reads retried, corrupt or incremental generations skipped) — the
+    /// witness baseline.
+    fn fetch_witness_image(&mut self) -> Result<BackupImage, EngineError> {
+        let backoff = BackoffSchedule::new(0x717_1255, REPAIR_FETCH_ATTEMPTS);
+        'generations: for backup_id in self.catalog.generations() {
+            let mut attempt = 0u32;
+            loop {
+                match self.catalog.fetch_image(backup_id) {
+                    Ok(image) => {
+                        if image.complete && !image.incremental {
+                            return Ok(image);
+                        }
+                        continue 'generations;
+                    }
+                    Err(BackupError::TransientImage { .. }) => {
+                        attempt += 1;
+                        if attempt >= backoff.max_attempts {
+                            continue 'generations;
+                        }
+                        self.stats.transient_retries += 1;
+                    }
+                    Err(BackupError::CorruptImage { .. } | BackupError::MissingPage { .. }) => {
+                        continue 'generations
+                    }
+                    Err(e) => return Err(EngineError::Backup(e)),
+                }
+            }
+        }
+        Err(EngineError::Backup(BackupError::BadState(
+            "no fetchable complete generation for the instant-restore witness".into(),
+        )))
     }
 }
 
@@ -2568,5 +3026,296 @@ mod tests {
         assert!(e.quarantined_pages().is_empty());
         let image = e.complete_backup(run).unwrap();
         assert!(e.audit_backup(&image).unwrap().is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Instant restore (§5.13)
+    // ------------------------------------------------------------------
+
+    use lob_pagestore::PartitionSpec;
+    use lob_recovery::SegmentState;
+
+    fn page_at(p: u32, i: u32, fill: u8) -> OpBody {
+        OpBody::PhysicalWrite {
+            target: PageId::new(p, i),
+            value: Bytes::from(vec![fill; 256]),
+        }
+    }
+
+    /// A hook killing the process model at the first occurrence of
+    /// `target` only.
+    fn once_event_hook(target: IoEvent) -> lob_pagestore::FaultHook {
+        let fired = AtomicBool::new(false);
+        Arc::new(move |ev, _| {
+            if ev == target && !fired.swap(true, Ordering::Relaxed) {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })
+    }
+
+    /// An engine over `parts` partitions with 8 flushed pages each
+    /// (fill `p*8 + i + 1`), a full backup registered with a page-indexed
+    /// archive, and a logged tail past the backup (page 0 of every
+    /// partition overwritten with `0xA0 + p`).
+    fn instant_engine(parts: u32) -> (Engine, u64) {
+        let mut e = Engine::new(EngineConfig {
+            partitions: (0..parts).map(|_| PartitionSpec { pages: 16 }).collect(),
+            tracking: Tracking::Sequential((0..parts).map(PartitionId).collect()),
+            ..EngineConfig::small()
+        })
+        .unwrap();
+        for p in 0..parts {
+            for i in 0..8 {
+                e.execute(page_at(p, i, (p * 8 + i) as u8 + 1)).unwrap();
+            }
+        }
+        let image = e.offline_backup().unwrap();
+        let gen = image.backup_id;
+        e.register_backup_generation(image).unwrap();
+        e.extend_backup_archive(gen).unwrap();
+        for p in 0..parts {
+            e.execute(page_at(p, 0, 0xA0 + p as u8)).unwrap();
+        }
+        e.flush_all().unwrap();
+        (e, gen)
+    }
+
+    fn fail_all(e: &Engine, parts: u32) {
+        for p in 0..parts {
+            e.store().fail_partition(PartitionId(p)).unwrap();
+        }
+    }
+
+    #[test]
+    fn instant_restore_serves_reads_and_writes_mid_epoch() {
+        let (mut e, _) = instant_engine(4);
+        fail_all(&e, 4);
+        e.begin_instant_restore().unwrap();
+        assert!(e.instant_restore_active());
+        // A foreground read faults exactly its own segment in…
+        assert_eq!(e.read_page(PageId::new(1, 0)).unwrap().data()[0], 0xA1);
+        assert_eq!(
+            e.instant_segment_state(PartitionId(1)),
+            Some(SegmentState::Restored)
+        );
+        // …while unrequested segments stay failed: bounded degradation,
+        // not a wait for the whole device.
+        assert_eq!(
+            e.instant_segment_state(PartitionId(2)),
+            Some(SegmentState::Failed)
+        );
+        // A write is gated on every partition its sets touch.
+        e.execute(OpBody::Logical(LogicalOp::Copy {
+            src: PageId::new(0, 1),
+            dst: PageId::new(2, 9),
+        }))
+        .unwrap();
+        assert_eq!(
+            e.instant_segment_state(PartitionId(0)),
+            Some(SegmentState::Restored)
+        );
+        assert_eq!(
+            e.instant_segment_state(PartitionId(2)),
+            Some(SegmentState::Restored)
+        );
+        // The untouched fourth segment is left to the background sweep.
+        assert_eq!(
+            e.instant_segment_state(PartitionId(3)),
+            Some(SegmentState::Failed)
+        );
+        e.instant_restore_drain().unwrap();
+        assert!(!e.instant_restore_active());
+        let s = e.stats();
+        assert_eq!(s.instant_epochs, 1);
+        assert_eq!(s.instant_completions, 1);
+        assert_eq!(s.instant_on_demand, 3, "read + the write's two segments");
+        assert_eq!(s.instant_swept, 1);
+        // The copy executed against restored state: src held fill 2.
+        assert_eq!(e.read_page(PageId::new(2, 9)).unwrap().data()[0], 2);
+    }
+
+    #[test]
+    fn restored_segment_requests_are_noops_during_the_sweep() {
+        let (mut e, _) = instant_engine(2);
+        fail_all(&e, 2);
+        e.begin_instant_restore().unwrap();
+        e.read_page(PageId::new(0, 3)).unwrap();
+        let first = e.instant_restore_stats().unwrap();
+        assert_eq!(first.on_demand_restores, 1);
+        // A second and third request for the same segment — the "racing
+        // requests" shape, serialized here — must not restore it again.
+        e.read_page(PageId::new(0, 5)).unwrap();
+        e.read_page(PageId::new(0, 3)).unwrap();
+        let second = e.instant_restore_stats().unwrap();
+        assert_eq!(second.on_demand_restores, 1);
+        assert_eq!(second.run_fetches, first.run_fetches);
+        // The untouched segment is left to the background sweep.
+        e.instant_restore_drain().unwrap();
+        assert_eq!(e.stats().instant_swept, 1);
+        assert_eq!(e.read_page(PageId::new(1, 0)).unwrap().data()[0], 0xA1);
+    }
+
+    #[test]
+    fn corrupt_newest_archive_run_falls_back_a_generation() {
+        let (mut e, _old_gen) = instant_engine(2);
+        // A newer generation, also archived, then more history so its
+        // archive holds a run for partition 0's page 0…
+        let newer = e.offline_backup().unwrap();
+        let newer_id = newer.backup_id;
+        e.register_backup_generation(newer).unwrap();
+        e.extend_backup_archive(newer_id).unwrap();
+        e.execute(page_at(0, 0, 0xC0)).unwrap();
+        e.flush_all().unwrap();
+        e.extend_backup_archive(newer_id).unwrap();
+        // …and that newest run rots. The restore must detect the checksum
+        // mismatch and fall back to the older generation's intact archive,
+        // replaying the longer suffix to the same bytes.
+        e.catalog()
+            .tamper_archive_run(newer_id, PageId::new(0, 0))
+            .unwrap();
+        fail_all(&e, 2);
+        e.begin_instant_restore().unwrap();
+        assert_eq!(e.read_page(PageId::new(0, 0)).unwrap().data()[0], 0xC0);
+        let st = e.instant_restore_stats().unwrap();
+        assert!(st.generation_fallbacks >= 1, "stats: {st:?}");
+        e.instant_restore_drain().unwrap();
+        assert_eq!(e.read_page(PageId::new(0, 1)).unwrap().data()[0], 2);
+        assert_eq!(e.read_page(PageId::new(1, 0)).unwrap().data()[0], 0xA1);
+    }
+
+    #[test]
+    fn instant_restore_with_an_empty_log_suffix() {
+        // No history past the backup at all: the generation's control and
+        // per-page runs are empty — an intact state, not a corrupt one.
+        let mut e = engine();
+        for i in 0..4 {
+            e.execute(phys(i, i as u8 + 1)).unwrap();
+        }
+        let image = e.offline_backup().unwrap();
+        let gen = image.backup_id;
+        e.register_backup_generation(image).unwrap();
+        e.extend_backup_archive(gen).unwrap();
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.begin_instant_restore().unwrap();
+        e.instant_restore_drain().unwrap();
+        for i in 0..4 {
+            assert_eq!(e.read_page(pid(i)).unwrap().data()[0], i as u8 + 1);
+        }
+        assert_eq!(e.stats().instant_completions, 1);
+    }
+
+    #[test]
+    fn begin_builds_the_missing_archive_on_the_newest_generation() {
+        // A registered generation without an archive: entering the epoch
+        // builds one (from the generation's own log suffix) rather than
+        // refusing — with an empty catalog it refuses instead.
+        let (mut e, _) = healing_engine();
+        e.execute(phys(0, 0x77)).unwrap();
+        e.flush_all().unwrap();
+        e.store().fail_partition(PartitionId(0)).unwrap();
+        e.begin_instant_restore().unwrap();
+        e.instant_restore_drain().unwrap();
+        assert_eq!(e.read_page(pid(0)).unwrap().data()[0], 0x77);
+
+        let mut bare = engine();
+        bare.execute(phys(0, 1)).unwrap();
+        bare.flush_all().unwrap();
+        bare.store().fail_partition(PartitionId(0)).unwrap();
+        assert!(bare.begin_instant_restore().is_err());
+    }
+
+    #[test]
+    fn mid_restore_kill_reenters_and_byte_verifies() {
+        let (mut e, _) = instant_engine(2);
+        let mut want = Vec::new();
+        for p in 0..2 {
+            for i in 0..8 {
+                let id = PageId::new(p, i);
+                want.push((id, e.read_page(id).unwrap().data().clone()));
+            }
+        }
+        e.flush_all().unwrap();
+        fail_all(&e, 2);
+        // The first segment install dies mid-epoch: the install went to
+        // the still-failed partition, so the commit point (clearing the
+        // failure flag) was never reached.
+        e.install_fault_hook(Some(once_event_hook(IoEvent::SegmentInstall)));
+        e.begin_instant_restore().unwrap();
+        let err = e.instant_restore_drain().unwrap_err();
+        assert!(err.is_injected_crash(), "got {err}");
+        e.crash();
+        assert!(!e.instant_restore_active());
+        // Reboot re-entry: every segment is re-derived from archive +
+        // image, and the interrupted one is simply restored again.
+        e.recover_instant().unwrap();
+        e.instant_restore_drain().unwrap();
+        assert_eq!(e.stats().instant_reboots, 1);
+        for (id, bytes) in want {
+            assert_eq!(e.read_page(id).unwrap().data(), &bytes, "page {id}");
+        }
+    }
+
+    #[test]
+    fn online_backup_sweep_completes_during_instant_restore() {
+        let (mut e, _) = instant_engine(2);
+        fail_all(&e, 2);
+        e.begin_instant_restore().unwrap();
+        // The sweep's copy reads hit failed partitions: each miss faults
+        // the segment in (degraded mode) and the step retries.
+        let mut run = e.begin_backup(4).unwrap();
+        while !e.backup_step(&mut run).unwrap() {}
+        let image = e.complete_backup(run).unwrap();
+        e.instant_restore_drain().unwrap();
+        assert!(e.audit_backup(&image).unwrap().is_empty());
+        assert_eq!(e.read_page(PageId::new(1, 0)).unwrap().data()[0], 0xA1);
+    }
+
+    #[test]
+    fn archive_indexed_repair_scans_fewer_records_than_the_suffix_scan() {
+        // Twin engines with identical histories; only one generation has a
+        // page-indexed archive. The indexed repair must examine fewer
+        // records and produce byte-identical results.
+        let mk = |archive: bool| {
+            let mut e = engine();
+            for i in 0..8 {
+                e.execute(phys(i, i as u8 + 1)).unwrap();
+            }
+            let image = e.offline_backup().unwrap();
+            let gen = image.backup_id;
+            e.register_backup_generation(image).unwrap();
+            if archive {
+                e.extend_backup_archive(gen).unwrap();
+            }
+            // Post-backup history with independent strands: only the copy
+            // belongs to page 1's closure; the other six writes do not.
+            e.execute(copy(0, 1)).unwrap();
+            for i in 2..8 {
+                e.execute(phys(i, 0x40 + i as u8)).unwrap();
+            }
+            e.flush_all().unwrap();
+            e.store().quarantine_page(pid(1)).unwrap();
+            e
+        };
+        let mut indexed = mk(true);
+        let mut scanned = mk(false);
+        let ri = indexed.repair_page(pid(1)).unwrap();
+        let rs = scanned.repair_page(pid(1)).unwrap();
+        assert!(ri.index_used);
+        assert!(!rs.index_used);
+        assert!(
+            ri.records_scanned < rs.records_scanned,
+            "indexed examined {} records, suffix scan {}",
+            ri.records_scanned,
+            rs.records_scanned
+        );
+        assert_eq!(indexed.stats().repair_index_hits, 1);
+        assert_eq!(scanned.stats().repair_index_hits, 0);
+        assert_eq!(
+            indexed.store().read_page(pid(1)).unwrap().data(),
+            scanned.store().read_page(pid(1)).unwrap().data(),
+            "index and scan repairs must agree byte-for-byte"
+        );
     }
 }

@@ -4,7 +4,7 @@ use lob_backup::BackupError;
 use lob_cache::CacheError;
 use lob_ops::OpError;
 use lob_pagestore::StoreError;
-use lob_recovery::{RedoError, WriteGraphError};
+use lob_recovery::{InstantError, RedoError, WriteGraphError};
 use lob_wal::LogError;
 use std::fmt;
 
@@ -35,6 +35,10 @@ pub enum EngineError {
     /// The page stays quarantined; a full restore or a future generation
     /// can still bring it back. Other partitions are unaffected.
     Unrepairable(lob_pagestore::PageId),
+    /// Instant restore exhausted every archived backup generation without
+    /// restoring this segment. It stays `Failed` (other segments keep
+    /// serving); a future archived generation can still bring it back.
+    UnrestorableSegment(lob_pagestore::PartitionId),
     /// Internal invariant violation — a bug in the engine, surfaced loudly.
     Internal(String),
 }
@@ -56,6 +60,10 @@ impl fmt::Display for EngineError {
             EngineError::Unrepairable(p) => write!(
                 f,
                 "page {p} is unrepairable: no registered backup generation holds a good copy"
+            ),
+            EngineError::UnrestorableSegment(p) => write!(
+                f,
+                "segment {p} is unrestorable: every archived backup generation exhausted"
             ),
             EngineError::Internal(m) => write!(f, "internal engine error: {m}"),
         }
@@ -120,5 +128,16 @@ impl From<BackupError> for EngineError {
 impl From<RedoError> for EngineError {
     fn from(e: RedoError) -> Self {
         EngineError::Redo(e)
+    }
+}
+impl From<InstantError> for EngineError {
+    fn from(e: InstantError) -> Self {
+        match e {
+            InstantError::Store(e) => EngineError::Store(e),
+            InstantError::Backup(e) => EngineError::Backup(e),
+            InstantError::Redo(e) => EngineError::Redo(e),
+            InstantError::Unrestorable(p) => EngineError::UnrestorableSegment(p),
+            InstantError::BadState(m) => EngineError::Discipline(m),
+        }
     }
 }

@@ -80,4 +80,7 @@ pub use lob_ops::{LogicalOp, OpBody, OpClass, PhysioOp, RecPage, TreeForm};
 pub use lob_pagestore::{
     CorruptionEntry, CorruptionReport, Lsn, Page, PageId, PartitionId, PartitionSpec,
 };
-pub use lob_recovery::{BackoffSchedule, GraphMode, RecoveryConfig, RedoOutcome, RepairReport};
+pub use lob_recovery::{
+    BackoffSchedule, GraphMode, InstantStats, RecoveryConfig, RedoOutcome, RepairReport,
+    SegmentState,
+};

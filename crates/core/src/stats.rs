@@ -46,6 +46,28 @@ pub struct EngineStats {
     /// Media recoveries performed through the parallel restore + replay
     /// path (also counted in `media_recoveries`).
     pub parallel_restores: u64,
+    /// Instant-restore epochs begun (`begin_instant_restore` plus
+    /// `recover_instant` re-entries).
+    pub instant_epochs: u64,
+    /// Instant-restore epochs completed and witness-verified (also counted
+    /// in `media_recoveries`).
+    pub instant_completions: u64,
+    /// Instant-restore epochs begun in reboot mode after a crash mid-epoch
+    /// (also counted in `instant_epochs`).
+    pub instant_reboots: u64,
+    /// Segments restored on demand because a foreground read or write
+    /// needed them (folded in when the epoch completes).
+    pub instant_on_demand: u64,
+    /// Segments restored by the background sweep (folded in when the epoch
+    /// completes).
+    pub instant_swept: u64,
+    /// Online repairs that sourced their dependency closure from a
+    /// generation's page-indexed archive instead of a full-suffix scan.
+    pub repair_index_hits: u64,
+    /// Archive-indexed repair attempts that fell back to the full-suffix
+    /// scan of the same generation (corrupt run, exhausted retries, or a
+    /// truncated catch-up suffix).
+    pub repair_index_fallbacks: u64,
 }
 
 impl EngineStats {
@@ -70,6 +92,13 @@ impl EngineStats {
             sweep_workers: self.sweep_workers - earlier.sweep_workers,
             parallel_recoveries: self.parallel_recoveries - earlier.parallel_recoveries,
             parallel_restores: self.parallel_restores - earlier.parallel_restores,
+            instant_epochs: self.instant_epochs - earlier.instant_epochs,
+            instant_completions: self.instant_completions - earlier.instant_completions,
+            instant_reboots: self.instant_reboots - earlier.instant_reboots,
+            instant_on_demand: self.instant_on_demand - earlier.instant_on_demand,
+            instant_swept: self.instant_swept - earlier.instant_swept,
+            repair_index_hits: self.repair_index_hits - earlier.repair_index_hits,
+            repair_index_fallbacks: self.repair_index_fallbacks - earlier.repair_index_fallbacks,
         }
     }
 }

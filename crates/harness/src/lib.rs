@@ -19,12 +19,18 @@
 //! * [`fault`] — [`FaultPlan`]: seeded planning on top of the engine's
 //!   fault hook — count the I/O events of a run, then arm one crash, torn
 //!   write, silent corruption, or media failure at a chosen event index.
+//! * [`instant`] — [`InstantDrillRunner`]: the restore-under-load drill —
+//!   fail every partition, enter an instant-restore epoch, and interleave
+//!   verified foreground reads and writes with background sweep steps
+//!   under an armed fault plan, including mid-restore kills that re-enter
+//!   restore through [`lob_core::Engine::recover_instant`].
 //! * [`torture`] — [`TortureRunner`]: the crash-point torture harness —
 //!   re-run a seeded workload crashing at every (or a sampled set of) I/O
 //!   event(s), recover, and require byte-equality with the shadow oracle.
 //! * [`report`] — plain-text table formatting for the experiment binaries.
 
 pub mod fault;
+pub mod instant;
 pub mod parallel;
 pub mod report;
 pub mod scenarios;
@@ -34,6 +40,9 @@ pub mod torture;
 pub mod workload;
 
 pub use fault::{sample_indices, FaultKind, FaultPlan};
+pub use instant::{
+    InstantCaseResult, InstantDrillConfig, InstantDrillReport, InstantDrillRunner, InstantPath,
+};
 pub use parallel::{
     combine_images, DrillPath, ParallelCaseResult, ParallelDrillConfig, ParallelDrillReport,
     ParallelDrillRunner,

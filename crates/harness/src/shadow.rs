@@ -105,6 +105,14 @@ impl ShadowOracle {
         self.history.last().map(|(l, _)| *l).unwrap_or(Lsn::NULL)
     }
 
+    /// Forget every operation above `upto` — the unforced tail a simulated
+    /// crash legitimately loses. Post-recovery operations re-use those LSNs,
+    /// so the lost suffix must leave the history before new entries arrive.
+    pub fn truncate_to(&mut self, upto: Lsn) {
+        self.history.retain(|(l, _)| *l <= upto);
+        self.current = self.state_at(upto);
+    }
+
     /// Expected page values considering only operations with `lsn <= upto`.
     pub fn state_at(&self, upto: Lsn) -> BTreeMap<PageId, Bytes> {
         let mut state = BTreeMap::new();

@@ -49,6 +49,9 @@ const GENERATORS: &[(&str, &str)] = &[
     ("copy_runs", "BackupCopy"),
     ("put", "BackupCopy"),
     ("put_run", "BackupCopy"),
+    ("fetch_records", "ArchiveRead"),
+    ("fetch_control_records", "ArchiveRead"),
+    ("fetch_partition_records", "ArchiveRead"),
 ];
 
 /// Consumer methods: calling `.m(…)` raises the mapped event, whose
@@ -59,6 +62,7 @@ const CONSUMERS: &[(&str, &str)] = &[
     ("write_run", "PageWrite"),
     ("put", "BackupCopy"),
     ("put_run", "BackupCopy"),
+    ("install_segment", "SegmentInstall"),
 ];
 
 /// Cursor methods are consumers only on the tracker receiver

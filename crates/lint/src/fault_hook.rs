@@ -119,6 +119,34 @@ pub const REGISTRY: &[Site] = &[
         note: "whole-image fetch for catalog-sourced parallel restore: one consult per image, then every copy checksum-verified",
     },
     Site {
+        file: "backup/src/catalog.rs",
+        func: "fetch_records",
+        events: &["ArchiveRead"],
+        coverage: Coverage::Direct,
+        note: "per-page sorted run fetched from a generation's media-log archive (instant restore closure fixpoint, archive-indexed repair)",
+    },
+    Site {
+        file: "backup/src/catalog.rs",
+        func: "fetch_control_records",
+        events: &["ArchiveRead"],
+        coverage: Coverage::Direct,
+        note: "control-record run fetched from a generation's media-log archive, once per closure replay",
+    },
+    Site {
+        file: "backup/src/catalog.rs",
+        func: "fetch_partition_records",
+        events: &["ArchiveRead"],
+        coverage: Coverage::Direct,
+        note: "segment-granular batch of one partition's sorted runs, once per segment restore; each run still checksum-verified individually",
+    },
+    Site {
+        file: "recovery/src/instant.rs",
+        func: "install_segment",
+        events: &["SegmentInstall"],
+        coverage: Coverage::Direct,
+        note: "batched install of one restored segment into the still-failed partition; crash verdicts leave the segment Failed for reboot re-entry",
+    },
+    Site {
         file: "wal/src/store.rs",
         func: "append",
         events: &[],
@@ -208,6 +236,7 @@ impl Config {
                 "crates/cache/src/".into(),
                 "crates/wal/src/".into(),
                 "crates/backup/src/".into(),
+                "crates/recovery/src/".into(),
             ],
             exempt: vec!["pagestore/src/fault.rs".into()],
             registry: REGISTRY,

@@ -60,6 +60,14 @@ pub enum IoEvent {
     /// A page is about to be fetched from a registered backup image in the
     /// generation catalog (consulted per page fetch during repair).
     ImageRead,
+    /// A sorted per-page record run is about to be fetched from a
+    /// generation's page-indexed media-log archive (consulted once per run
+    /// fetch during instant restore and index-assisted repair).
+    ArchiveRead,
+    /// A restored segment's pages are about to be installed into the
+    /// stable store (consulted once per segment install, before the pages
+    /// land on the replacement medium).
+    SegmentInstall,
 }
 
 impl fmt::Display for IoEvent {
@@ -74,6 +82,8 @@ impl fmt::Display for IoEvent {
             IoEvent::PageRead => "page-read",
             IoEvent::LogRead => "log-read",
             IoEvent::ImageRead => "image-read",
+            IoEvent::ArchiveRead => "archive-read",
+            IoEvent::SegmentInstall => "segment-install",
         };
         f.write_str(s)
     }

@@ -98,11 +98,16 @@ pub const CONTRACTS: &[(&str, &str, &str)] = &[
 /// - `CursorAdvance requires BackupCopy` — the sweep cursor only moves
 ///   past a batch after the batch's pages landed in the image; advancing
 ///   first would leave an unrecoverable hole on crash.
+/// - `SegmentInstall requires ArchiveRead` — an instant-restore segment
+///   install only happens after the segment's records were fetched from
+///   the generation's page-indexed archive (checksum-verified); installing
+///   first would write pages whose provenance was never validated.
 pub const ORDER_CONTRACTS: &[(&str, &str)] = &[
     ("PageFlush", "LogForce"),
     ("PageWrite", "LogForce"),
     ("BackupCopy", "PageRead"),
     ("CursorAdvance", "BackupCopy"),
+    ("SegmentInstall", "ArchiveRead"),
 ];
 
 #[cfg(any(test, feature = "witness"))]

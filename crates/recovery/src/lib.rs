@@ -46,15 +46,22 @@
 //!   scheduler partitions the log suffix into page-disjoint replay units
 //!   (union-find over touched pages) that replay on concurrent workers,
 //!   with batched group install into the stable store.
+//! * [`instant`] — instant restore: partitions become restore segments
+//!   (`Failed → Restoring → Restored`) fed by a generation's page-indexed
+//!   media-log archive; a background sweep restores them in order while a
+//!   priority queue gives foreground reads and writes on-demand segment
+//!   restore, so the store serves *during* media recovery.
 
 mod fxhash;
 pub mod install;
+pub mod instant;
 pub mod parallel;
 pub mod redo;
 pub mod repair;
 pub mod writegraph;
 
 pub use install::InstallGraph;
+pub use instant::{InstantError, InstantRestore, InstantStats, SegmentState};
 pub use parallel::{
     parallel_install_image, parallel_redo_scan, RecoveryConfig, ReplayPlan, ReplayUnit,
 };

@@ -332,7 +332,7 @@ struct PageSlot {
 /// value. `batch` bounds how many dirty pages may be pending before a
 /// drain, so memory stays proportional to the knob, as with the
 /// page-at-a-time path.
-struct GroupReplay<'a> {
+pub(crate) struct GroupReplay<'a> {
     // lint: guarded-by(immutable) shared store reference, never reseated
     store: &'a StableStore,
     // lint: guarded-by(immutable) drain threshold is fixed at construction
@@ -350,7 +350,7 @@ struct GroupReplay<'a> {
 impl<'a> GroupReplay<'a> {
     /// `pages_hint` pre-sizes the table (the plan already counted each
     /// unit's distinct pages); `0` means unknown.
-    fn new(store: &'a StableStore, batch: usize, pages_hint: usize) -> Self {
+    pub(crate) fn new(store: &'a StableStore, batch: usize, pages_hint: usize) -> Self {
         GroupReplay {
             store,
             batch: batch.max(2),
@@ -377,7 +377,7 @@ impl<'a> GroupReplay<'a> {
     }
 
     /// Record a replayed write; drains when `batch` dirty pages pend.
-    fn set(&mut self, id: PageId, lsn: Lsn, data: Bytes) -> Result<(), RedoError> {
+    pub(crate) fn set(&mut self, id: PageId, lsn: Lsn, data: Bytes) -> Result<(), RedoError> {
         lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         match self.table.entry(id) {
             Entry::Occupied(mut e) => {
@@ -453,7 +453,7 @@ impl<'a> GroupReplay<'a> {
 
     /// Install every dirty slot as contiguous runs. Slots stay resident
     /// (now clean) so later records still read locally.
-    fn drain(&mut self) -> Result<(), RedoError> {
+    pub(crate) fn drain(&mut self) -> Result<(), RedoError> {
         lob_pagestore::witness::access_exclusive("GroupReplay.table", self.unit);
         if self.dirty == 0 {
             return Ok(());

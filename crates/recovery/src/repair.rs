@@ -180,6 +180,14 @@ pub struct RepairReport {
     pub generations_tried: Vec<u64>,
     /// Redo-start LSN of the generation used.
     pub start_lsn: Lsn,
+    /// Log records the repair had to *read* to build and replay the
+    /// closure: the full suffix length on the scan path, or the fetched
+    /// run/control records (plus any archive catch-up tail) when the
+    /// generation's page-indexed archive served the closure.
+    pub records_scanned: u64,
+    /// Whether the page-indexed media-log archive supplied the closure
+    /// records (instead of a full log-suffix scan).
+    pub index_used: bool,
     /// Operations replayed by the closure scan.
     pub records_replayed: u64,
     /// Transient-error retries spent across all fetches.
@@ -195,12 +203,15 @@ impl fmt::Display for RepairReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "repaired {} from backup {} (closure {} pages, {} records replayed from {}, {} generation(s) tried, {} retries / {} ticks)",
+            "repaired {} from backup {} (closure {} pages, {} records replayed from {}, {} of {} scanned records via {}, {} generation(s) tried, {} retries / {} ticks)",
             self.page,
             self.generation_used,
             self.closure.len(),
             self.records_replayed,
             self.start_lsn,
+            self.records_replayed,
+            self.records_scanned,
+            if self.index_used { "archive index" } else { "suffix scan" },
             self.generations_tried.len(),
             self.retries,
             self.backoff_ticks,
