@@ -46,8 +46,8 @@ fn two_partition_config(
         cache_capacity: None,
         policy: lob_core::BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
-        flush_policy: lob_core::FlushPolicy::Exact,
         recovery: lob_core::RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     }
 }
 

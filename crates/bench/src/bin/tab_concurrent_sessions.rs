@@ -1,0 +1,343 @@
+//! **PR 8** — concurrent multi-session throughput under a live backup
+//! sweep.
+//!
+//! The paper's premise is a database that stays *on-line* — updates keep
+//! committing — while the backup sweeps (§1.2, §3). The single-owner
+//! [`lob_core::Engine`] demonstrates correctness of that protocol but
+//! serializes every session behind `&mut self`; the
+//! [`lob_core::EngineService`] front-end is the concurrent deployment
+//! shape: per-domain write paths, a sharded cache, and a group-commit
+//! scheduler batching concurrent sessions' log forces into shared fsyncs.
+//!
+//! This experiment measures end-to-end session throughput against a
+//! **sync file log** (every commit durable, `fsync` and all — the regime
+//! the paper's numbers assume) while an on-line backup sweep of domain 0
+//! loops continuously. The baseline arm is the single-session driver
+//! with group commit disabled: one commit, one force, one fsync — what
+//! the pre-service engine paid. The scaled arms run 2 and 4 sessions in
+//! disjoint domains with the group-commit window open, so concurrent
+//! commits ride one leader's fsync.
+//!
+//! Targets are drawn Zipf(0.99) per partition ([`lob_bench::zipf`]) in
+//! two mixes — write-heavy (90% committed writes: the fsync-bound
+//! profile group commit exists for) and read-mostly (10% writes: the
+//! cache-shard-bound profile) — so the scaling number reflects hot-set
+//! contention, not a uniform-access artifact.
+//!
+//! Every timed arm is byte-verified: the per-session `(lsn, body)` logs
+//! are merged in LSN order into the sequential [`ShadowOracle`] and the
+//! drained store must match page-for-page. A fast wrong front-end would
+//! be worthless.
+//!
+//! `--json` mode writes `results/BENCH_8.json` with the sessions sweep
+//! and the headline `speedup_at_4_sessions` number CI asserts on.
+
+use lob_bench::zipf::{SessionMix, SessionOp, SessionWorkload};
+use lob_core::{
+    CommitConfig, DomainId, EngineConfig, EngineService, LogBacking, Lsn, OpBody, PartitionSpec,
+    Tracking,
+};
+use lob_harness::{ShadowOracle, Table};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const PARTITIONS: u32 = 4;
+const PAGES_PER_PARTITION: u32 = 256;
+const PAGE_SIZE: usize = 256;
+
+/// Total session operations per timed arm, split evenly across the arm's
+/// sessions so every arm does identical work.
+const TOTAL_OPS: usize = 2048;
+
+/// YCSB-default skew.
+const THETA: f64 = 0.99;
+
+/// Group-commit gather window for the multi-session arms — sized at
+/// about one device fsync, so followers arriving while the leader would
+/// otherwise be waiting on the platter join the group instead.
+const GROUP_DELAY_MICROS: u64 = 400;
+
+/// Pages per sweep store round-trip.
+const SWEEP_BATCH: u32 = 8;
+
+/// Steady state: best of this many rounds per arm, rounds interleaved
+/// across arms so host noise lands on every arm alike.
+const ROUNDS: usize = 3;
+
+const SESSION_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn build_service(dir: &Path, tag: &str, sessions: usize) -> Arc<EngineService> {
+    // lint:allow(panic) bench setup: aborting the experiment binary is correct
+    let svc = EngineService::new(EngineConfig {
+        page_size: PAGE_SIZE,
+        partitions: (0..PARTITIONS)
+            .map(|_| PartitionSpec {
+                pages: PAGES_PER_PARTITION,
+            })
+            .collect(),
+        tracking: Tracking::PerPartition,
+        commit: CommitConfig {
+            // The single-session driver: no gather window, every commit
+            // pays its own force. The scaled arms open the window.
+            group_commit_delay_micros: if sessions > 1 { GROUP_DELAY_MICROS } else { 0 },
+            group_commit_count: sessions as u32,
+            sync_file_log: true,
+            ..CommitConfig::default()
+        },
+        log: LogBacking::File(dir.join(format!("{tag}.log"))),
+        ..EngineConfig::small()
+    })
+    .expect("service");
+    Arc::new(svc)
+}
+
+struct ArmResult {
+    ops_per_sec: f64,
+    backups_completed: u64,
+    batching_factor: f64,
+}
+
+/// One timed arm: `sessions` threads drain `TOTAL_OPS` zipfian ops
+/// (commit-per-write) while a sweep thread loops the on-line backup
+/// protocol over domain 0. Byte-verified against the sequential oracle.
+fn run_arm(dir: &Path, sessions: usize, mix: SessionMix, seed: u64) -> ArmResult {
+    let tag = format!("{}-{}-{}", mix.label(), sessions, seed);
+    let svc = build_service(dir, &tag, sessions);
+    let ops_each = TOTAL_OPS / sessions;
+
+    let stop = AtomicBool::new(false);
+    let backups = AtomicU64::new(0);
+    let mut logs: Vec<Vec<(Lsn, OpBody)>> = Vec::new();
+    let forces_before = svc.log_stats().forces;
+
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        // The live sweep: continuous rounds of the paper's on-line backup
+        // over domain 0, racing the writers (including session 0, which
+        // writes domain 0's pages).
+        let sweeper = {
+            let svc = &svc;
+            let stop = &stop;
+            let backups = &backups;
+            scope.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // lint:allow(panic) bench: a sweep failure is a real bug
+                    let mut run = svc.begin_backup_of(DomainId(0), 8).expect("sweep begin");
+                    while !svc
+                        .backup_step_batch(&mut run, SWEEP_BATCH)
+                        .expect("sweep step")
+                    {}
+                    let image = svc.complete_backup(run).expect("sweep complete");
+                    svc.release_backup(image.backup_id);
+                    backups.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let mut handles = Vec::new();
+        for t in 0..sessions {
+            let svc = &svc;
+            handles.push(scope.spawn(move || {
+                let session = svc.session();
+                let mut w = SessionWorkload::new(
+                    seed ^ (t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    t as u32 % PARTITIONS,
+                    PAGES_PER_PARTITION,
+                    PAGE_SIZE,
+                    THETA,
+                    mix,
+                );
+                let mut logged: Vec<(Lsn, OpBody)> = Vec::with_capacity(ops_each);
+                for _ in 0..ops_each {
+                    match w.next_op() {
+                        SessionOp::Read(p) => {
+                            // lint:allow(panic) bench: reads must succeed
+                            session.read_page(p).expect("read");
+                        }
+                        SessionOp::Write(body) => {
+                            let lsn = session.execute(body.clone()).expect("execute");
+                            session.commit().expect("commit");
+                            logged.push((lsn, body));
+                        }
+                    }
+                }
+                logged
+            }));
+        }
+        for h in handles {
+            logs.push(h.join().expect("session thread"));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        stop.store(true, Ordering::SeqCst);
+        sweeper.join().expect("sweep thread");
+        elapsed
+    });
+
+    // Byte-verify the arm against the sequential oracle before trusting
+    // its number.
+    svc.flush_all().expect("drain");
+    let mut merged: Vec<(Lsn, OpBody)> = logs.into_iter().flatten().collect();
+    merged.sort_by_key(|(l, _)| *l);
+    let mut oracle = ShadowOracle::new(PAGE_SIZE);
+    for (lsn, body) in &merged {
+        oracle.apply(*lsn, body).expect("oracle apply");
+    }
+    for (id, want) in oracle.state_at(Lsn::MAX) {
+        let got = svc.store().read_page(id).expect("verify read");
+        assert!(
+            got.data() == &want,
+            "page {id} diverged from the sequential oracle"
+        );
+    }
+
+    let stats = svc.log_stats();
+    let forces = stats.forces.saturating_sub(forces_before).max(1);
+    ArmResult {
+        ops_per_sec: TOTAL_OPS as f64 / elapsed,
+        backups_completed: backups.load(Ordering::SeqCst),
+        batching_factor: stats.forced_frames as f64 / forces as f64,
+    }
+}
+
+struct MixSweep {
+    mix: SessionMix,
+    /// `(sessions, best)` per sweep point.
+    rows: Vec<(usize, ArmResult)>,
+}
+
+fn run() -> Vec<MixSweep> {
+    let dir = std::env::temp_dir().join(format!("lob-bench8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let mut sweeps: Vec<MixSweep> = [SessionMix::WriteHeavy, SessionMix::ReadMostly]
+        .into_iter()
+        .map(|mix| MixSweep {
+            mix,
+            rows: Vec::new(),
+        })
+        .collect();
+
+    // Warm-up (untimed): one small arm to charge first-touch costs.
+    run_arm(&dir, 1, SessionMix::WriteHeavy, 0xFEED);
+
+    for round in 0..ROUNDS {
+        for sweep in &mut sweeps {
+            for (i, &sessions) in SESSION_SWEEP.iter().enumerate() {
+                let res = run_arm(&dir, sessions, sweep.mix, 0xB8 + round as u64);
+                match sweep.rows.get_mut(i) {
+                    Some((_, best)) => {
+                        if res.ops_per_sec > best.ops_per_sec {
+                            *best = res;
+                        }
+                    }
+                    None => sweep.rows.push((sessions, res)),
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    sweeps
+}
+
+fn speedup_at(sweep: &MixSweep, sessions: usize) -> f64 {
+    let base = sweep.rows[0].1.ops_per_sec;
+    let at = sweep
+        .rows
+        .iter()
+        .find(|(s, _)| *s == sessions)
+        .map(|(_, r)| r.ops_per_sec)
+        .expect("sweep row");
+    at / base
+}
+
+/// `--json`: write `results/BENCH_8.json`.
+fn json_mode() {
+    let sweeps = run();
+    let mut mix_blocks = String::new();
+    for (mi, sweep) in sweeps.iter().enumerate() {
+        if mi > 0 {
+            mix_blocks.push_str(",\n");
+        }
+        let mut rows = String::new();
+        for (i, (sessions, r)) in sweep.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "      {{\"sessions\": {sessions}, \"ops_per_sec\": {:.0}, \
+\"group_batching_factor\": {:.2}, \"backups_completed\": {}}}",
+                r.ops_per_sec, r.batching_factor, r.backups_completed
+            ));
+        }
+        mix_blocks.push_str(&format!(
+            "    {{\"mix\": \"{}\", \"sessions_sweep\": [\n{rows}\n    ]}}",
+            sweep.mix.label()
+        ));
+    }
+    let wh = speedup_at(&sweeps[0], 4);
+    let rm = speedup_at(&sweeps[1], 4);
+    let json = format!(
+        "{{\n\
+        \x20 \"experiment\": \"concurrent_sessions\",\n\
+        \x20 \"partitions\": {PARTITIONS},\n\
+        \x20 \"pages_per_partition\": {PAGES_PER_PARTITION},\n\
+        \x20 \"page_size\": {PAGE_SIZE},\n\
+        \x20 \"total_ops\": {TOTAL_OPS},\n\
+        \x20 \"zipf_theta\": {THETA},\n\
+        \x20 \"sync_file_log\": true,\n\
+        \x20 \"live_backup_sweep\": true,\n\
+        \x20 \"mixes\": [\n{mix_blocks}\n  ],\n\
+        \x20 \"speedup_at_4_sessions\": {wh:.2},\n\
+        \x20 \"read_mostly_speedup_at_4_sessions\": {rm:.2},\n\
+        \x20 \"oracle_verified\": true\n\
+        }}\n"
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_8.json", &json).expect("write BENCH_8.json");
+    println!("{json}");
+    assert!(
+        wh >= 3.0,
+        "4 concurrent sessions must deliver >= 3x the single-session driver \
+         on the write-heavy mix (got {wh:.2}x)"
+    );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        json_mode();
+        return;
+    }
+    println!(
+        "concurrent sessions: {PARTITIONS} domains x {PAGES_PER_PARTITION} pages x \
+{PAGE_SIZE} B, {TOTAL_OPS} zipf({THETA}) ops/arm, sync file log, live domain-0 sweep"
+    );
+    println!();
+    let sweeps = run();
+    for sweep in &sweeps {
+        let mut t = Table::new(vec![
+            "mix",
+            "sessions",
+            "ops/sec",
+            "frames/force",
+            "sweeps",
+            "speedup",
+        ]);
+        let base = sweep.rows[0].1.ops_per_sec;
+        for (sessions, r) in &sweep.rows {
+            t.row(vec![
+                sweep.mix.label().to_string(),
+                format!("{sessions}"),
+                format!("{:.0}", r.ops_per_sec),
+                format!("{:.2}", r.batching_factor),
+                format!("{}", r.backups_completed),
+                format!("{:.1}x", r.ops_per_sec / base),
+            ]);
+        }
+        println!("{t}");
+    }
+    println!(
+        "Every arm commits each write durably (fsync) and is byte-verified \
+against the sequential oracle; the scaled arms' win is the group-commit \
+scheduler sharing one leader fsync across concurrent committers."
+    );
+}

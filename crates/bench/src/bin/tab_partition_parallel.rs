@@ -22,8 +22,8 @@
 //! on a real file-backed log.
 
 use lob_core::{
-    BackupImage, BackupPolicy, Discipline, DomainId, Engine, EngineConfig, FlushPolicy, Lsn,
-    PageId, PartitionId, PartitionSpec, Tracking,
+    BackupImage, BackupPolicy, Discipline, DomainId, Engine, EngineConfig, Lsn, PageId,
+    PartitionId, PartitionSpec, Tracking,
 };
 use lob_harness::{ShadowOracle, Table, WorkloadGen};
 use lob_wal::{FileLogStore, LogStore};
@@ -51,8 +51,8 @@ fn config(partitions: u32, pages_per_partition: u32, page_size: usize) -> Engine
         cache_capacity: None,
         policy: BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
-        flush_policy: FlushPolicy::Exact,
         recovery: lob_core::RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     }
 }
 

@@ -26,10 +26,12 @@
 //! modes.
 
 use lob_core::{
-    BackupPolicy, Discipline, Engine, EngineConfig, FlushPolicy, GraphMode, LogBacking, PageId,
-    PartitionSpec, Tracking,
+    BackupPolicy, Discipline, Engine, EngineConfig, GraphMode, LogBacking, PageId, PartitionSpec,
+    Tracking,
 };
 use lob_harness::{ShadowOracle, WorkloadGen};
+
+pub mod zipf;
 
 /// Build the engine for `config`, write every page of every partition
 /// once, quiesce, and zero the stats.
@@ -98,8 +100,8 @@ pub fn prefilled_multi_engine(
             cache_capacity: None,
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
-            flush_policy: FlushPolicy::Exact,
             recovery: lob_core::RecoveryConfig::sequential(),
+            ..EngineConfig::small()
         },
         seed,
     )

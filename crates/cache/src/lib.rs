@@ -26,6 +26,9 @@ use lob_pagestore::{FaultHook, FaultVerdict, IoEvent, Lsn, Page, PageId, StableS
 use std::collections::HashMap;
 use std::fmt;
 
+pub mod shard;
+pub use shard::ShardedCache;
+
 /// Errors from cache operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CacheError {
@@ -227,14 +230,7 @@ impl CacheManager {
     ) -> Result<(), CacheError> {
         // Validate everything before writing anything (atomicity).
         for &id in ids {
-            let f = self.frames.get(&id).ok_or(CacheError::NotResident(id))?;
-            if f.page.lsn() > durable {
-                return Err(CacheError::WalViolation {
-                    page: id,
-                    page_lsn: f.page.lsn(),
-                    durable,
-                });
-            }
+            self.validate_flush(id, durable)?;
         }
         // Ordering witness: after validation, before any install — a call
         // rejected above writes nothing and must not count as a flush.
@@ -242,27 +238,51 @@ impl CacheManager {
             lob_pagestore::witness::io_order("PageFlush");
         }
         for &id in ids {
-            if let Some(h) = &self.hook {
-                if matches!(
-                    h(IoEvent::PageFlush, Some(id)),
-                    FaultVerdict::Crash | FaultVerdict::TornWrite
-                ) {
-                    // Crash after the flush decision, before the store
-                    // write: pages written earlier in this call stay
-                    // written (each page write is individually atomic).
-                    return Err(CacheError::Store(StoreError::InjectedCrash));
-                }
-            }
-            let f = self
-                .frames
-                .get_mut(&id)
-                .ok_or(CacheError::NotResident(id))?;
-            // lint:allow(durability-order) the WAL guard above rejects any frame with lsn > durable, so the caller's force is already proven
-            store.write_page(id, f.page.clone())?;
-            f.dirty = false;
-            f.rlsn = Lsn::NULL;
-            self.stats.pages_flushed += 1;
+            self.flush_validated(id, store)?;
         }
+        Ok(())
+    }
+
+    /// The WAL-protocol check of [`CacheManager::write_out`] for one page,
+    /// without writing anything. [`shard::ShardedCache`] uses
+    /// this to validate a whole flush set across shards before any shard
+    /// writes.
+    pub fn validate_flush(&self, id: PageId, durable: Lsn) -> Result<(), CacheError> {
+        let f = self.frames.get(&id).ok_or(CacheError::NotResident(id))?;
+        if f.page.lsn() > durable {
+            return Err(CacheError::WalViolation {
+                page: id,
+                page_lsn: f.page.lsn(),
+                durable,
+            });
+        }
+        Ok(())
+    }
+
+    /// Write one already-validated page to `S` and mark it clean. Callers
+    /// must have passed [`CacheManager::validate_flush`] for the page
+    /// under the same durable LSN first.
+    pub fn flush_validated(&mut self, id: PageId, store: &StableStore) -> Result<(), CacheError> {
+        if let Some(h) = &self.hook {
+            if matches!(
+                h(IoEvent::PageFlush, Some(id)),
+                FaultVerdict::Crash | FaultVerdict::TornWrite
+            ) {
+                // Crash after the flush decision, before the store
+                // write: pages written earlier in this call stay
+                // written (each page write is individually atomic).
+                return Err(CacheError::Store(StoreError::InjectedCrash));
+            }
+        }
+        let f = self
+            .frames
+            .get_mut(&id)
+            .ok_or(CacheError::NotResident(id))?;
+        // lint:allow(durability-order) the WAL guard in validate_flush rejects any frame with lsn > durable, so the caller's force is already proven
+        store.write_page(id, f.page.clone())?;
+        f.dirty = false;
+        f.rlsn = Lsn::NULL;
+        self.stats.pages_flushed += 1;
         Ok(())
     }
 

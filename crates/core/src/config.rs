@@ -79,6 +79,68 @@ pub enum FlushPolicy {
     Group,
 }
 
+/// Commit batching: how log forces are scheduled, and what "durable"
+/// means on a file-backed log. One coherent home for the knobs that used
+/// to be scattered (the flush policy lived alone on [`EngineConfig`];
+/// group-commit windows were hard-coded in benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitConfig {
+    /// Force batching policy (see [`FlushPolicy`]).
+    pub flush_policy: FlushPolicy,
+    /// How long a group-commit leader waits for co-committers before
+    /// dispatching the group force, in microseconds. `0` disables the
+    /// gather window (each force dispatches immediately, still batching
+    /// whatever is already appended) — also the deterministic setting the
+    /// seeded virtual scheduler requires.
+    pub group_commit_delay_micros: u64,
+    /// Dispatch the group early once this many committers (leader
+    /// included) are waiting. `<= 1` disables gathering.
+    pub group_commit_count: u32,
+    /// `fsync` the file-backed log on every force, so "durable" means on
+    /// the platter rather than in the OS page cache. Ignored for the
+    /// in-memory log. Off by default: drills model durability through the
+    /// fault hook and should not pay real fsync latency.
+    pub sync_file_log: bool,
+}
+
+impl Default for CommitConfig {
+    fn default() -> CommitConfig {
+        CommitConfig {
+            flush_policy: FlushPolicy::Exact,
+            group_commit_delay_micros: 200,
+            group_commit_count: 8,
+            sync_file_log: false,
+        }
+    }
+}
+
+impl CommitConfig {
+    /// The default commit configuration with the given flush policy.
+    pub fn with_policy(flush_policy: FlushPolicy) -> CommitConfig {
+        CommitConfig {
+            flush_policy,
+            ..CommitConfig::default()
+        }
+    }
+}
+
+/// Backup sweep batching defaults, used when a caller does not pass
+/// explicit knobs: progress steps per domain and contiguous pages copied
+/// per store round-trip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Progress steps per domain sweep.
+    pub steps: u32,
+    /// Contiguous pages copied per store round-trip.
+    pub batch: u32,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig { steps: 8, batch: 8 }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -99,8 +161,16 @@ pub struct EngineConfig {
     pub policy: BackupPolicy,
     /// Durable log backing.
     pub log: LogBacking,
-    /// Log force batching.
-    pub flush_policy: FlushPolicy,
+    /// Commit batching: flush policy, group-commit window, fsync
+    /// discipline.
+    pub commit: CommitConfig,
+    /// Backup sweep batching defaults.
+    pub sweep: SweepConfig,
+    /// Shards of the concurrent page cache used by
+    /// [`crate::EngineService`] (clamped to at least 1). The
+    /// single-threaded [`crate::Engine`] ignores this — its cache needs no
+    /// lock at all.
+    pub cache_shards: usize,
     /// Parallel recovery knobs ([`crate::Engine::parallel_recover`] /
     /// [`crate::Engine::parallel_restore`]): replay workers and group
     /// install batch size. The default is the sequential legacy path.
@@ -121,7 +191,9 @@ impl EngineConfig {
             cache_capacity: None,
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
-            flush_policy: FlushPolicy::Exact,
+            commit: CommitConfig::default(),
+            sweep: SweepConfig::default(),
+            cache_shards: 8,
             recovery: RecoveryConfig::sequential(),
         }
     }
@@ -154,5 +226,28 @@ mod tests {
         let c = EngineConfig::single(128, 512);
         assert_eq!(c.partitions[0].pages, 128);
         assert_eq!(c.page_size, 512);
+    }
+
+    #[test]
+    fn commit_defaults_are_exact_and_unsynced() {
+        let c = CommitConfig::default();
+        assert_eq!(c.flush_policy, FlushPolicy::Exact, "measurement-friendly");
+        assert!(!c.sync_file_log, "drills must not pay real fsync latency");
+        assert!(c.group_commit_count > 1, "grouping on by default");
+        assert!(c.group_commit_delay_micros > 0);
+        assert_eq!(EngineConfig::small().commit, c, "small() takes defaults");
+    }
+
+    #[test]
+    fn sweep_and_shard_defaults() {
+        let c = EngineConfig::small();
+        assert_eq!(c.sweep, SweepConfig::default());
+        assert!(c.sweep.steps >= 1 && c.sweep.batch >= 1);
+        assert!(c.cache_shards >= 1, "sharded cache never degenerates to 0");
+    }
+
+    #[test]
+    fn flush_policy_default_is_exact() {
+        assert_eq!(FlushPolicy::default(), FlushPolicy::Exact);
     }
 }

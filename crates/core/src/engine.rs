@@ -490,7 +490,7 @@ impl Engine {
     /// Forcing beyond `required` is always WAL-correct — it only makes
     /// records durable early.
     fn force_target(&self, required: Lsn) -> Lsn {
-        match self.config.flush_policy {
+        match self.config.commit.flush_policy {
             FlushPolicy::Exact => required,
             FlushPolicy::Group => Lsn::MAX,
         }
@@ -2134,14 +2134,14 @@ fn is_healable_read_err(e: &StoreError) -> bool {
 }
 
 /// Surface quarantine as its typed engine error; everything else wraps.
-fn lift_store_err(e: StoreError) -> EngineError {
+pub(crate) fn lift_store_err(e: StoreError) -> EngineError {
     match e {
         StoreError::Quarantined(p) => EngineError::Quarantined(p),
         e => EngineError::Store(e),
     }
 }
 
-fn lift_cache_err(e: CacheError) -> EngineError {
+pub(crate) fn lift_cache_err(e: CacheError) -> EngineError {
     match e {
         CacheError::Store(s) => lift_store_err(s),
         e => EngineError::Cache(e),

@@ -65,11 +65,16 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod service;
 pub mod stats;
 
-pub use config::{BackupPolicy, Discipline, EngineConfig, FlushPolicy, LogBacking, Tracking};
+pub use config::{
+    BackupPolicy, CommitConfig, Discipline, EngineConfig, FlushPolicy, LogBacking, SweepConfig,
+    Tracking,
+};
 pub use engine::{Engine, LinkedBackupRun};
 pub use error::EngineError;
+pub use service::{EngineService, Session};
 pub use stats::EngineStats;
 
 // Re-export the vocabulary types downstream users need.

@@ -37,8 +37,8 @@ use crate::fault::{sample_indices, FaultKind, FaultPlan};
 use crate::shadow::ShadowOracle;
 use crate::workload::WorkloadGen;
 use lob_core::{
-    BackupPolicy, Discipline, Engine, EngineConfig, FlushPolicy, GraphMode, LogBacking, Lsn,
-    OpBody, PageId, PartitionId, PartitionSpec, Tracking,
+    BackupPolicy, Discipline, Engine, EngineConfig, GraphMode, LogBacking, Lsn, OpBody, PageId,
+    PartitionId, PartitionSpec, Tracking,
 };
 use lob_pagestore::IoEvent;
 
@@ -168,8 +168,8 @@ impl InstantDrillRunner {
             cache_capacity: None,
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
-            flush_policy: FlushPolicy::Exact,
             recovery: lob_recovery::RecoveryConfig::sequential(),
+            ..EngineConfig::small()
         })
         .map_err(|e| e.to_string())?;
         let mut oracle = ShadowOracle::new(cfg.page_size);

@@ -24,6 +24,12 @@
 //!   verified foreground reads and writes with background sweep steps
 //!   under an armed fault plan, including mid-restore kills that re-enter
 //!   restore through [`lob_core::Engine::recover_instant`].
+//! * [`sessions`] — [`VirtualScheduler`]: a seeded deterministic
+//!   interleaver of multi-session scripts over the concurrent
+//!   [`lob_core::EngineService`]; and [`SessionDrillRunner`]: threaded
+//!   session races with live backup sweeps, optional crash injection
+//!   inside the group-commit force, armed dynamic witnesses, and
+//!   LSN-merged shadow-oracle verification.
 //! * [`torture`] — [`TortureRunner`]: the crash-point torture harness —
 //!   re-run a seeded workload crashing at every (or a sampled set of) I/O
 //!   event(s), recover, and require byte-equality with the shadow oracle.
@@ -34,6 +40,7 @@ pub mod instant;
 pub mod parallel;
 pub mod report;
 pub mod scenarios;
+pub mod sessions;
 pub mod shadow;
 pub mod sim;
 pub mod torture;
@@ -50,6 +57,9 @@ pub use parallel::{
 pub use report::Table;
 pub use scenarios::{
     fig1_split_scenario, random_session, Fig1Outcome, SessionConfig, SessionReport,
+};
+pub use sessions::{
+    SessionDrillConfig, SessionDrillReport, SessionDrillRunner, SessionStep, VirtualScheduler,
 };
 pub use shadow::ShadowOracle;
 pub use sim::{run_fig5, Fig5Config, Fig5Result, SimDiscipline};

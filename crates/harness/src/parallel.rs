@@ -30,7 +30,7 @@ use crate::shadow::ShadowOracle;
 use crate::workload::WorkloadGen;
 use lob_core::{
     BackupImage, BackupPolicy, BackupRun, Discipline, DomainId, Engine, EngineConfig, EngineError,
-    FlushPolicy, GraphMode, LogBacking, Lsn, PageId, PartitionId, PartitionSpec, Tracking,
+    GraphMode, LogBacking, Lsn, PageId, PartitionId, PartitionSpec, Tracking,
 };
 use lob_pagestore::IoEvent;
 use std::sync::Arc;
@@ -185,8 +185,8 @@ impl ParallelDrillRunner {
             cache_capacity: None,
             policy: BackupPolicy::Protocol,
             log: LogBacking::Memory,
-            flush_policy: FlushPolicy::Exact,
             recovery: lob_recovery::RecoveryConfig::sequential(),
+            ..EngineConfig::small()
         })
         .map_err(|e| e.to_string())?;
         let mut oracle = ShadowOracle::new(cfg.page_size);

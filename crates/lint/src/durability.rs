@@ -43,6 +43,7 @@ const GENERATORS: &[(&str, &str)] = &[
     ("force", "LogForce"),
     ("force_all", "LogForce"),
     ("force_log", "LogForce"),
+    ("group_force", "LogForce"),
     ("read_page", "PageRead"),
     ("read_run", "PageRead"),
     ("copy_pages_checked", "BackupCopy"),

@@ -64,10 +64,10 @@ pub const REGISTRY: &[Site] = &[
     },
     Site {
         file: "cache/src/lib.rs",
-        func: "write_out",
+        func: "flush_validated",
         events: &["PageFlush"],
         coverage: Coverage::Direct,
-        note: "per-page flush decision, consulted before the WAL check and the store write",
+        note: "per-page flush decision, consulted after the WAL check and before the store write; write_out and ShardedCache::write_out delegate here",
     },
     Site {
         file: "wal/src/manager.rs",

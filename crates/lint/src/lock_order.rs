@@ -196,6 +196,57 @@ impl Config {
                     method: "changed_count",
                     lock: "backup/coordinator.changed",
                 },
+                // The group-commit log's guard helpers (witness
+                // instrumentation lives inside them) and the public
+                // methods that acquire the wrapped manager internally —
+                // surfaced so any caller-side lock held across them joins
+                // the graph.
+                Alias {
+                    file_contains: "wal/src/group.rs",
+                    recv: "self",
+                    method: "manager_guard",
+                    lock: "wal/group.manager",
+                },
+                Alias {
+                    file_contains: "wal/src/group.rs",
+                    recv: "self",
+                    method: "state_guard",
+                    lock: "wal/group.state",
+                },
+                Alias {
+                    file_contains: "wal/src/group.rs",
+                    recv: "self",
+                    method: "lead_force",
+                    lock: "wal/group.manager",
+                },
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "group_force",
+                    lock: "wal/group.state",
+                },
+                // The sharded cache hands out per-shard guards through a
+                // helper.
+                Alias {
+                    file_contains: "",
+                    recv: "",
+                    method: "lock_shard",
+                    lock: "cache/shard.shards",
+                },
+                // The engine service's guard helpers (domain write paths
+                // and backup bookkeeping).
+                Alias {
+                    file_contains: "core/src/service.rs",
+                    recv: "self",
+                    method: "lock_domain",
+                    lock: "core/service.domains",
+                },
+                Alias {
+                    file_contains: "core/src/service.rs",
+                    recv: "self",
+                    method: "lock_meta",
+                    lock: "core/service.meta",
+                },
             ],
         }
     }

@@ -171,7 +171,7 @@ pub struct ModelError {
 }
 
 impl ModelError {
-    fn new(context: impl Into<String>, detail: impl fmt::Display) -> ModelError {
+    pub(crate) fn new(context: impl Into<String>, detail: impl fmt::Display) -> ModelError {
         ModelError {
             context: context.into(),
             detail: detail.to_string(),

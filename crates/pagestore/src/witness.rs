@@ -79,6 +79,11 @@ pub const CONTRACTS: &[(&str, &str, &str)] = &[
     ("GroupReplay", "table", "unit-local"),
     ("GroupReplay", "dirty", "unit-local"),
     ("GroupReplay", "unit", "immutable"),
+    ("GroupCommitLog", "manager", "lock"),
+    ("GroupCommitLog", "state", "lock"),
+    ("ShardedCache", "shards", "lock"),
+    ("EngineService", "domains", "lock"),
+    ("EngineService", "meta", "lock"),
 ];
 
 /// Declared durability-ordering contracts, as `(consumer, requires)` rows:

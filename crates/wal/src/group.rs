@@ -1,0 +1,452 @@
+//! # Group-commit scheduler
+//!
+//! [`GroupCommitLog`] wraps a [`LogManager`] behind internal locks so many
+//! sessions can append and force concurrently, batching their forces into
+//! group commits: the first session needing durability becomes the
+//! **leader**, waits up to `delay` for up to `count` co-committers to
+//! arrive, then runs **one** [`LogManager::force`] covering the whole
+//! appended tail. Followers park on a condvar and read their outcome from
+//! the published durable watermark.
+//!
+//! The fault surface is unchanged by construction: the leader's single
+//! `LogManager::force` call is the only path to the store, so each group
+//! pays exactly one `LogForce` consult and one `LogAppend` consult per
+//! frame, identical to a single-threaded force of the same tail. A crash
+//! verdict mid-group fans the typed error out to every waiter whose goal
+//! the round failed to cover.
+//!
+//! Lock order (must stay acyclic with the engine's): `state` before
+//! `manager`. Appends take only `manager`; commit bookkeeping takes only
+//! `state`; the leader takes `state`, then `manager` (via
+//! [`GroupCommitLog::lead_force`]). Nothing ever takes `manager` first.
+
+use crate::{LogError, LogManager, LogRecord, RecordBody};
+use lob_pagestore::Lsn;
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A force round's failure, kept cloneable so one leader error can fan out
+/// to every waiter of the round ([`LogError`] is not `Clone`).
+#[derive(Debug, Clone)]
+enum GroupFailure {
+    /// The fault hook injected a crash (possibly after a durable prefix).
+    InjectedCrash,
+    /// A real store-level I/O failure, stringified.
+    Io(String),
+}
+
+impl GroupFailure {
+    fn of(e: &LogError) -> GroupFailure {
+        match e {
+            LogError::InjectedCrash => GroupFailure::InjectedCrash,
+            other => GroupFailure::Io(other.to_string()),
+        }
+    }
+
+    fn to_error(&self) -> LogError {
+        match self {
+            GroupFailure::InjectedCrash => LogError::InjectedCrash,
+            GroupFailure::Io(msg) => LogError::Io(std::io::Error::other(msg.clone())),
+        }
+    }
+}
+
+/// Group-commit bookkeeping, all under the `state` lock.
+#[derive(Debug, Default)]
+struct GroupState {
+    /// A leader is currently gathering or forcing.
+    leading: bool,
+    /// Followers parked on `completions` (leader excluded).
+    waiters: u32,
+    /// Completed force rounds (monotone; followers detect "my round ran").
+    rounds: u64,
+    /// Outcome of the most recent round, `None` on success.
+    failure: Option<GroupFailure>,
+}
+
+/// A [`LogManager`] shared by concurrent sessions with group-committed
+/// forces. See the module docs for the protocol and lock order.
+pub struct GroupCommitLog {
+    /// The wrapped single-writer log. Held briefly for appends; held by
+    /// the leader for the duration of one group force.
+    manager: Mutex<LogManager>,
+    /// Leader election and round bookkeeping.
+    state: Mutex<GroupState>,
+    // lint: guarded-by(state) waiters park here; waking re-acquires `state`
+    arrivals: Condvar,
+    // lint: guarded-by(state) round completions; waking re-acquires `state`
+    completions: Condvar,
+    // lint: guarded-by(immutable) gather window, fixed at construction
+    delay: Duration,
+    // lint: guarded-by(immutable) early-dispatch group size, fixed at construction
+    count: u32,
+    /// Published durable watermark (raw LSN), so sessions read commit
+    /// outcomes without any lock. Stored only under the `manager` lock,
+    /// so it is monotone.
+    durable: AtomicU64, // lint: atomic(acq-rel)
+    /// Last appended LSN (raw), mirrored under the `manager` lock.
+    appended: AtomicU64, // lint: atomic(acq-rel)
+}
+
+impl GroupCommitLog {
+    /// Wrap `manager`. A force leader waits up to `delay` for up to
+    /// `count` total committers before dispatching the group; `delay = 0`
+    /// or `count <= 1` disables gathering (each force dispatches
+    /// immediately, still batching whatever is already appended) — that is
+    /// also what keeps seeded virtual-scheduler drills deterministic.
+    pub fn new(manager: LogManager, delay: Duration, count: u32) -> GroupCommitLog {
+        let durable = manager.durable_lsn().raw();
+        let appended = manager.next_lsn().raw().saturating_sub(1);
+        GroupCommitLog {
+            manager: Mutex::new(manager),
+            state: Mutex::new(GroupState::default()),
+            arrivals: Condvar::new(),
+            completions: Condvar::new(),
+            delay,
+            count,
+            durable: AtomicU64::new(durable),
+            appended: AtomicU64::new(appended),
+        }
+    }
+
+    fn manager_guard(&self) -> MutexGuard<'_, LogManager> {
+        let g = self.manager.lock();
+        let _held = lob_pagestore::witness::hold("wal/group.manager");
+        lob_pagestore::witness::access("GroupCommitLog.manager");
+        g
+    }
+
+    fn state_guard(&self) -> MutexGuard<'_, GroupState> {
+        let g = self.state.lock();
+        let _held = lob_pagestore::witness::hold("wal/group.state");
+        lob_pagestore::witness::access("GroupCommitLog.state");
+        g
+    }
+
+    /// Append a record; returns its LSN. Volatile until a force covers it.
+    pub fn append_record(&self, body: RecordBody) -> Lsn {
+        let mut m = self.manager_guard();
+        let lsn = m.append(body);
+        self.appended.store(lsn.raw(), Ordering::Release);
+        lsn
+    }
+
+    /// Group-committed force: durably persist at least every appended
+    /// record with `lsn <= upto`. Equivalent to [`LogManager::force`] of
+    /// the whole appended tail, shared with whichever sessions commit in
+    /// the same window.
+    pub fn force(&self, upto: Lsn) -> Result<(), LogError> {
+        let goal = upto.raw().min(self.appended.load(Ordering::Acquire));
+        if self.durable.load(Ordering::Acquire) >= goal {
+            // Already durable. The caller's durability point exists all
+            // the same — mirror `LogManager::force`'s empty-tail witness.
+            lob_pagestore::witness::io_order("LogForce");
+            return Ok(());
+        }
+        let mut st = self.state_guard();
+        loop {
+            if self.durable.load(Ordering::Acquire) >= goal {
+                return Ok(());
+            }
+            if !st.leading {
+                st.leading = true;
+                st = self.gather(st);
+                drop(st);
+                let outcome = self.lead_force();
+                self.publish_round(outcome.as_ref().err().map(GroupFailure::of));
+                if self.durable.load(Ordering::Acquire) >= goal {
+                    return Ok(());
+                }
+                // The round did not reach our goal: only a gated/failed
+                // suffix explains that (the leader forces the whole tail).
+                return outcome;
+            }
+            // Follow: register, wake a gathering leader, park until the
+            // in-flight round publishes.
+            st.waiters += 1;
+            // lint:allow(guarded-by) `st` from state_guard() is held here
+            self.arrivals.notify_one();
+            let entry_round = st.rounds;
+            while st.rounds == entry_round && self.durable.load(Ordering::Acquire) < goal {
+                // lint:allow(guarded-by) waiting yields the held `st` guard
+                st = self.completions.wait(st);
+            }
+            st.waiters -= 1;
+            if self.durable.load(Ordering::Acquire) >= goal {
+                return Ok(());
+            }
+            if let Some(f) = &st.failure {
+                return Err(f.to_error());
+            }
+            // Round succeeded but our goal is newer (we re-registered
+            // after a completed round): loop — we may now lead.
+        }
+    }
+
+    /// Publish a completed round: step down as leader, bump the round
+    /// counter, record the outcome, wake every parked follower.
+    fn publish_round(&self, failure: Option<GroupFailure>) {
+        let mut st = self.state_guard();
+        st.leading = false;
+        st.rounds = st.rounds.wrapping_add(1);
+        st.failure = failure;
+        // lint:allow(guarded-by) `st` from state_guard() is held here
+        self.completions.notify_all();
+    }
+
+    /// Leader's gather window: wait up to `delay` for the group to fill.
+    fn gather<'a>(&self, mut st: MutexGuard<'a, GroupState>) -> MutexGuard<'a, GroupState> {
+        if self.count <= 1 || self.delay.is_zero() {
+            return st;
+        }
+        let deadline = Instant::now() + self.delay;
+        while st.waiters + 1 < self.count {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            // lint:allow(guarded-by) waiting yields the held `st` guard
+            let (g, timed_out) = self.arrivals.wait_timeout(st, deadline - now);
+            st = g;
+            if timed_out {
+                break;
+            }
+        }
+        st
+    }
+
+    /// The leader's single dispatch: one [`LogManager::force`] over the
+    /// whole tail — one `LogForce` consult per group, per-frame
+    /// `LogAppend` gating unchanged. Publishes the durable watermark
+    /// (even after a partial, fault-gated force).
+    fn lead_force(&self) -> Result<(), LogError> {
+        let mut m = self.manager_guard();
+        let r = m.force(Lsn::MAX);
+        self.durable.store(m.durable_lsn().raw(), Ordering::Release);
+        r
+    }
+
+    /// Force everything appended so far.
+    pub fn force_all(&self) -> Result<(), LogError> {
+        self.force(Lsn::MAX)
+    }
+
+    /// LSN of the last durable record (lock-free).
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.durable.load(Ordering::Acquire))
+    }
+
+    /// LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> Lsn {
+        self.manager_guard().next_lsn()
+    }
+
+    /// Simulate a crash: the unforced tail is lost; any recorded round
+    /// failure is cleared (its consequence *is* the crash being taken).
+    pub fn crash(&self) {
+        // Lock order: `state` before `manager`, same as a force leader.
+        let mut st = self.state_guard();
+        {
+            let mut m = self.manager_guard();
+            m.crash();
+            self.appended
+                .store(self.durable.load(Ordering::Acquire), Ordering::Release);
+        }
+        st.failure = None;
+        // lint:allow(guarded-by) `st` from state_guard() is held here
+        self.completions.notify_all();
+    }
+
+    /// All records with `lsn >= from`, decoded. See
+    /// [`LogManager::scan_from`].
+    pub fn scan_from(&self, from: Lsn) -> Result<Vec<LogRecord>, LogError> {
+        self.manager_guard().scan_from(from)
+    }
+
+    /// Advance the truncation point (bounded by the media barrier).
+    pub fn truncate(&self, before: Lsn) -> Result<Lsn, LogError> {
+        self.manager_guard().truncate(before)
+    }
+
+    /// Current truncation point.
+    pub fn truncation(&self) -> Lsn {
+        self.manager_guard().truncation()
+    }
+
+    /// Pin (or release) the media barrier.
+    pub fn set_media_barrier(&self, barrier: Option<Lsn>) {
+        self.manager_guard().set_media_barrier(barrier)
+    }
+
+    /// Number of appended-but-unforced records.
+    pub fn unforced(&self) -> usize {
+        self.manager_guard().unforced()
+    }
+
+    /// Install (or clear) the fault hook on the wrapped manager.
+    pub fn set_fault_hook(&self, hook: Option<lob_pagestore::FaultHook>) {
+        self.manager_guard().set_fault_hook(hook)
+    }
+
+    /// Run `f` with the wrapped manager locked — the escape hatch for
+    /// stats and other read-mostly passthroughs.
+    pub fn with_manager<R>(&self, f: impl FnOnce(&mut LogManager) -> R) -> R {
+        let mut m = self.manager_guard();
+        f(&mut m)
+    }
+}
+
+impl std::fmt::Debug for GroupCommitLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "GroupCommitLog(durable {}, appended {})",
+            self.durable.load(Ordering::Acquire),
+            self.appended.load(Ordering::Acquire)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lob_pagestore::{FaultVerdict, IoEvent};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn op_body(i: u8) -> RecordBody {
+        RecordBody::Op(lob_ops::OpBody::PhysicalWrite {
+            target: lob_pagestore::PageId::new(0, i as u32),
+            value: bytes::Bytes::from(vec![i; 8]),
+        })
+    }
+
+    #[test]
+    fn append_and_force_single_session() {
+        let log = GroupCommitLog::new(LogManager::in_memory(), Duration::ZERO, 4);
+        let l1 = log.append_record(op_body(1));
+        let l2 = log.append_record(op_body(2));
+        assert_eq!(log.durable_lsn(), Lsn::NULL);
+        log.force(l1).unwrap();
+        assert_eq!(log.durable_lsn(), l2, "group force covers the whole tail");
+        assert_eq!(log.unforced(), 0);
+    }
+
+    #[test]
+    fn force_of_durable_prefix_is_noop() {
+        let log = GroupCommitLog::new(LogManager::in_memory(), Duration::ZERO, 4);
+        let l1 = log.append_record(op_body(1));
+        log.force_all().unwrap();
+        log.force(l1).unwrap();
+        assert_eq!(log.durable_lsn(), l1);
+    }
+
+    #[test]
+    fn concurrent_commits_share_forces() {
+        let log = Arc::new(GroupCommitLog::new(
+            LogManager::in_memory(),
+            Duration::from_millis(2),
+            4,
+        ));
+        let forces = Arc::new(AtomicUsize::new(0));
+        {
+            let forces = forces.clone();
+            log.set_fault_hook(Some(Arc::new(move |ev, _| {
+                if matches!(ev, IoEvent::LogForce) {
+                    forces.fetch_add(1, Ordering::Relaxed);
+                }
+                FaultVerdict::Proceed
+            })));
+        }
+        let per_thread = 32usize;
+        let threads = 4usize;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let log = log.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let lsn = log.append_record(op_body((t * per_thread + i) as u8));
+                        log.force(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(log.unforced(), 0);
+        assert_eq!(
+            log.durable_lsn(),
+            Lsn((threads * per_thread) as u64),
+            "every commit durable"
+        );
+        let n = forces.load(Ordering::Relaxed);
+        assert!(
+            n < threads * per_thread,
+            "group commit must amortize: {n} forces for {} commits",
+            threads * per_thread
+        );
+    }
+
+    #[test]
+    fn crash_during_group_commit_fans_typed_error_to_waiters() {
+        let log = Arc::new(GroupCommitLog::new(
+            LogManager::in_memory(),
+            Duration::from_millis(5),
+            3,
+        ));
+        // Crash the very first force at its LogForce consult.
+        log.set_fault_hook(Some(Arc::new(|ev, _| {
+            if matches!(ev, IoEvent::LogForce) {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        let errors = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let log = log.clone();
+                let errors = errors.clone();
+                s.spawn(move || {
+                    let lsn = log.append_record(op_body(t));
+                    match log.force(lsn) {
+                        Err(LogError::InjectedCrash) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("expected InjectedCrash, got {other:?}"),
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            errors.load(Ordering::Relaxed),
+            3,
+            "every member of the crashed group sees the typed error"
+        );
+        assert_eq!(log.durable_lsn(), Lsn::NULL, "nothing became durable");
+        // Complete the crash: the tail is lost, later commits work again.
+        log.set_fault_hook(None);
+        log.crash();
+        let lsn = log.append_record(op_body(9));
+        log.force(lsn).unwrap();
+        assert_eq!(log.durable_lsn(), lsn);
+    }
+
+    #[test]
+    fn partial_gate_bounds_durable_prefix() {
+        let log = GroupCommitLog::new(LogManager::in_memory(), Duration::ZERO, 1);
+        // Gate the third frame of the force: LSNs 1..=2 become durable.
+        let seen = AtomicUsize::new(0);
+        log.set_fault_hook(Some(Arc::new(move |ev, _| {
+            if matches!(ev, IoEvent::LogAppend) && seen.fetch_add(1, Ordering::Relaxed) == 2 {
+                FaultVerdict::Crash
+            } else {
+                FaultVerdict::Proceed
+            }
+        })));
+        for i in 1..=4u8 {
+            log.append_record(op_body(i));
+        }
+        assert!(matches!(log.force_all(), Err(LogError::InjectedCrash)));
+        assert_eq!(log.durable_lsn(), Lsn(2));
+    }
+}

@@ -27,12 +27,14 @@
 //! with checksummed framing and torn-tail detection.
 
 pub mod codec;
+pub mod group;
 pub mod manager;
 pub mod record;
 pub mod stats;
 pub mod store;
 
 pub use codec::{decode_record, decode_record_shared, encode_record, CodecError};
+pub use group::GroupCommitLog;
 pub use manager::{LogError, LogManager};
 pub use record::{LogRecord, RecordBody};
 pub use stats::LogStats;

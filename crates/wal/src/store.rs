@@ -10,7 +10,7 @@ use std::path::Path;
 ///
 /// The [`crate::LogManager`] buffers appended records in a volatile tail and
 /// moves them here on `force`; everything in the store survives a crash.
-pub trait LogStore {
+pub trait LogStore: Send {
     /// Durably append one encoded frame with its LSN.
     fn append(&mut self, lsn: Lsn, frame: Bytes) -> std::io::Result<()>;
 
@@ -200,6 +200,13 @@ pub struct FileLogStore {
     file: File,
     low_water: Lsn,
     bytes: u64,
+    /// When set, every append/batch ends with `fsync` (`File::sync_data`),
+    /// so "durable" means *on the platter*, not merely in the OS page
+    /// cache. Off by default: the simulation's drills model durability
+    /// through the fault hook, and tests should not pay real fsync
+    /// latency. Benches measuring group-commit amortization turn this on —
+    /// the per-force fsync is exactly the cost a commit group shares.
+    sync_on_flush: bool,
 }
 
 impl FileLogStore {
@@ -215,6 +222,7 @@ impl FileLogStore {
             file,
             low_water: Lsn::NULL,
             bytes: 0,
+            sync_on_flush: false,
         })
     }
 
@@ -227,7 +235,20 @@ impl FileLogStore {
             file,
             low_water: Lsn::NULL,
             bytes: buf.len() as u64,
+            sync_on_flush: false,
         })
+    }
+
+    /// Enable or disable fsync-on-append (see [`FileLogStore`] field docs).
+    pub fn set_sync(&mut self, on: bool) {
+        self.sync_on_flush = on;
+    }
+
+    fn maybe_sync(&self) -> std::io::Result<()> {
+        if self.sync_on_flush {
+            self.file.sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -240,6 +261,7 @@ impl LogStore for FileLogStore {
         self.file.write_all(&hdr)?;
         self.file.write_all(&frame)?;
         self.file.flush()?;
+        self.maybe_sync()?;
         self.bytes += (hdr.len() + frame.len()) as u64;
         Ok(())
     }
@@ -256,7 +278,12 @@ impl LogStore for FileLogStore {
             arena.extend_from_slice(&lsn.raw().to_le_bytes());
             arena.extend_from_slice(frame);
         }
-        if let Err(e) = self.file.write_all(&arena).and_then(|()| self.file.flush()) {
+        if let Err(e) = self
+            .file
+            .write_all(&arena)
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.maybe_sync())
+        {
             // The batch failed as a unit: no frame of it is trusted
             // durable. A torn arena tail on disk is dropped by the scan's
             // per-frame checksum, exactly like a torn single append.

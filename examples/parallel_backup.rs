@@ -50,8 +50,9 @@ fn main() {
         log: LogBacking::Memory,
         // Group forcing: a WAL-required force persists the whole appended
         // tail, so concurrent appenders share one force round-trip.
-        flush_policy: FlushPolicy::Group,
+        commit: lob_core::CommitConfig::with_policy(FlushPolicy::Group),
         recovery: lob_recovery::RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     })
     .expect("engine config");
     let mut oracle = ShadowOracle::new(PAGE_SIZE);

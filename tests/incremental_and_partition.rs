@@ -133,8 +133,8 @@ fn multi() -> (Engine, ShadowOracle, WorkloadGen) {
         cache_capacity: None,
         policy: BackupPolicy::Protocol,
         log: lob_core::LogBacking::Memory,
-        flush_policy: lob_core::FlushPolicy::Exact,
         recovery: lob_recovery::RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     })
     .unwrap();
     let mut o = ShadowOracle::new(128);

@@ -27,8 +27,9 @@ fn multi(flush_policy: FlushPolicy) -> (Engine, ShadowOracle, WorkloadGen) {
         cache_capacity: None,
         policy: BackupPolicy::Protocol,
         log: LogBacking::Memory,
-        flush_policy,
+        commit: lob_core::CommitConfig::with_policy(flush_policy),
         recovery: lob_recovery::RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     })
     .unwrap();
     let mut o = ShadowOracle::new(PAGE_SIZE);

@@ -13,8 +13,8 @@
 //! caught by pass 6 at lint time and by the witness at run time.
 
 use lob_core::{
-    BackupPolicy, Discipline, Engine, EngineConfig, FlushPolicy, GraphMode, LogBacking, PageId,
-    PartitionId, PartitionSpec, RecoveryConfig, Tracking,
+    BackupPolicy, Discipline, Engine, EngineConfig, GraphMode, LogBacking, PageId, PartitionId,
+    PartitionSpec, RecoveryConfig, Tracking,
 };
 use lob_harness::{DrillPath, FaultKind, ParallelDrillConfig, ParallelDrillRunner, WorkloadGen};
 use lob_pagestore::witness;
@@ -74,8 +74,8 @@ fn parallel_restore_keeps_every_lock_set_nonempty() {
         cache_capacity: None,
         policy: BackupPolicy::Protocol,
         log: LogBacking::Memory,
-        flush_policy: FlushPolicy::Exact,
         recovery: RecoveryConfig::sequential(),
+        ..EngineConfig::small()
     })
     .unwrap();
     let mut gen = WorkloadGen::new(0xBEE5, PAGE_SIZE);

@@ -88,6 +88,55 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable with parking_lot's poison-free API. Because the
+/// vendored [`MutexGuard`] *is* the std guard, waiting works directly
+/// against guards produced by [`Mutex::lock`].
+#[derive(Default, Debug)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Block until notified, releasing the guard while parked. Spurious
+    /// wakeups are possible — re-check the predicate on return.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Block until notified or `timeout` elapses. The boolean is `true`
+    /// when the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        let (guard, result) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        (guard, result.timed_out())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +154,32 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(*l.read(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+        // wait_timeout returns timed_out=true when nobody notifies.
+        let (lock, cv) = &*pair;
+        let guard = lock.lock();
+        let (_guard, timed_out) = cv.wait_timeout(guard, Duration::from_millis(1));
+        assert!(timed_out);
     }
 
     #[test]
