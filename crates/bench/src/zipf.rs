@@ -128,7 +128,10 @@ impl SessionWorkload {
 
     /// The next operation of the session.
     pub fn next_op(&mut self) -> SessionOp {
-        let target = self.pages[self.zipf.next_rank()];
+        let rank = self.zipf.next_rank();
+        // In bounds by construction: the sampler is built over exactly
+        // `pages.len()` ranks (non-empty, asserted) and clamps its draw.
+        let target = self.pages.get(rank).copied().unwrap_or(PageId::new(0, 0));
         if self.gen.chance(self.mix.write_fraction()) {
             // Mostly small in-place updates, occasionally a full-page
             // rewrite — the physiological ratio.

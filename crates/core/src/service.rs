@@ -621,10 +621,28 @@ impl EngineService {
 
     /// The earliest LSN crash recovery could need (see
     /// [`crate::Engine::redo_scan_start`]), minimized across domains.
+    ///
+    /// Holds **every** domain lock at once (ascending index, as in
+    /// [`EngineService::recover`]). `execute` assigns an op's LSN and
+    /// makes it visible (cache dirty entry, write-graph node) all under
+    /// one domain lock, so a lock-one-at-a-time scan could run inside
+    /// that window and see the record in neither structure — and a
+    /// truncation bound computed past it would silently drop a committed
+    /// update from the next crash recovery.
     pub fn redo_scan_start(&self) -> Result<Lsn, EngineError> {
+        let doms: Vec<MutexGuard<'_, DomainState>> =
+            self.domains.iter().map(|m| m.lock()).collect();
+        Ok(self.scan_floor(&doms))
+    }
+
+    /// The redo floor over already-held domain guards: the minimum
+    /// uninstalled write-graph LSN and dirty-page recovery LSN, else the
+    /// append point (nothing volatile needs redo). Callers hold every
+    /// domain lock, so no record can be appended-but-not-yet-entered
+    /// while this runs.
+    fn scan_floor(&self, doms: &[MutexGuard<'_, DomainState>]) -> Lsn {
         let mut min: Option<Lsn> = None;
-        for d in 0..self.domains.len() as u32 {
-            let (dom, _held) = self.lock_domain(DomainId(d))?;
+        for dom in doms.iter() {
             if let Some(l) = dom.graph.min_uninstalled_lsn() {
                 min = Some(min.map_or(l, |m| m.min(l)));
             }
@@ -632,7 +650,7 @@ impl EngineService {
         if let Some(l) = self.cache.min_dirty_rlsn() {
             min = Some(min.map_or(l, |m| m.min(l)));
         }
-        Ok(min.unwrap_or_else(|| self.log.next_lsn()))
+        min.unwrap_or_else(|| self.log.next_lsn())
     }
 
     /// Advance the log truncation point as far as crash recovery and
@@ -693,16 +711,7 @@ impl EngineService {
         // Truncation bound, computed from the already-held guards (the
         // graphs are live; re-locking through `redo_scan_start` would
         // self-deadlock).
-        let mut min: Option<Lsn> = None;
-        for dom in doms.iter() {
-            if let Some(l) = dom.graph.min_uninstalled_lsn() {
-                min = Some(min.map_or(l, |m| m.min(l)));
-            }
-        }
-        if let Some(l) = self.cache.min_dirty_rlsn() {
-            min = Some(min.map_or(l, |m| m.min(l)));
-        }
-        let bound = min.unwrap_or_else(|| self.log.next_lsn());
+        let bound = self.scan_floor(&doms);
         self.log.truncate(bound)?;
         Ok(outcome)
     }
@@ -744,6 +753,32 @@ impl EngineService {
         }
     }
 
+    /// Unwind [`EngineService::begin_backup_of`] when the `BackupBegin`
+    /// force fails: abort the run against the coordinator and hand the
+    /// taken changed-set back (mirroring [`EngineService::abort_backup`];
+    /// nothing is retained yet), so a transient log failure leaves
+    /// neither a phantom active tracker nor a swallowed incremental
+    /// changed-page set behind. Kept out of `begin_backup_of` for the
+    /// same lexical lock-order reason as [`EngineService::begin_run`].
+    fn fail_begun_backup(
+        &self,
+        meta: &mut ServiceMeta,
+        run: BackupRun,
+        err: EngineError,
+    ) -> EngineError {
+        let backup_id = run.backup_id();
+        run.abort(&self.coordinator);
+        if let Some(i) = meta
+            .taken_changed
+            .iter()
+            .position(|(id, _)| *id == backup_id)
+        {
+            let (_, changed) = meta.taken_changed.swap_remove(i);
+            self.coordinator.restore_changed(changed);
+        }
+        err
+    }
+
     /// Begin an on-line backup of `domain` in `steps` steps. The returned
     /// run is driven with [`EngineService::backup_step_batch`] — from this
     /// or any other thread — while sessions keep executing.
@@ -765,7 +800,9 @@ impl EngineService {
             backup_id,
             start_lsn,
         });
-        self.group_force(Lsn::MAX)?;
+        if let Err(e) = self.group_force(Lsn::MAX) {
+            return Err(self.fail_begun_backup(&mut meta, run, e));
+        }
         meta.retained.push((backup_id, start_lsn));
         self.refresh_media_barrier(&meta);
         self.counters.backups_begun.fetch_add(1, Ordering::Relaxed);

@@ -93,30 +93,39 @@ impl VirtualScheduler {
             scripts.into_iter().map(VecDeque::from).collect();
         let mut logged: Vec<(Lsn, OpBody)> = Vec::new();
         loop {
-            let live: Vec<usize> = queues
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| !q.is_empty())
-                .map(|(i, _)| i)
-                .collect();
-            if live.is_empty() {
+            let live = queues.iter().filter(|q| !q.is_empty()).count();
+            if live == 0 {
                 return Ok(logged);
             }
-            let pick = live[self.rng.gen_range(0..live.len())];
-            let Some(step) = queues[pick].pop_front() else {
+            // The k-th live queue in session order — same selection (and
+            // rng consumption) as indexing a collected live-index list,
+            // so existing seeds replay identically.
+            let k = self.rng.gen_range(0..live);
+            let Some((pick, queue)) = queues
+                .iter_mut()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .nth(k)
+            else {
+                return Ok(logged);
+            };
+            let Some(step) = queue.pop_front() else {
                 continue;
+            };
+            let Some(session) = sessions.get(pick) else {
+                return Err(format!("virtual session {pick} has no handle"));
             };
             match step {
                 SessionStep::Op(body) => {
-                    let lsn = sessions[pick]
+                    let lsn = session
                         .execute(body.clone())
                         .map_err(|e| format!("virtual session {pick} execute: {e}"))?;
                     logged.push((lsn, body));
                 }
-                SessionStep::Commit => sessions[pick]
+                SessionStep::Commit => session
                     .commit()
                     .map_err(|e| format!("virtual session {pick} commit: {e}"))?,
-                SessionStep::FlushPage(p) => sessions[pick]
+                SessionStep::FlushPage(p) => session
                     .flush_page(p)
                     .map_err(|e| format!("virtual session {pick} flush {p}: {e}"))?,
             }
@@ -253,7 +262,7 @@ impl SessionDrillRunner {
         cfg: &SessionDrillConfig,
         svc: &Arc<EngineService>,
         t: usize,
-        stop: &AtomicBool,
+        stop: &AtomicBool, // lint: atomic(seqcst)
     ) -> Result<Vec<(Lsn, OpBody)>, String> {
         let session = svc.session();
         let mut gen = WorkloadGen::new(
@@ -321,7 +330,7 @@ impl SessionDrillRunner {
     fn sweep_work(
         cfg: &SessionDrillConfig,
         svc: &Arc<EngineService>,
-        stop: &AtomicBool,
+        stop: &AtomicBool, // lint: atomic(seqcst)
     ) -> Result<(u32, u64), String> {
         let mut completed = 0u32;
         let mut pages = 0u64;
@@ -434,10 +443,11 @@ impl SessionDrillRunner {
                 .read_page(id)
                 .map_err(|e| format!("verifying {id}: {e}"))?;
             if got.data() != &want {
+                let got_head: Vec<u8> = got.data().iter().take(8).copied().collect();
+                let want_head: Vec<u8> = want.iter().take(8).copied().collect();
                 return Err(format!(
-                    "page {id} mismatch at prefix {prefix}: S has {:02x?}…, oracle expects {:02x?}…",
-                    &got.data()[..8.min(got.data().len())],
-                    &want[..8.min(want.len())]
+                    "page {id} mismatch at prefix {prefix}: \
+                     S has {got_head:02x?}…, oracle expects {want_head:02x?}…"
                 ));
             }
         }

@@ -396,13 +396,13 @@ fn probe(
             .read_page(id)
             .map_err(|e| ModelError::new(format!("reading {id} from S"), e))?;
         if got.data() != want.as_ref() {
+            let got_head: Vec<u8> = got.data().iter().take(8).copied().collect();
+            let want_head: Vec<u8> = want.iter().take(8).copied().collect();
             report.counterexamples.push((
                 trace.to_vec(),
                 format!(
                     "page {id} mismatch at durable prefix {durable}: \
-                     S has {:02x?}…, oracle expects {:02x?}…",
-                    &got.data()[..8.min(got.data().len())],
-                    &want[..8.min(want.len())]
+                     S has {got_head:02x?}…, oracle expects {want_head:02x?}…"
                 ),
             ));
         }

@@ -63,6 +63,19 @@ struct GroupState {
     rounds: u64,
     /// Outcome of the most recent round, `None` on success.
     failure: Option<GroupFailure>,
+    /// LSN ranges `(lo, hi]` wiped by [`GroupCommitLog::crash`]:
+    /// appended-but-unforced records lost before any round covered them.
+    /// LSNs are never reused and `durable` is monotone, so the ranges are
+    /// disjoint, ascending, and permanent — a commit whose record falls in
+    /// a hole can never become durable, even though the published durable
+    /// watermark later passes the hole via post-crash records.
+    holes: Vec<(u64, u64)>,
+}
+
+/// Wiped-record test: `lsn` falls in a crash hole (see
+/// [`GroupState::holes`]).
+fn in_hole(holes: &[(u64, u64)], lsn: u64) -> bool {
+    holes.iter().any(|&(lo, hi)| lo < lsn && lsn <= hi)
 }
 
 /// A [`LogManager`] shared by concurrent sessions with group-committed
@@ -87,6 +100,10 @@ pub struct GroupCommitLog {
     durable: AtomicU64, // lint: atomic(acq-rel)
     /// Last appended LSN (raw), mirrored under the `manager` lock.
     appended: AtomicU64, // lint: atomic(acq-rel)
+    /// Smallest LSN that could sit in a crash hole (`u64::MAX` while no
+    /// crash has wiped anything): lets the lock-free force fast path
+    /// trust `durable` alone below this point.
+    hole_floor: AtomicU64, // lint: atomic(acq-rel)
 }
 
 impl GroupCommitLog {
@@ -107,6 +124,7 @@ impl GroupCommitLog {
             count,
             durable: AtomicU64::new(durable),
             appended: AtomicU64::new(appended),
+            hole_floor: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -138,14 +156,26 @@ impl GroupCommitLog {
     /// the same window.
     pub fn force(&self, upto: Lsn) -> Result<(), LogError> {
         let goal = upto.raw().min(self.appended.load(Ordering::Acquire));
-        if self.durable.load(Ordering::Acquire) >= goal {
-            // Already durable. The caller's durability point exists all
-            // the same — mirror `LogManager::force`'s empty-tail witness.
+        if self.durable.load(Ordering::Acquire) >= goal
+            && upto.raw() < self.hole_floor.load(Ordering::Acquire)
+        {
+            // Already durable, and `upto` is below every crash hole (so
+            // the watermark cannot be lying about it). The caller's
+            // durability point exists all the same — mirror
+            // `LogManager::force`'s empty-tail witness.
             lob_pagestore::witness::io_order("LogForce");
             return Ok(());
         }
         let mut st = self.state_guard();
         loop {
+            // Checked before the watermark: a concurrent `crash()` wipes
+            // the unforced tail, and post-crash commits can push
+            // `durable` past the wiped range — `durable >= goal` alone
+            // would falsely signal durability for a record that no
+            // longer exists.
+            if in_hole(&st.holes, upto.raw()) {
+                return Err(LogError::InjectedCrash);
+            }
             if self.durable.load(Ordering::Acquire) >= goal {
                 return Ok(());
             }
@@ -154,12 +184,20 @@ impl GroupCommitLog {
                 st = self.gather(st);
                 drop(st);
                 let outcome = self.lead_force();
-                self.publish_round(outcome.as_ref().err().map(GroupFailure::of));
+                let lost =
+                    self.publish_round(outcome.as_ref().err().map(GroupFailure::of), upto.raw());
+                if lost {
+                    // The tail was wiped by a crash while this leader
+                    // was gathering or forcing: the goal record is gone.
+                    return Err(LogError::InjectedCrash);
+                }
                 if self.durable.load(Ordering::Acquire) >= goal {
                     return Ok(());
                 }
                 // The round did not reach our goal: only a gated/failed
-                // suffix explains that (the leader forces the whole tail).
+                // suffix explains that (the leader forces the whole
+                // tail, and a tail wiped by a concurrent crash is a
+                // hole, caught above).
                 return outcome;
             }
             // Follow: register, wake a gathering leader, park until the
@@ -173,6 +211,9 @@ impl GroupCommitLog {
                 st = self.completions.wait(st);
             }
             st.waiters -= 1;
+            if in_hole(&st.holes, upto.raw()) {
+                return Err(LogError::InjectedCrash);
+            }
             if self.durable.load(Ordering::Acquire) >= goal {
                 return Ok(());
             }
@@ -185,14 +226,17 @@ impl GroupCommitLog {
     }
 
     /// Publish a completed round: step down as leader, bump the round
-    /// counter, record the outcome, wake every parked follower.
-    fn publish_round(&self, failure: Option<GroupFailure>) {
+    /// counter, record the outcome, wake every parked follower. Returns
+    /// whether `upto` now sits in a crash hole (the leader's record was
+    /// wiped mid-round).
+    fn publish_round(&self, failure: Option<GroupFailure>, upto: u64) -> bool {
         let mut st = self.state_guard();
         st.leading = false;
         st.rounds = st.rounds.wrapping_add(1);
         st.failure = failure;
         // lint:allow(guarded-by) `st` from state_guard() is held here
         self.completions.notify_all();
+        in_hole(&st.holes, upto)
     }
 
     /// Leader's gather window: wait up to `delay` for the group to fill.
@@ -244,14 +288,22 @@ impl GroupCommitLog {
 
     /// Simulate a crash: the unforced tail is lost; any recorded round
     /// failure is cleared (its consequence *is* the crash being taken).
+    /// The wiped LSN range is remembered as a hole so a concurrent or
+    /// later [`GroupCommitLog::force`] of a wiped record reports the loss
+    /// instead of trivially succeeding on the emptied tail.
     pub fn crash(&self) {
         // Lock order: `state` before `manager`, same as a force leader.
         let mut st = self.state_guard();
         {
             let mut m = self.manager_guard();
+            let durable = self.durable.load(Ordering::Acquire);
+            let appended = self.appended.load(Ordering::Acquire);
+            if appended > durable {
+                st.holes.push((durable, appended));
+                self.hole_floor.fetch_min(durable + 1, Ordering::AcqRel);
+            }
             m.crash();
-            self.appended
-                .store(self.durable.load(Ordering::Acquire), Ordering::Release);
+            self.appended.store(durable, Ordering::Release);
         }
         st.failure = None;
         // lint:allow(guarded-by) `st` from state_guard() is held here
@@ -429,6 +481,50 @@ mod tests {
         let lsn = log.append_record(op_body(9));
         log.force(lsn).unwrap();
         assert_eq!(log.durable_lsn(), lsn);
+    }
+
+    #[test]
+    fn force_of_wiped_record_fails_even_after_watermark_passes_it() {
+        let log = GroupCommitLog::new(LogManager::in_memory(), Duration::ZERO, 1);
+        let l1 = log.append_record(op_body(1));
+        log.crash();
+        assert!(
+            matches!(log.force(l1), Err(LogError::InjectedCrash)),
+            "the record is in the lost tail; force must not report durability"
+        );
+        // Post-crash commits (fresh, higher LSNs) push the durable
+        // watermark past the hole — the wiped record must stay failed.
+        let l2 = log.append_record(op_body(2));
+        assert!(l2 > l1);
+        log.force(l2).unwrap();
+        assert_eq!(log.durable_lsn(), l2);
+        assert!(matches!(log.force(l1), Err(LogError::InjectedCrash)));
+        // Forcing everything currently appended is still fine.
+        log.force_all().unwrap();
+    }
+
+    #[test]
+    fn crash_during_gather_does_not_fake_durability() {
+        let log = Arc::new(GroupCommitLog::new(
+            LogManager::in_memory(),
+            Duration::from_millis(50),
+            8,
+        ));
+        let lsn = log.append_record(op_body(1));
+        std::thread::scope(|s| {
+            let forcer = {
+                let log = log.clone();
+                s.spawn(move || log.force(lsn))
+            };
+            std::thread::sleep(Duration::from_millis(10));
+            log.crash();
+            // Whatever the interleaving (crash before, during, or after
+            // the leader's round), Ok must imply the record is durable.
+            match forcer.join().unwrap() {
+                Ok(()) => assert!(log.durable_lsn() >= lsn, "Ok but record not durable"),
+                Err(e) => assert!(matches!(e, LogError::InjectedCrash), "unexpected: {e:?}"),
+            }
+        });
     }
 
     #[test]
